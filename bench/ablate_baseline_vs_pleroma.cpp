@@ -1,0 +1,110 @@
+// Ablation: PLEROMA (in-network TCAM filtering) vs. the classical
+// broker-overlay baseline on the same testbed topology — the comparison
+// motivating the paper (Sec 1, Sec 7). Reports per-delivery latency,
+// bytes placed on links per published event, per-switch routing state, and
+// the baseline's software matching operations.
+#include "bench_common.hpp"
+
+#include "baseline/broker_overlay.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+struct Numbers {
+  double delayMs = 0;
+  double bytesPerEvent = 0;
+  double routingEntries = 0;
+  double matchOpsPerEvent = 0;
+};
+
+Numbers runPleroma(std::size_t numSubs, std::uint64_t seed) {
+  core::PleromaOptions opts;
+  opts.numAttributes = 2;
+  opts.controller.maxDzLength = 14;
+  core::Pleroma p(net::Topology::testbedFatTree(), opts);
+  const auto hosts = p.topology().hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = workload::Model::kZipfian;
+  wcfg.numAttributes = 2;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  p.advertise(hosts[0], p.controller().space().wholeSpace());
+  bench::deploySubscriptions(
+      p, std::vector<net::NodeId>(hosts.begin() + 1, hosts.end()), gen, numSubs);
+
+  const auto events = gen.makeEvents(500);
+  for (const auto& e : events) p.publish(hosts[0], e);
+  p.settle();
+
+  Numbers n;
+  n.delayMs = p.deliveryStats().meanLatencyUs() / 1000.0;
+  n.bytesPerEvent = static_cast<double>(p.network().totalLinkBytes()) /
+                    static_cast<double>(events.size());
+  std::size_t entries = 0;
+  for (const net::NodeId sw : p.topology().switches()) {
+    entries += p.network().flowTable(sw).size();
+  }
+  n.routingEntries = static_cast<double>(entries);
+  n.matchOpsPerEvent = 0;  // TCAM: no software matching
+  return n;
+}
+
+Numbers runBaseline(std::size_t numSubs, std::uint64_t seed) {
+  const net::Topology topo = net::Topology::testbedFatTree();
+  baseline::BrokerOverlay overlay(topo);
+  const auto hosts = topo.hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = workload::Model::kZipfian;
+  wcfg.numAttributes = 2;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  for (std::size_t i = 0; i < numSubs; ++i) {
+    overlay.subscribe(hosts[1 + i % (hosts.size() - 1)], gen.makeSubscription());
+  }
+
+  util::RunningStat delay;
+  std::uint64_t bytes = 0, matches = 0;
+  const auto events = gen.makeEvents(500);
+  for (const auto& e : events) {
+    const auto r = overlay.publish(hosts[0], e);
+    for (const auto& d : r.deliveries) delay.add(static_cast<double>(d.delay));
+    bytes += r.bytesOnLinks;
+    matches += r.matchOperations;
+  }
+
+  Numbers n;
+  n.delayMs = delay.count() == 0
+                  ? 0.0
+                  : delay.mean() / static_cast<double>(net::kMillisecond);
+  n.bytesPerEvent = static_cast<double>(bytes) / static_cast<double>(events.size());
+  n.routingEntries = static_cast<double>(overlay.totalRoutingEntries());
+  n.matchOpsPerEvent =
+      static_cast<double>(matches) / static_cast<double>(events.size());
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Ablation",
+              "PLEROMA vs. broker-overlay baseline (testbed fat-tree, "
+              "zipfian workload)");
+  printRow({"system", "subs", "delay_ms", "bytes_per_event", "routing_entries",
+            "sw_match_ops_per_event"});
+  for (const std::size_t subs : {50u, 200u, 800u}) {
+    const Numbers p = runPleroma(subs, 71);
+    printRow({"pleroma", fmt(subs), fmt(p.delayMs, 3), fmt(p.bytesPerEvent, 0),
+              fmt(p.routingEntries, 0), fmt(p.matchOpsPerEvent, 1)});
+    const Numbers b = runBaseline(subs, 71);
+    printRow({"broker", fmt(subs), fmt(b.delayMs, 3), fmt(b.bytesPerEvent, 0),
+              fmt(b.routingEntries, 0), fmt(b.matchOpsPerEvent, 1)});
+  }
+  return 0;
+}

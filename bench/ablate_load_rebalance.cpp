@@ -1,0 +1,82 @@
+// Ablation of tree-root placement, exercising the overload-reaction
+// machinery (Sec 8 future work / Sec 3.2 design choice). PLEROMA roots
+// each new spanning tree at the advertising publisher's access switch so
+// events take shortest paths outward. This harness quantifies what that
+// buys: on a 12-switch ring, the publisher-rooted tree is compared against
+// the same tree re-rooted (via Controller::rerootTree, the primitive the
+// LoadMonitor uses) at switches increasingly far from the publisher.
+// Longer detours through the root cost delay and link bandwidth.
+#include "bench_common.hpp"
+
+#include "controller/load_monitor.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+struct Phase {
+  double meanDelayMs;
+  double bytesPerEvent;
+};
+
+Phase measure(core::Pleroma& p, const std::vector<net::NodeId>& hosts,
+              workload::WorkloadGenerator& gen, int events) {
+  p.resetDeliveryStats();
+  const std::uint64_t bytesBefore = p.network().totalLinkBytes();
+  for (int i = 0; i < events; ++i) p.publish(hosts[0], gen.makeEvent());
+  p.settle();
+  return Phase{
+      p.deliveryStats().meanLatencyUs() / 1000.0,
+      static_cast<double>(p.network().totalLinkBytes() - bytesBefore) /
+          static_cast<double>(events)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Ablation",
+              "tree root placement on a 12-switch ring: publisher-rooted vs. "
+              "re-rooted k hops away (Controller::rerootTree)");
+  printRow({"root_offset_hops", "mean_delay_ms", "bytes_per_event"});
+
+  core::PleromaOptions opts;
+  opts.numAttributes = 2;
+  opts.controller.maxDzLength = 10;
+  core::Pleroma p(net::Topology::ring(12), opts);
+  const auto hosts = p.topology().hosts();
+  const auto switches = p.topology().switches();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = workload::Model::kUniform;
+  wcfg.numAttributes = 2;
+  wcfg.seed = 97;
+  workload::WorkloadGenerator gen(wcfg);
+
+  p.advertise(hosts[0], p.controller().space().wholeSpace());
+  // Subscribers clustered near the publisher: root placement matters most
+  // when interest is local.
+  for (const std::size_t h : {1u, 2u, 11u}) {
+    p.subscribe(hosts[h], p.controller().space().wholeSpace());
+  }
+
+  const net::NodeId publisherRoot = p.controller().trees()[0]->root();
+  const auto rootIndex = static_cast<std::size_t>(
+      std::find(switches.begin(), switches.end(), publisherRoot) -
+      switches.begin());
+
+  for (const std::size_t offset : {0u, 2u, 4u, 6u}) {
+    const net::NodeId root = switches[(rootIndex + offset) % switches.size()];
+    const int treeId = p.controller().trees()[0]->id();
+    if (p.controller().trees()[0]->root() != root) {
+      const bool ok = p.controller().rerootTree(treeId, root);
+      if (!ok) {
+        printRow({fmt(offset), "reroot-failed", ""});
+        continue;
+      }
+    }
+    const Phase ph = measure(p, hosts, gen, 500);
+    printRow({fmt(offset), fmt(ph.meanDelayMs, 3), fmt(ph.bytesPerEvent, 0)});
+  }
+  return 0;
+}

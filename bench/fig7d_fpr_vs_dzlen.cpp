@@ -1,0 +1,56 @@
+// Fig 7(d): false-positive rate vs. dz length, for different numbers of
+// subscriptions, uniform and zipfian models (Sec 6.4).
+//
+// Expected shapes: FPR decreases as L_dz grows (finer filtering); fewer
+// subscriptions mean a higher FPR at the same length (with many
+// subscriptions, a "false" delivery is more likely to match *some* other
+// subscription at the host and stops counting as unnecessary).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+double runOnce(int dzLen, std::size_t numSubs, workload::Model model,
+               std::uint64_t seed) {
+  core::PleromaOptions opts;
+  opts.numAttributes = 2;
+  opts.controller.maxDzLength = dzLen;
+  opts.controller.maxCellsPerRequest = 64;
+  core::Pleroma p(net::Topology::testbedFatTree(), opts);
+  const auto hosts = p.topology().hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = model;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.08;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  p.advertise(hosts[0], p.controller().space().wholeSpace());
+  bench::deploySubscriptions(
+      p, std::vector<net::NodeId>(hosts.begin() + 1, hosts.end()), gen, numSubs);
+
+  for (const auto& e : gen.makeEvents(2000)) p.publish(hosts[0], e);
+  p.settle();
+  return 100.0 * p.deliveryStats().falsePositiveRate();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Fig 7(d)", "false positive rate (%) vs. dz length");
+  printRow({"dz_length", "uniform_100sub", "uniform_400sub", "uniform_1600sub",
+            "zipfian_100sub", "zipfian_400sub", "zipfian_1600sub"});
+  for (const int len : {2, 4, 6, 8, 12, 16, 20, 24}) {
+    std::vector<std::string> row{fmt(len)};
+    for (const auto model : {workload::Model::kUniform, workload::Model::kZipfian}) {
+      for (const std::size_t subs : {100u, 400u, 1600u}) {
+        row.push_back(fmt(runOnce(len, subs, model, 21), 1));
+      }
+    }
+    printRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figs 7(g)/(h), fat-tree variant. The paper's Mininet experiments ran on
+// both a ring and a fat-tree of 20 switches (Sec 6.1); the main harnesses
+// use the ring. This one partitions a k=6 fat-tree (45 switches) by pods —
+// cores stay with pod 0's partition — and sweeps 1..6 controllers,
+// reporting both the normalized per-controller overhead (Fig 7g) and the
+// normalized total control traffic (Fig 7h).
+#include "bench_common.hpp"
+
+#include "interop/multi_domain.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+struct Measured {
+  double avgOverheadPerController;
+  double totalControlTraffic;
+};
+
+Measured runOnce(int controllers, std::size_t numSubs, std::uint64_t seed) {
+  constexpr int kPods = 6;
+  net::Topology topo = net::Topology::kAryFatTree(6);
+  std::vector<interop::PartitionId> partitionOf(
+      static_cast<std::size_t>(topo.nodeCount()), 0);
+  const auto sw = topo.switches();
+  // Builder layout: 9 cores first, then 6 pods x (3 agg + 3 edge).
+  for (std::size_t i = 9; i < sw.size(); ++i) {
+    const int pod = static_cast<int>(i - 9) / 6;
+    partitionOf[static_cast<std::size_t>(sw[i])] =
+        static_cast<interop::PartitionId>(pod * controllers / kPods);
+  }
+  ctrl::ControllerConfig ccfg;
+  ccfg.maxDzLength = 10;
+  ccfg.maxCellsPerRequest = 4;
+  interop::MultiDomain domain(std::move(topo), std::move(partitionOf),
+                              dz::EventSpace(2, 10), ccfg);
+  const auto hosts = domain.network().topology().hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = workload::Model::kUniform;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.15;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  for (int i = 0; i < 4; ++i) {
+    domain.advertise(hosts[static_cast<std::size_t>(i * 13)],
+                     gen.makeAdvertisement());
+  }
+  for (std::size_t i = 0; i < numSubs; ++i) {
+    domain.subscribe(hosts[gen.rng().uniformInt(0, hosts.size() - 1)],
+                     gen.makeSubscription());
+  }
+
+  std::uint64_t processed = 0, sent = 0, internal = 0;
+  for (std::size_t pid = 0; pid < domain.partitionCount(); ++pid) {
+    const auto& s = domain.stats(static_cast<interop::PartitionId>(pid));
+    processed += s.requestsProcessed();
+    sent += s.messagesSent;
+    internal += s.internalRequests;
+  }
+  return Measured{
+      static_cast<double>(processed) / static_cast<double>(controllers),
+      static_cast<double>(internal + sent)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Fig 7(g)+(h), fat-tree variant",
+              "k=6 fat-tree (45 switches) partitioned by pods; normalized "
+              "per-controller overhead and total control traffic");
+  printRow({"controllers", "norm_overhead_200sub", "norm_traffic_200sub",
+            "norm_overhead_400sub", "norm_traffic_400sub"});
+  const std::vector<std::size_t> subCounts = {200, 400};
+  std::vector<double> baseOverhead(subCounts.size(), 1.0);
+  std::vector<double> baseTraffic(subCounts.size(), 1.0);
+  for (int k = 1; k <= 6; ++k) {
+    std::vector<std::string> row{fmt(k)};
+    for (std::size_t si = 0; si < subCounts.size(); ++si) {
+      const Measured m = runOnce(k, subCounts[si], 91 + si);
+      if (k == 1) {
+        baseOverhead[si] = m.avgOverheadPerController;
+        baseTraffic[si] = m.totalControlTraffic;
+      }
+      row.push_back(fmt(100.0 * m.avgOverheadPerController / baseOverhead[si], 1));
+      row.push_back(fmt(100.0 * m.totalControlTraffic / baseTraffic[si], 1));
+    }
+    printRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig 7(h): total control traffic vs. number of controllers, for
+// 100/200/400 subscriptions (Sec 6.6).
+//
+// Total control traffic counts every control message in the system: end
+// host requests to their local controller plus all inter-controller
+// advertisement/subscription relays. Normalized to the single-controller
+// configuration (which has no inter-controller traffic at all).
+//
+// Expected shape: traffic grows with partition count; the *relative*
+// increase is smaller for larger subscription counts because covering
+// suppression filters a growing share of relays.
+#include "bench_common.hpp"
+
+#include "interop/multi_domain.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+double runOnce(int controllers, std::size_t numSubs, std::uint64_t seed) {
+  net::Topology topo = net::Topology::ring(20);
+  std::vector<interop::PartitionId> partitionOf(
+      static_cast<std::size_t>(topo.nodeCount()), 0);
+  const auto sw = topo.switches();
+  for (std::size_t i = 0; i < sw.size(); ++i) {
+    partitionOf[static_cast<std::size_t>(sw[i])] =
+        static_cast<interop::PartitionId>(static_cast<int>(i) * controllers / 20);
+  }
+  ctrl::ControllerConfig ccfg;
+  ccfg.maxDzLength = 10;
+  ccfg.maxCellsPerRequest = 4;
+  interop::MultiDomain domain(std::move(topo), std::move(partitionOf),
+                              dz::EventSpace(2, 10), ccfg);
+  const auto hosts = domain.network().topology().hosts();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.model = workload::Model::kUniform;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.15;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  for (int i = 0; i < 4; ++i) {
+    domain.advertise(hosts[static_cast<std::size_t>(i * 5)],
+                     gen.makeAdvertisement());
+  }
+  for (std::size_t i = 0; i < numSubs; ++i) {
+    domain.subscribe(hosts[gen.rng().uniformInt(0, hosts.size() - 1)],
+                     gen.makeSubscription());
+  }
+  return static_cast<double>(domain.totalControlMessages());
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Fig 7(h)",
+              "normalized total control traffic vs. number of controllers");
+  printRow({"controllers", "norm_traffic_100sub", "norm_traffic_200sub",
+            "norm_traffic_400sub"});
+  const std::vector<std::size_t> subCounts = {100, 200, 400};
+  std::vector<double> baseline(subCounts.size(), 1.0);
+  for (int k = 1; k <= 10; ++k) {
+    std::vector<std::string> row{fmt(k)};
+    for (std::size_t si = 0; si < subCounts.size(); ++si) {
+      const double total = runOnce(k, subCounts[si], 61 + si);
+      if (k == 1) baseline[si] = total;
+      row.push_back(fmt(100.0 * total / baseline[si], 1));
+    }
+    printRow(row);
+  }
+  return 0;
+}

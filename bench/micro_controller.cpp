@@ -1,0 +1,123 @@
+// Micro-benchmarks of the controller's reconfiguration path
+// (google-benchmark): subscribe/unsubscribe cost at different deployment
+// sizes, advertisement processing, and the dz-trie subscription index.
+#include <benchmark/benchmark.h>
+
+#include "controller/controller.hpp"
+#include "dz/dz_trie.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+struct Harness {
+  explicit Harness(std::size_t preDeployed, std::uint64_t seed = 11)
+      : topo(net::Topology::testbedFatTree()),
+        network(topo, sim, {}),
+        controller(dz::EventSpace(4, 10), network,
+                   ctrl::Scope::wholeTopology(topo), config()),
+        gen(workloadConfig(seed)) {
+    hosts = topo.hosts();
+    controller.advertise(hosts[0], controller.space().wholeSpace());
+    for (std::size_t i = 0; i < preDeployed; ++i) {
+      controller.subscribe(hosts[1 + i % (hosts.size() - 1)],
+                           gen.makeSubscription());
+    }
+  }
+  static ctrl::ControllerConfig config() {
+    ctrl::ControllerConfig c;
+    c.maxDzLength = 16;
+    c.maxCellsPerRequest = 8;
+    return c;
+  }
+  static workload::WorkloadConfig workloadConfig(std::uint64_t seed) {
+    workload::WorkloadConfig w;
+    w.numAttributes = 4;
+    w.subscriptionSelectivity = 0.08;
+    w.seed = seed;
+    return w;
+  }
+
+  net::Topology topo;
+  net::Simulator sim;
+  net::Network network;
+  ctrl::Controller controller;
+  workload::WorkloadGenerator gen;
+  std::vector<net::NodeId> hosts;
+};
+
+void BM_Subscribe(benchmark::State& state) {
+  Harness h(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.controller.subscribe(
+        h.hosts[1 + i % (h.hosts.size() - 1)], h.gen.makeSubscription()));
+    ++i;
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " pre-deployed");
+}
+BENCHMARK(BM_Subscribe)->Arg(0)->Arg(1000)->Arg(10000);
+
+void BM_SubscribeUnsubscribeCycle(benchmark::State& state) {
+  Harness h(500);
+  for (auto _ : state) {
+    const auto id = h.controller.subscribe(h.hosts[3], h.gen.makeSubscription());
+    h.controller.unsubscribe(id);
+  }
+}
+BENCHMARK(BM_SubscribeUnsubscribeCycle);
+
+void BM_Advertise(benchmark::State& state) {
+  Harness h(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  std::vector<ctrl::PublisherId> pubs;
+  for (auto _ : state) {
+    pubs.push_back(h.controller.advertise(h.hosts[i % h.hosts.size()],
+                                          h.gen.makeAdvertisement()));
+    ++i;
+    if (pubs.size() > 64) {
+      state.PauseTiming();
+      for (const auto id : pubs) h.controller.unadvertise(id);
+      pubs.clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " subscriptions");
+}
+BENCHMARK(BM_Advertise)->Arg(100)->Arg(2000);
+
+void BM_EventStamping(benchmark::State& state) {
+  Harness h(0);
+  const dz::Event e{10, 900, 512, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.controller.makeEventPacket(h.hosts[0], e, 1));
+  }
+}
+BENCHMARK(BM_EventStamping);
+
+void BM_DzTrieOverlapQuery(benchmark::State& state) {
+  dz::DzTrie<int> trie;
+  workload::WorkloadGenerator gen(Harness::workloadConfig(3));
+  dz::EventSpace space(4, 10);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    for (const auto& d : space.rectangleToDz(gen.makeSubscription(), 16, 8)) {
+      trie.insert(d, i);
+    }
+  }
+  const dz::DzSet probe = space.rectangleToDz(gen.makeAdvertisement(), 16, 8);
+  for (auto _ : state) {
+    int count = 0;
+    for (const auto& d : probe) {
+      trie.forEachOverlapping(d,
+                              [&](const dz::DzExpression&, const int&) { ++count; });
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetLabel(std::to_string(trie.size()) + " indexed dz");
+}
+BENCHMARK(BM_DzTrieOverlapQuery)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Micro-benchmarks of the dz-expression algebra (google-benchmark): these
+// operations sit on the controller's hot path for every advertisement,
+// subscription and flow decision.
+#include <benchmark/benchmark.h>
+
+#include "dz/dz_set.hpp"
+#include "dz/event_space.hpp"
+#include "dz/ip_encoding.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+dz::DzExpression randomDz(util::Rng& rng, int maxLen) {
+  const int len =
+      static_cast<int>(rng.uniformInt(0, static_cast<std::uint64_t>(maxLen)));
+  dz::U128 bits;
+  for (int i = 0; i < len; ++i) bits.setBitFromMsb(i, rng.chance(0.5));
+  return dz::DzExpression(bits, len);
+}
+
+void BM_DzCovers(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<dz::DzExpression> xs;
+  for (int i = 0; i < 1024; ++i) xs.push_back(randomDz(rng, 24));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i % 1024].covers(xs[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DzCovers);
+
+void BM_DzSetIntersect(benchmark::State& state) {
+  util::Rng rng(2);
+  dz::DzSet a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.insert(randomDz(rng, 16));
+    b.insert(randomDz(rng, 16));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_DzSetIntersect)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DzSetSubtract(benchmark::State& state) {
+  util::Rng rng(3);
+  dz::DzSet a, b;
+  for (int i = 0; i < 8; ++i) {
+    a.insert(randomDz(rng, 10));
+    b.insert(randomDz(rng, 14));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.subtract(b));
+  }
+}
+BENCHMARK(BM_DzSetSubtract);
+
+void BM_EventToDz(benchmark::State& state) {
+  dz::EventSpace space(10, 10);
+  util::Rng rng(4);
+  dz::Event e(10);
+  for (auto& v : e) v = static_cast<dz::AttributeValue>(rng.uniformInt(0, 1023));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.eventToDz(e, 100));
+  }
+}
+BENCHMARK(BM_EventToDz);
+
+void BM_RectangleToDz(benchmark::State& state) {
+  dz::EventSpace space(4, 10);
+  dz::Rectangle rect{{dz::Range{13, 400}, dz::Range{7, 900}, dz::Range{100, 200},
+                      dz::Range{0, 1023}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        space.rectangleToDz(rect, 24, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RectangleToDz)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DzToPrefixEncode(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<dz::DzExpression> xs;
+  for (int i = 0; i < 1024; ++i) xs.push_back(randomDz(rng, 112));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dz::dzToPrefix(xs[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DzToPrefixEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

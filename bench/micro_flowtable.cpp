@@ -1,0 +1,87 @@
+// Micro-benchmark of flow-table lookup vs. table size (google-benchmark):
+// demonstrates the table-size-independent matching cost that underlies the
+// flat curve of Fig 7(a).
+#include <benchmark/benchmark.h>
+
+#include "net/flow_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+dz::DzExpression nthDz(int i, int len) {
+  dz::U128 bits;
+  for (int b = 0; b < len; ++b) {
+    bits.setBitFromMsb(b, ((i >> (len - 1 - b)) & 1) != 0);
+  }
+  return dz::DzExpression(bits, len);
+}
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  net::FlowTable table;
+  for (int i = 0; i < n; ++i) {
+    net::FlowEntry e;
+    e.match = dz::dzToPrefix(nthDz(i, 17));
+    e.priority = 17;
+    e.actions.push_back(net::FlowAction{2, std::nullopt});
+    table.insert(e);
+  }
+  util::Rng rng(9);
+  std::vector<dz::Ipv6Address> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(dz::dzToAddress(
+        nthDz(static_cast<int>(rng.uniformInt(0, static_cast<std::uint64_t>(n - 1))),
+              17)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probes[i % 1024]));
+    ++i;
+  }
+  state.SetLabel(std::to_string(n) + " entries");
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(1000)->Arg(10000)->Arg(80000);
+
+void BM_FlowTableLookupNestedPriorities(benchmark::State& state) {
+  // Chain of nested prefixes: worst case for the per-length probing.
+  net::FlowTable table;
+  std::string s;
+  for (int i = 0; i < 32; ++i) {
+    s.push_back('1');
+    net::FlowEntry e;
+    e.match = dz::dzToPrefix(*dz::DzExpression::fromString(s));
+    e.priority = i + 1;
+    e.actions.push_back(net::FlowAction{2, std::nullopt});
+    table.insert(e);
+  }
+  const auto probe = dz::dzToAddress(*dz::DzExpression::fromString(std::string(40, '1')));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probe));
+  }
+}
+BENCHMARK(BM_FlowTableLookupNestedPriorities);
+
+void BM_FlowTableInsert(benchmark::State& state) {
+  std::size_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::FlowTable table;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      net::FlowEntry e;
+      e.match = dz::dzToPrefix(nthDz(i, 17));
+      e.priority = 17;
+      e.actions.push_back(net::FlowAction{2, std::nullopt});
+      table.insert(e);
+    }
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(round) * 1000);
+}
+BENCHMARK(BM_FlowTableInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Smart-grid scenario (Sec 1 names the smart grid among PLEROMA's target
+// applications) demonstrating dimension selection (Sec 5) end to end.
+//
+// Meters publish 7-attribute readings: voltage, frequency, load, phase,
+// region, meter-class, firmware. Only voltage, frequency and load carry
+// operationally interesting variation — controllers subscribe to anomaly
+// ranges on them, while the remaining attributes are either constant or
+// subscribed unselectively. Periodic spectral dimension selection discovers
+// this and re-indexes the network on the informative attributes, shrinking
+// false positives under the same dz budget.
+//
+//   $ ./smart_grid
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pleroma.hpp"
+#include "util/rng.hpp"
+
+using namespace pleroma;
+
+namespace {
+constexpr int kVoltage = 0, kFrequency = 1, kLoad = 2;
+constexpr int kAttrs = 7;
+
+const char* kNames[kAttrs] = {"voltage", "frequency", "load",     "phase",
+                              "region",  "class",     "firmware"};
+
+dz::Event makeReading(util::Rng& rng) {
+  dz::Event e(kAttrs);
+  e[kVoltage] = static_cast<dz::AttributeValue>(rng.uniformInt(0, 1023));
+  e[kFrequency] = static_cast<dz::AttributeValue>(rng.uniformInt(0, 1023));
+  e[kLoad] = static_cast<dz::AttributeValue>(rng.uniformInt(0, 1023));
+  e[3] = 512;                                                     // phase: constant
+  e[4] = static_cast<dz::AttributeValue>(500 + rng.uniformInt(0, 20));  // region: near constant
+  e[5] = 300;                                                     // class: constant
+  e[6] = 7;                                                       // firmware: constant
+  return e;
+}
+
+dz::Rectangle anomalyFilter(util::Rng& rng) {
+  // Selective on the three informative attributes, open on the rest.
+  dz::Rectangle r;
+  r.ranges.assign(kAttrs, dz::Range{0, 1023});
+  for (const int d : {kVoltage, kFrequency, kLoad}) {
+    const auto lo = static_cast<dz::AttributeValue>(rng.uniformInt(0, 700));
+    r.ranges[static_cast<std::size_t>(d)] = dz::Range{lo, lo + 250};
+  }
+  return r;
+}
+}  // namespace
+
+int main() {
+  core::PleromaOptions options;
+  options.numAttributes = kAttrs;
+  options.controller.maxDzLength = 14;  // tight budget: 2 bits/dim if all 7 indexed
+  options.controller.maxCellsPerRequest = 32;
+  options.dimensionWindow = 512;
+  core::Pleroma grid(net::Topology::testbedFatTree(), options);
+  const auto hosts = grid.topology().hosts();
+  util::Rng rng(7);
+
+  const net::NodeId meterHub = hosts[0];
+  grid.advertise(meterHub, grid.controller().space().wholeSpace());
+  for (int i = 1; i < 8; ++i) {
+    grid.subscribe(hosts[static_cast<std::size_t>(i)], anomalyFilter(rng));
+  }
+
+  auto runPhase = [&](const char* label, int events) {
+    grid.resetDeliveryStats();
+    for (int i = 0; i < events; ++i) grid.publish(meterHub, makeReading(rng));
+    grid.settle();
+    const auto& s = grid.deliveryStats();
+    std::printf("%-28s delivered=%5llu  falsePositiveRate=%5.1f%%\n", label,
+                static_cast<unsigned long long>(s.delivered),
+                100.0 * s.falsePositiveRate());
+  };
+
+  std::printf("smart grid: 7 attributes, 14-bit dz budget, 7 anomaly filters\n");
+  runPhase("all 7 dimensions indexed:", 2000);
+
+  const std::vector<int> selected = grid.runDimensionSelection(0.85);
+  std::printf("dimension selection chose:");
+  for (const int d : selected) std::printf(" %s", kNames[d]);
+  std::printf("\n");
+
+  runPhase("after re-indexing:", 2000);
+  return 0;
+}

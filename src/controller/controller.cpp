@@ -1,0 +1,501 @@
+#include "controller/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "net/packet.hpp"
+
+namespace pleroma::ctrl {
+
+Scope Scope::wholeTopology(const net::Topology& topology) {
+  Scope s;
+  s.switches = topology.switches();
+  for (net::LinkId l = 0; l < topology.linkCount(); ++l) {
+    const net::Link& link = topology.link(l);
+    if (topology.isSwitch(link.a.node) && topology.isSwitch(link.b.node)) {
+      s.internalLinks.push_back(l);
+    }
+  }
+  return s;
+}
+
+Controller::Controller(dz::EventSpace space, net::Network& network, Scope scope,
+                       ControllerConfig config)
+    : space_(std::move(space)),
+      network_(network),
+      scope_(std::move(scope)),
+      config_(config),
+      channel_(network_, config.flowModLatency),
+      installer_(channel_) {}
+
+int Controller::effectiveMaxDzLength() const noexcept {
+  return std::min(config_.maxDzLength, space_.maxDzLength());
+}
+
+dz::DzSet Controller::decompose(const dz::Rectangle& rect) const {
+  return space_.rectangleToDz(rect, effectiveMaxDzLength(),
+                              config_.maxCellsPerRequest);
+}
+
+Endpoint Controller::endpointForHost(net::NodeId host) const {
+  const auto att = network_.topology().hostAttachment(host);
+  return Endpoint{att.switchNode, att.switchPort, net::hostAddress(host), host};
+}
+
+// ---- registration ------------------------------------------------------
+
+PublisherId Controller::advertise(net::NodeId host, const dz::Rectangle& rect) {
+  return advertiseEndpoint(endpointForHost(host), decompose(rect), rect);
+}
+
+PublisherId Controller::advertiseEndpoint(const Endpoint& endpoint,
+                                          const dz::DzSet& dzSet,
+                                          std::optional<dz::Rectangle> rect) {
+  OpStats snapshot = beginOp();
+  const PublisherId id = nextPublisher_++;
+  advertisements_.emplace(id, AdvRecord{endpoint, dzSet, std::move(rect)});
+  runAdvertise(id);
+  mergeTreesIfNeeded();
+  endOp(snapshot);
+  return id;
+}
+
+SubscriptionId Controller::subscribe(net::NodeId host, const dz::Rectangle& rect) {
+  return subscribeEndpoint(endpointForHost(host), decompose(rect), rect);
+}
+
+SubscriptionId Controller::subscribeEndpoint(const Endpoint& endpoint,
+                                             const dz::DzSet& dzSet,
+                                             std::optional<dz::Rectangle> rect) {
+  OpStats snapshot = beginOp();
+  const SubscriptionId id = nextSubscription_++;
+  subscriptions_.emplace(id, SubRecord{endpoint, dzSet, std::move(rect)});
+  for (const dz::DzExpression& d : dzSet) subscriptionIndex_.insert(d, id);
+  runSubscribe(id);
+  endOp(snapshot);
+  return id;
+}
+
+void Controller::unsubscribe(SubscriptionId id) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  OpStats snapshot = beginOp();
+  removePaths(registry_.pathsOfSubscription(id));
+  for (const dz::DzExpression& d : it->second.dzSet) {
+    subscriptionIndex_.erase(d, id);
+  }
+  subscriptions_.erase(it);
+  endOp(snapshot);
+}
+
+void Controller::unadvertise(PublisherId id) {
+  const auto it = advertisements_.find(id);
+  if (it == advertisements_.end()) return;
+  OpStats snapshot = beginOp();
+  removePaths(registry_.pathsOfPublisher(id));
+  for (auto& tree : trees_) tree->removePublisher(id);
+  // Trees left without any publisher carry no traffic; retire them so their
+  // subspaces become available to future advertisements.
+  std::erase_if(trees_, [](const std::unique_ptr<SpanningTree>& t) {
+    return t->publishers().empty();
+  });
+  advertisements_.erase(it);
+  endOp(snapshot);
+}
+
+// ---- Algorithm 1 -------------------------------------------------------
+
+void Controller::runAdvertise(PublisherId id) {
+  const AdvRecord& adv = advertisements_.at(id);
+  for (const dz::DzExpression& dzi : adv.dzSet) {
+    const dz::DzSet dziSet(dzi);
+    dz::DzSet covered;
+    // Trees whose DZ overlaps dz_i (lines 4-9).
+    for (auto& tree : trees_) {
+      const dz::DzSet overlap = tree->dzSet().intersect(dziSet);
+      if (overlap.empty()) continue;
+      tree->addPublisher(id, overlap);
+      ++lastOp_.treesJoined;
+      addFlowMultSub(id, overlap, *tree);
+      covered.unionWith(overlap);
+    }
+    // Subspaces of dz_i not carried by any tree start a new one rooted at
+    // the publisher (lines 10-15).
+    const dz::DzSet uncovered = dziSet.subtract(covered);
+    if (!uncovered.empty()) {
+      trees_.push_back(std::make_unique<SpanningTree>(
+          nextTreeId_++, uncovered, adv.endpoint.attachSwitch,
+          network_.topology(), activeInternalLinks()));
+      ++lastOp_.treesCreated;
+      SpanningTree& tn = *trees_.back();
+      tn.addPublisher(id, uncovered);
+      addFlowMultSub(id, uncovered, tn);
+    }
+  }
+}
+
+void Controller::runSubscribe(SubscriptionId id) {
+  const SubRecord& sub = subscriptions_.at(id);
+  for (const dz::DzExpression& dzi : sub.dzSet) {
+    const dz::DzSet dziSet(dzi);
+    for (auto& tree : trees_) {
+      if (!tree->dzSet().overlaps(dzi)) continue;
+      // Publishers of the tree with overlapping DZ^t(p) (lines 22-25).
+      for (const auto& [pub, pubOverlap] : tree->publishers()) {
+        const dz::DzSet overlapWithPub = dziSet.intersect(pubOverlap);
+        if (overlapWithPub.empty()) continue;
+        installPathRecord(pub, id, *tree, overlapWithPub);
+      }
+    }
+    // No overlapping tree: the subscription is simply stored (line 19's
+    // negative branch); it is re-examined by addFlowMultSub whenever an
+    // advertisement extends or creates trees.
+  }
+}
+
+void Controller::addFlowMultSub(PublisherId p, const dz::DzSet& dzSet,
+                                SpanningTree& t) {
+  // Candidate subscriptions via the spatial index: only those with a dz
+  // member overlapping some advertised member are examined.
+  std::set<SubscriptionId> candidates;
+  for (const dz::DzExpression& d : dzSet) {
+    subscriptionIndex_.forEachOverlapping(
+        d, [&](const dz::DzExpression&, const SubscriptionId& id) {
+          candidates.insert(id);
+        });
+  }
+  for (const SubscriptionId subId : candidates) {
+    const dz::DzSet overlap = dzSet.intersect(subscriptions_.at(subId).dzSet);
+    if (overlap.empty()) continue;
+    installPathRecord(p, subId, t, overlap);
+  }
+}
+
+void Controller::installPathRecord(PublisherId p, SubscriptionId s,
+                                   SpanningTree& t, const dz::DzSet& overlap) {
+  if (registry_.alreadyCovered(p, s, t.id(), overlap)) return;
+  const AdvRecord& adv = advertisements_.at(p);
+  const SubRecord& sub = subscriptions_.at(s);
+  // A subscriber is not connected to itself: identical endpoints would
+  // yield a route reflecting packets out of their ingress port.
+  if (adv.endpoint == sub.endpoint) return;
+  std::vector<RouteHop> hops =
+      t.route(adv.endpoint, sub.endpoint, network_.topology());
+  if (hops.empty()) return;  // endpoints not connected within this partition
+  installer_.installPath(overlap, hops);
+  registry_.add(InstalledPath{-1, p, s, t.id(), overlap, std::move(hops)});
+}
+
+void Controller::removePaths(const std::vector<PathId>& ids) {
+  if (ids.empty()) return;
+  const std::vector<net::NodeId> affected = registry_.switchesOf(ids);
+  for (const PathId id : ids) registry_.remove(id);
+  for (const net::NodeId sw : affected) {
+    installer_.reconcileSwitch(sw, registry_.requiredFlows(sw));
+  }
+}
+
+// ---- tree merging (Sec 3.2) ---------------------------------------------
+
+void Controller::mergeTreesIfNeeded() {
+  while (trees_.size() > config_.maxTrees && trees_.size() >= 2) {
+    // Merge the two trees with the fewest embedded paths: cheapest rebuild.
+    std::size_t a = 0, b = 1;
+    auto cost = [&](std::size_t i) {
+      return registry_.pathsOfTree(trees_[i]->id()).size();
+    };
+    if (cost(a) > cost(b)) std::swap(a, b);
+    for (std::size_t i = 2; i < trees_.size(); ++i) {
+      const std::size_t c = cost(i);
+      if (c < cost(a)) {
+        b = a;
+        a = i;
+      } else if (c < cost(b)) {
+        b = i;
+      }
+    }
+    mergeTreePair(a, b);
+  }
+}
+
+void Controller::mergeTreePair(std::size_t idxA, std::size_t idxB) {
+  assert(idxA != idxB);
+  SpanningTree& ta = *trees_[idxA];
+  SpanningTree& tb = *trees_[idxB];
+
+  // Collect and detach both trees' paths.
+  std::vector<PathId> pathIds = registry_.pathsOfTree(ta.id());
+  const std::vector<PathId> idsB = registry_.pathsOfTree(tb.id());
+  const std::size_t pathCountA = pathIds.size();
+  const std::size_t pathCountB = idsB.size();
+  pathIds.insert(pathIds.end(), idsB.begin(), idsB.end());
+  struct OldPath {
+    PublisherId pub;
+    SubscriptionId sub;
+    dz::DzSet dz;
+  };
+  std::vector<OldPath> oldPaths;
+  oldPaths.reserve(pathIds.size());
+  for (const PathId id : pathIds) {
+    const InstalledPath& p = registry_.at(id);
+    oldPaths.push_back(OldPath{p.publisher, p.subscription, p.dz});
+  }
+  std::vector<net::NodeId> affected = registry_.switchesOf(pathIds);
+  for (const PathId id : pathIds) registry_.remove(id);
+
+  // The merged DZ: exact union (canonicalisation already coarsens complete
+  // sibling sets, e.g. {0000,0010} ∪ {0001,0011} = {00}), optionally
+  // coarsened further while disjointness with other trees holds.
+  dz::DzSet mergedDz = ta.dzSet();
+  mergedDz.unionWith(tb.dzSet());
+
+  // Root at the tree that carried more paths: fewer routes move.
+  const net::NodeId root = pathCountA >= pathCountB ? ta.root() : tb.root();
+
+  std::map<PublisherId, dz::DzSet> publishers = ta.publishers();
+  for (const auto& [pub, overlap] : tb.publishers()) {
+    publishers[pub].unionWith(overlap);
+  }
+
+  const int removeIdA = ta.id();
+  const int removeIdB = tb.id();
+  std::erase_if(trees_, [&](const std::unique_ptr<SpanningTree>& t) {
+    return t->id() == removeIdA || t->id() == removeIdB;
+  });
+
+  if (config_.coarsenOnMerge) mergedDz = coarsen(std::move(mergedDz), nullptr);
+
+  trees_.push_back(std::make_unique<SpanningTree>(
+      nextTreeId_++, std::move(mergedDz), root, network_.topology(),
+      activeInternalLinks()));
+  SpanningTree& tm = *trees_.back();
+  for (const auto& [pub, overlap] : publishers) tm.addPublisher(pub, overlap);
+
+  // Re-embed the collected paths along the merged tree.
+  for (const OldPath& old : oldPaths) {
+    if (!advertisements_.contains(old.pub) || !subscriptions_.contains(old.sub)) {
+      continue;
+    }
+    installPathRecord(old.pub, old.sub, tm, old.dz);
+  }
+  // Repair switches that the old trees touched but the new one might not.
+  for (const net::NodeId sw : affected) {
+    installer_.reconcileSwitch(sw, registry_.requiredFlows(sw));
+  }
+}
+
+namespace {
+/// Locates a tree by id in the controller's tree list.
+auto findTree(std::vector<std::unique_ptr<SpanningTree>>& trees, int treeId) {
+  return std::find_if(
+      trees.begin(), trees.end(),
+      [&](const std::unique_ptr<SpanningTree>& t) { return t->id() == treeId; });
+}
+}  // namespace
+
+bool Controller::rerootTree(int treeId, net::NodeId newRoot) {
+  if (findTree(trees_, treeId) == trees_.end()) return false;
+  if (std::find(scope_.switches.begin(), scope_.switches.end(), newRoot) ==
+      scope_.switches.end()) {
+    return false;
+  }
+  rebuildTreeAt(treeId, newRoot);
+  return true;
+}
+
+// ---- failure handling (link down/up) ---------------------------------------
+
+std::vector<net::LinkId> Controller::activeInternalLinks() const {
+  if (downLinks_.empty()) return scope_.internalLinks;
+  std::vector<net::LinkId> out;
+  out.reserve(scope_.internalLinks.size());
+  for (const net::LinkId l : scope_.internalLinks) {
+    if (std::find(downLinks_.begin(), downLinks_.end(), l) == downLinks_.end()) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+void Controller::onLinkDown(net::LinkId link) {
+  if (std::find(downLinks_.begin(), downLinks_.end(), link) != downLinks_.end()) {
+    return;
+  }
+  downLinks_.push_back(link);
+  // Rebuild only the trees whose edges traverse the failed link.
+  std::vector<int> affectedTrees;
+  for (const auto& tree : trees_) {
+    const auto edges = tree->edges();
+    if (std::find(edges.begin(), edges.end(), link) != edges.end()) {
+      affectedTrees.push_back(tree->id());
+    }
+  }
+  for (const int id : affectedTrees) rebuildTree(id);
+}
+
+void Controller::onLinkUp(net::LinkId link) {
+  const auto it = std::find(downLinks_.begin(), downLinks_.end(), link);
+  if (it == downLinks_.end()) return;
+  downLinks_.erase(it);
+  // Rebuild every tree: routes degraded (or dropped) during the outage
+  // return to shortest paths and unreachable endpoints reconnect.
+  std::vector<int> ids;
+  ids.reserve(trees_.size());
+  for (const auto& tree : trees_) ids.push_back(tree->id());
+  for (const int id : ids) rebuildTree(id);
+}
+
+void Controller::rebuildTree(int treeId) {
+  const auto it = findTree(trees_, treeId);
+  if (it == trees_.end()) return;
+  rebuildTreeAt(treeId, (*it)->root());
+}
+
+void Controller::rebuildTreeAt(int treeId, net::NodeId root) {
+  const auto it = findTree(trees_, treeId);
+  assert(it != trees_.end());
+  SpanningTree& old = **it;
+
+  // Detach all paths; routes are re-derived from the registered
+  // advertisements and subscriptions (not replayed from the registry), so
+  // paths that were dropped while endpoints were unreachable heal here.
+  const std::vector<PathId> pathIds = registry_.pathsOfTree(treeId);
+  const std::vector<net::NodeId> affected = registry_.switchesOf(pathIds);
+  for (const PathId id : pathIds) registry_.remove(id);
+
+  dz::DzSet dzSet = old.dzSet();
+  std::map<PublisherId, dz::DzSet> publishers = old.publishers();
+  trees_.erase(it);
+
+  trees_.push_back(std::make_unique<SpanningTree>(
+      nextTreeId_++, std::move(dzSet), root, network_.topology(),
+      activeInternalLinks()));
+  SpanningTree& fresh = *trees_.back();
+  for (const auto& [pub, overlap] : publishers) {
+    if (!advertisements_.contains(pub)) continue;
+    fresh.addPublisher(pub, overlap);
+    addFlowMultSub(pub, overlap, fresh);
+  }
+  for (const net::NodeId sw : affected) {
+    installer_.reconcileSwitch(sw, registry_.requiredFlows(sw));
+  }
+}
+
+dz::DzSet Controller::coarsen(dz::DzSet dzSet, const SpanningTree* exclude) const {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const dz::DzExpression& member : dzSet) {
+      if (member.length() == 0) continue;
+      const dz::DzExpression parent = member.parent();
+      bool clash = false;
+      for (const auto& tree : trees_) {
+        if (tree.get() == exclude) continue;
+        if (tree->dzSet().overlaps(parent)) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        dzSet.insert(parent);  // canonicalisation drops the covered children
+        changed = true;
+        break;
+      }
+    }
+  }
+  return dzSet;
+}
+
+// ---- event stamping -----------------------------------------------------
+
+dz::DzExpression Controller::stampEvent(const dz::Event& event) const {
+  return space_.eventToDz(event, effectiveMaxDzLength());
+}
+
+net::Packet Controller::makeEventPacket(net::NodeId publisherHost,
+                                        const dz::Event& event,
+                                        net::EventId eventId) const {
+  net::Packet pkt;
+  pkt.eventDz = stampEvent(event);
+  pkt.dst = dz::dzToAddress(pkt.eventDz);
+  pkt.src = net::hostAddress(publisherHost);
+  pkt.publisherHost = publisherHost;
+  pkt.event = event;
+  pkt.eventId = eventId;
+  // "The size of each packet is up to 64 bytes depending upon the length of
+  // dz" (Sec 6.2): IPv6 header dominates, dz bits ride in the address.
+  pkt.sizeBytes = 48 + pkt.eventDz.length() / 8;
+  return pkt;
+}
+
+// ---- re-indexing (Sec 5) --------------------------------------------------
+
+void Controller::reindex(const std::vector<int>& dims) {
+  space_.setIndexedDimensions(dims);
+
+  // Regenerate DZ for every rectangle-based registration; raw-DZ
+  // registrations (virtual hosts relay already-encoded DZ) keep theirs.
+  for (auto& [id, adv] : advertisements_) {
+    if (adv.rect) adv.dzSet = decompose(*adv.rect);
+  }
+  subscriptionIndex_.clear();
+  for (auto& [id, sub] : subscriptions_) {
+    if (sub.rect) sub.dzSet = decompose(*sub.rect);
+    for (const dz::DzExpression& d : sub.dzSet) subscriptionIndex_.insert(d, id);
+  }
+
+  // Tear down all trees and flows, then replay advertisements in id order;
+  // subscriptions re-attach inside addFlowMultSub.
+  const std::vector<net::NodeId> switches = registry_.allSwitches();
+  registry_.clear();
+  trees_.clear();
+  for (const net::NodeId sw : switches) installer_.reconcileSwitch(sw, {});
+  for (const auto& [id, adv] : advertisements_) runAdvertise(id);
+  mergeTreesIfNeeded();
+}
+
+// ---- misc ----------------------------------------------------------------
+
+std::vector<const SpanningTree*> Controller::trees() const {
+  std::vector<const SpanningTree*> out;
+  out.reserve(trees_.size());
+  for (const auto& t : trees_) out.push_back(t.get());
+  return out;
+}
+
+std::size_t Controller::advertisementCount() const noexcept {
+  return advertisements_.size();
+}
+
+std::size_t Controller::subscriptionCount() const noexcept {
+  return subscriptions_.size();
+}
+
+dz::DzSet Controller::subscriptionUnion() const {
+  dz::DzSet out;
+  for (const auto& [id, sub] : subscriptions_) out.unionWith(sub.dzSet);
+  return out;
+}
+
+OpStats Controller::beginOp() {
+  OpStats snapshot;
+  const auto& s = channel_.stats();
+  snapshot.flowAdds = s.flowAdds;
+  snapshot.flowModifies = s.flowModifies;
+  snapshot.flowDeletes = s.flowDeletes;
+  snapshot.modeledInstallTime = channel_.modeledInstallTime();
+  lastOp_ = OpStats{};
+  return snapshot;
+}
+
+void Controller::endOp(OpStats& snapshot) {
+  const auto& s = channel_.stats();
+  lastOp_.flowAdds = s.flowAdds - snapshot.flowAdds;
+  lastOp_.flowModifies = s.flowModifies - snapshot.flowModifies;
+  lastOp_.flowDeletes = s.flowDeletes - snapshot.flowDeletes;
+  lastOp_.modeledInstallTime =
+      channel_.modeledInstallTime() - snapshot.modeledInstallTime;
+}
+
+}  // namespace pleroma::ctrl

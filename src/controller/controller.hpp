@@ -1,0 +1,211 @@
+// The PLEROMA controller of one network partition (Sec 2-3, Algorithm 1).
+// It reacts to (un)advertisements and (un)subscriptions by maintaining the
+// set of disjoint-DZ spanning trees, embedding per-(publisher, subscriber)
+// routes in them, and keeping the switches' TCAM flow tables consistent.
+// Requests are processed strictly sequentially (Sec 2), so no internal
+// synchronisation is needed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "controller/flow_installer.hpp"
+#include "controller/path_registry.hpp"
+#include "dz/dz_trie.hpp"
+#include "controller/tree.hpp"
+#include "controller/types.hpp"
+#include "dz/event_space.hpp"
+#include "net/network.hpp"
+#include "openflow/control_channel.hpp"
+
+namespace pleroma::ctrl {
+
+struct ControllerConfig {
+  /// L_dz: longest dz installable in flows / stamped on events. Bounded by
+  /// the IP-multicast embedding (Sec 5, Sec 6.4).
+  int maxDzLength = 24;
+  /// Decomposition budget: max dz per advertisement/subscription request.
+  std::size_t maxCellsPerRequest = 8;
+  /// Tree-merge threshold: merging starts once |T| exceeds this (Sec 3.2).
+  std::size_t maxTrees = 64;
+  /// During merges, opportunistically shorten the merged DZ members as long
+  /// as disjointness from other trees holds (the paper's coarsening).
+  bool coarsenOnMerge = true;
+  /// Modelled switch-side latency of one flow-mod (reconfiguration delay).
+  net::SimTime flowModLatency = net::kMillisecond;
+};
+
+/// The slice of the physical topology one controller manages: its switches
+/// and the switch-switch links internal to the partition (from LLDP
+/// discovery, Sec 4.1). Host access links are implicit.
+struct Scope {
+  std::vector<net::NodeId> switches;
+  std::vector<net::LinkId> internalLinks;
+
+  /// Single-partition deployment: every switch and switch-switch link.
+  static Scope wholeTopology(const net::Topology& topology);
+};
+
+class Controller {
+ public:
+  Controller(dz::EventSpace space, net::Network& network, Scope scope,
+             ControllerConfig config = {});
+
+  // ---- publish/subscribe registration --------------------------------
+
+  /// Advertisement from a real host, given the exact rectangle semantics;
+  /// the controller decomposes it into DZ(p) (Sec 2).
+  PublisherId advertise(net::NodeId host, const dz::Rectangle& rect);
+
+  /// Advertisement at an arbitrary endpoint (virtual hosts of Sec 4.2) with
+  /// a pre-decomposed DZ.
+  PublisherId advertiseEndpoint(const Endpoint& endpoint, const dz::DzSet& dzSet,
+                                std::optional<dz::Rectangle> rect = std::nullopt);
+
+  void unadvertise(PublisherId id);
+
+  SubscriptionId subscribe(net::NodeId host, const dz::Rectangle& rect);
+  SubscriptionId subscribeEndpoint(const Endpoint& endpoint, const dz::DzSet& dzSet,
+                                   std::optional<dz::Rectangle> rect = std::nullopt);
+  void unsubscribe(SubscriptionId id);
+
+  // ---- event stamping -------------------------------------------------
+
+  /// The dz a publisher stamps on an event: maximal length under the
+  /// current indexing, truncated at L_dz (Sec 2, Sec 6.4).
+  dz::DzExpression stampEvent(const dz::Event& event) const;
+
+  /// A ready-to-send publication packet from `publisherHost`.
+  net::Packet makeEventPacket(net::NodeId publisherHost, const dz::Event& event,
+                              net::EventId eventId = 0) const;
+
+  /// The endpoint describing a real host's attachment.
+  Endpoint endpointForHost(net::NodeId host) const;
+
+  // ---- load adaptation (Sec 8 future work) ------------------------------
+
+  /// Rebuilds tree `treeId` as a shortest-path tree rooted at `newRoot`
+  /// (must be a switch of this partition) and re-embeds all its paths.
+  /// Used by the overload-reaction extension to move traffic off hot
+  /// links. Returns false when the tree or root is unknown.
+  bool rerootTree(int treeId, net::NodeId newRoot);
+
+  // ---- failure handling --------------------------------------------------
+
+  /// Reacts to a data-plane link failure: every tree whose edges use the
+  /// link is rebuilt over the remaining internal links and its routes are
+  /// re-derived from the registered advertisements and subscriptions.
+  /// Endpoints left unreachable lose their paths for the duration of the
+  /// outage; onLinkUp() re-derives them.
+  void onLinkDown(net::LinkId link);
+
+  /// Reacts to a link repair: the link becomes usable again and every tree
+  /// is rebuilt so previously degraded (or dropped) routes return to
+  /// shortest paths.
+  void onLinkUp(net::LinkId link);
+
+  /// Internal links currently usable (scope minus failed links).
+  std::vector<net::LinkId> activeInternalLinks() const;
+  const std::vector<net::LinkId>& failedLinks() const noexcept { return downLinks_; }
+
+  // ---- dimension selection (Sec 5) ------------------------------------
+
+  /// Re-indexes the event space on the given dimensions: regenerates DZ for
+  /// all rectangle-registered advertisements and subscriptions, tears down
+  /// and reinstalls trees and flows, after which newly stamped events use
+  /// the new indexing.
+  void reindex(const std::vector<int>& dims);
+
+  // ---- introspection ---------------------------------------------------
+
+  const dz::EventSpace& space() const noexcept { return space_; }
+  const Scope& scope() const noexcept { return scope_; }
+  const ControllerConfig& config() const noexcept { return config_; }
+  int effectiveMaxDzLength() const noexcept;
+
+  std::size_t treeCount() const noexcept { return trees_.size(); }
+  std::vector<const SpanningTree*> trees() const;
+  const PathRegistry& registry() const noexcept { return registry_; }
+  const openflow::ControlPlaneStats& controlStats() const {
+    return channel_.stats();
+  }
+  /// Flow-mod counts and modelled install latency of the last registration
+  /// operation (Fig 7f input).
+  const OpStats& lastOpStats() const noexcept { return lastOp_; }
+
+  std::size_t advertisementCount() const noexcept;
+  std::size_t subscriptionCount() const noexcept;
+  const dz::DzSet& subscriptionDz(SubscriptionId id) const {
+    return subscriptions_.at(id).dzSet;
+  }
+  const dz::DzSet& advertisementDz(PublisherId id) const {
+    return advertisements_.at(id).dzSet;
+  }
+  const Endpoint& subscriberEndpoint(SubscriptionId id) const {
+    return subscriptions_.at(id).endpoint;
+  }
+  /// Union of all active subscriptions' DZ (interop uses it to forward
+  /// pre-existing interest towards newly arrived external advertisements).
+  dz::DzSet subscriptionUnion() const;
+
+  net::Network& network() noexcept { return network_; }
+  /// The control channel to this partition's switches (e.g. to enable
+  /// asynchronous flow installation).
+  openflow::ControlChannel& channel() noexcept { return channel_; }
+
+ private:
+  struct AdvRecord {
+    Endpoint endpoint;
+    dz::DzSet dzSet;
+    std::optional<dz::Rectangle> rect;
+  };
+  struct SubRecord {
+    Endpoint endpoint;
+    dz::DzSet dzSet;
+    std::optional<dz::Rectangle> rect;
+  };
+
+  dz::DzSet decompose(const dz::Rectangle& rect) const;
+  void runAdvertise(PublisherId id);
+  void runSubscribe(SubscriptionId id);
+  /// Algorithm 1's addFlowMultSub: connects publisher `p` to every
+  /// subscription overlapping `dzSet` on tree `t`.
+  void addFlowMultSub(PublisherId p, const dz::DzSet& dzSet, SpanningTree& t);
+  void installPathRecord(PublisherId p, SubscriptionId s, SpanningTree& t,
+                         const dz::DzSet& overlap);
+  void removePaths(const std::vector<PathId>& ids);
+  void mergeTreesIfNeeded();
+  void mergeTreePair(std::size_t idxA, std::size_t idxB);
+  /// Rebuilds a tree in place (same root, DZ and publishers) over the
+  /// currently active links, re-deriving its routes from the registered
+  /// subscriptions. Heals paths dropped during outages.
+  void rebuildTree(int treeId);
+  void rebuildTreeAt(int treeId, net::NodeId root);
+  dz::DzSet coarsen(dz::DzSet dzSet, const SpanningTree* exclude) const;
+  OpStats beginOp();
+  void endOp(OpStats& snapshot);
+
+  dz::EventSpace space_;
+  net::Network& network_;
+  Scope scope_;
+  ControllerConfig config_;
+  openflow::ControlChannel channel_;
+  FlowInstaller installer_;
+  PathRegistry registry_;
+
+  std::vector<std::unique_ptr<SpanningTree>> trees_;
+  std::vector<net::LinkId> downLinks_;
+  int nextTreeId_ = 0;
+  std::map<PublisherId, AdvRecord> advertisements_;
+  std::map<SubscriptionId, SubRecord> subscriptions_;
+  /// Spatial index over subscription dz members, so addFlowMultSub touches
+  /// only subscriptions overlapping the advertised subspaces.
+  dz::DzTrie<SubscriptionId> subscriptionIndex_;
+  PublisherId nextPublisher_ = 0;
+  SubscriptionId nextSubscription_ = 0;
+  OpStats lastOp_;
+};
+
+}  // namespace pleroma::ctrl

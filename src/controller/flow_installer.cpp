@@ -1,0 +1,174 @@
+#include "controller/flow_installer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace pleroma::ctrl {
+
+namespace {
+
+/// Action-subset half of the flow containment relation (Sec 3.3.2): every
+/// action of fl2 appears in fl1 (same port and, for terminal actions, the
+/// same rewrite).
+bool actionsSubset(const net::FlowEntry& fl2, const net::FlowEntry& fl1) {
+  return std::all_of(fl2.actions.begin(), fl2.actions.end(),
+                     [&](const net::FlowAction& a2) {
+                       return std::any_of(fl1.actions.begin(), fl1.actions.end(),
+                                          [&](const net::FlowAction& a1) {
+                                            return a1 == a2;
+                                          });
+                     });
+}
+
+void mergeActions(net::FlowEntry& into, const net::FlowEntry& from) {
+  for (const net::FlowAction& a : from.actions) {
+    into.addOutPort(a.port, a.setDestination);
+  }
+}
+
+}  // namespace
+
+const std::map<dz::DzExpression, net::FlowEntry>& FlowInstaller::mirror(
+    net::NodeId sw) const {
+  static const SwitchMirror kEmpty;
+  const auto it = mirrors_.find(sw);
+  return it == mirrors_.end() ? kEmpty : it->second;
+}
+
+void FlowInstaller::apply(openflow::FlowModType type, net::NodeId sw,
+                          const dz::DzExpression& d, const net::FlowEntry& entry) {
+  SwitchMirror& m = mirrors_[sw];
+  switch (type) {
+    case openflow::FlowModType::kAdd:
+    case openflow::FlowModType::kModify:
+      m[d] = entry;
+      break;
+    case openflow::FlowModType::kDelete:
+      m.erase(d);
+      break;
+  }
+  channel_.send({type, sw, entry});
+}
+
+void FlowInstaller::installPath(const dz::DzSet& dzSet,
+                                const std::vector<RouteHop>& hops) {
+  for (const dz::DzExpression& d : dzSet) {
+    for (const RouteHop& hop : hops) installOne(d, hop);
+  }
+}
+
+void FlowInstaller::installOne(const dz::DzExpression& d, const RouteHop& hop) {
+  net::FlowEntry fln;
+  fln.match = dz::dzToPrefix(d);
+  fln.priority = d.length();
+  fln.actions.push_back(net::FlowAction{hop.outPort, hop.rewrite});
+
+  SwitchMirror& m = mirrors_[hop.switchNode];
+
+  // Exact-dz flow already present: extend its instruction set in place.
+  // The new actions must also propagate to every finer flow this one
+  // covers (case 5): those flows shadow it in the TCAM, so without the
+  // propagation events in their subspace would miss the new destination.
+  if (const auto exact = m.find(d); exact != m.end()) {
+    if (actionsSubset(fln, exact->second)) return;  // case 2, identical dz
+    net::FlowEntry updated = exact->second;
+    mergeActions(updated, fln);
+    apply(openflow::FlowModType::kModify, hop.switchNode, d, updated);
+    // The extended action set must propagate to the finer flows this one
+    // covers — they shadow it in the TCAM. Finer flows that the extended
+    // flow now subsumes are deleted (case 3); the rest gain the new
+    // actions (case 5).
+    std::vector<dz::DzExpression> toDelete;
+    std::vector<std::pair<dz::DzExpression, net::FlowEntry>> toModify;
+    for (auto it = m.upper_bound(d); it != m.end() && d.covers(it->first); ++it) {
+      if (actionsSubset(it->second, updated)) {
+        toDelete.push_back(it->first);
+      } else if (!actionsSubset(fln, it->second)) {
+        net::FlowEntry merged = it->second;
+        mergeActions(merged, fln);
+        toModify.emplace_back(it->first, std::move(merged));
+      }
+    }
+    for (const dz::DzExpression& key : toDelete) {
+      apply(openflow::FlowModType::kDelete, hop.switchNode, key, m.at(key));
+    }
+    for (auto& [key, entry] : toModify) {
+      apply(openflow::FlowModType::kModify, hop.switchNode, key, entry);
+    }
+    return;
+  }
+
+  // Coarser flows: walk the proper prefixes of d present in the mirror.
+  std::vector<const net::FlowEntry*> coarser;
+  for (int len = 0; len < d.length(); ++len) {
+    const auto it = m.find(d.prefix(len));
+    if (it != m.end()) coarser.push_back(&it->second);
+  }
+  // Case 2: some coarser flow fully covers the new one — nothing to do.
+  for (const net::FlowEntry* fle : coarser) {
+    if (actionsSubset(fln, *fle)) return;
+  }
+  // Case 4: coarser flows exist with other ports — the new (finer,
+  // higher-priority) flow must forward to their ports too, because only the
+  // first match is applied.
+  for (const net::FlowEntry* fle : coarser) mergeActions(fln, *fle);
+
+  // Finer flows: the contiguous trie range covered by d.
+  std::vector<dz::DzExpression> toDelete;
+  std::vector<std::pair<dz::DzExpression, net::FlowEntry>> toModify;
+  for (auto it = m.upper_bound(d); it != m.end() && d.covers(it->first); ++it) {
+    if (actionsSubset(it->second, fln)) {
+      // Case 3: the new flow subsumes this finer flow — delete it.
+      toDelete.push_back(it->first);
+    } else {
+      // Case 5: the finer flow shadows the new one for its subspace, so it
+      // must additionally forward to the new flow's ports.
+      net::FlowEntry updated = it->second;
+      mergeActions(updated, fln);
+      toModify.emplace_back(it->first, std::move(updated));
+    }
+  }
+  for (const dz::DzExpression& key : toDelete) {
+    apply(openflow::FlowModType::kDelete, hop.switchNode, key, m.at(key));
+  }
+  for (auto& [key, updated] : toModify) {
+    apply(openflow::FlowModType::kModify, hop.switchNode, key, updated);
+  }
+  // Case 1 (or the add concluding cases 3-5).
+  apply(openflow::FlowModType::kAdd, hop.switchNode, d, fln);
+}
+
+void FlowInstaller::reconcileSwitch(net::NodeId sw,
+                                    const std::vector<net::FlowEntry>& required) {
+  SwitchMirror& m = mirrors_[sw];
+
+  std::map<dz::DzExpression, const net::FlowEntry*> wanted;
+  for (const net::FlowEntry& e : required) {
+    const auto d = dz::prefixToDz(e.match);
+    assert(d.has_value());
+    wanted.emplace(*d, &e);
+  }
+
+  std::vector<dz::DzExpression> toDelete;
+  std::vector<std::pair<dz::DzExpression, const net::FlowEntry*>> toModify;
+  for (const auto& [d, entry] : m) {
+    const auto it = wanted.find(d);
+    if (it == wanted.end()) {
+      toDelete.push_back(d);
+    } else if (*it->second != entry) {
+      toModify.emplace_back(d, it->second);
+    }
+  }
+  for (const dz::DzExpression& d : toDelete) {
+    apply(openflow::FlowModType::kDelete, sw, d, m.at(d));
+  }
+  for (const auto& [d, entry] : toModify) {
+    apply(openflow::FlowModType::kModify, sw, d, *entry);
+  }
+  for (const auto& [d, entry] : wanted) {
+    if (!m.contains(d)) apply(openflow::FlowModType::kAdd, sw, d, *entry);
+  }
+}
+
+}  // namespace pleroma::ctrl

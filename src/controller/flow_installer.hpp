@@ -1,0 +1,56 @@
+// Flow-table maintenance (Sec 3.3.2, Algorithm 1 lines 31-51). The
+// incremental `installPath` applies the paper's five cover/partial-cover
+// cases as flows are added for a new (publisher, subscriber) route; the
+// `reconcileSwitch` pass diffs a switch against its required flow set and
+// is used for removals — producing exactly the delete/downgrade behaviour
+// of Sec 3.3.3 — as well as for tree merges and re-indexing.
+//
+// Priorities: a flow's priority is its dz length. Longer-dz flows thereby
+// always rank above any covering (shorter-dz) flow, which is the invariant
+// Algorithm 1's increasePriority() calls establish.
+//
+// The installer keeps a per-switch *mirror* of installed flows, keyed by dz
+// in trie order. Covering flows are found by walking the dz's prefixes;
+// covered flows are a contiguous range after the dz — so the five cases
+// cost O(log n + answers) instead of a full TCAM scan per install.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/tree.hpp"
+#include "openflow/control_channel.hpp"
+
+namespace pleroma::ctrl {
+
+class FlowInstaller {
+ public:
+  explicit FlowInstaller(openflow::ControlChannel& channel) : channel_(channel) {}
+
+  /// Installs flows for forwarding the subspaces of `dzSet` along `hops`
+  /// (Algorithm 1's flowAddition, one invocation per dz per hop).
+  void installPath(const dz::DzSet& dzSet, const std::vector<RouteHop>& hops);
+
+  /// Brings a switch's flow table to exactly `required` (match-keyed diff:
+  /// missing entries are added, differing ones modified, surplus deleted).
+  /// Entries must stem from dz encodings (priority = dz length).
+  void reconcileSwitch(net::NodeId sw, const std::vector<net::FlowEntry>& required);
+
+  /// The controller-side view of a switch's flows, keyed by dz.
+  const std::map<dz::DzExpression, net::FlowEntry>& mirror(net::NodeId sw) const;
+
+  openflow::ControlChannel& channel() noexcept { return channel_; }
+
+ private:
+  using SwitchMirror = std::map<dz::DzExpression, net::FlowEntry>;
+
+  void installOne(const dz::DzExpression& d, const RouteHop& hop);
+  void apply(openflow::FlowModType type, net::NodeId sw, const dz::DzExpression& d,
+             const net::FlowEntry& entry);
+
+  openflow::ControlChannel& channel_;
+  std::unordered_map<net::NodeId, SwitchMirror> mirrors_;
+};
+
+}  // namespace pleroma::ctrl

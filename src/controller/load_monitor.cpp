@@ -1,0 +1,104 @@
+#include "controller/load_monitor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pleroma::ctrl {
+
+LoadMonitor::LoadMonitor(Controller& controller, LoadMonitorConfig config)
+    : controller_(controller), config_(config) {
+  auto& net = controller_.network();
+  previousPackets_.assign(static_cast<std::size_t>(net.topology().linkCount()), 0);
+  for (net::LinkId l = 0; l < net.topology().linkCount(); ++l) {
+    previousPackets_[static_cast<std::size_t>(l)] = net.linkCounters(l).packets;
+  }
+  previousTime_ = net.simulator().now();
+}
+
+LoadReport LoadMonitor::sample() {
+  auto& net = controller_.network();
+  const net::Topology& topo = net.topology();
+
+  LoadReport report;
+  report.windowStart = previousTime_;
+  report.windowEnd = net.simulator().now();
+
+  std::uint64_t total = 0;
+  for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const net::Link& link = topo.link(l);
+    const std::uint64_t now = net.linkCounters(l).packets;
+    const std::uint64_t delta = now - previousPackets_[static_cast<std::size_t>(l)];
+    previousPackets_[static_cast<std::size_t>(l)] = now;
+    if (!topo.isSwitch(link.a.node) || !topo.isSwitch(link.b.node)) continue;
+    if (delta == 0) continue;
+    report.links.push_back(LinkLoad{l, delta});
+    total += delta;
+  }
+  previousTime_ = report.windowEnd;
+
+  std::sort(report.links.begin(), report.links.end(),
+            [](const LinkLoad& a, const LinkLoad& b) {
+              return a.packetsInWindow > b.packetsInWindow;
+            });
+  if (!report.links.empty()) {
+    report.meanPackets =
+        static_cast<double>(total) / static_cast<double>(report.links.size());
+    report.overloaded =
+        static_cast<double>(report.links.front().packetsInWindow) >
+        config_.hotLinkThreshold * report.meanPackets;
+  }
+  last_ = report;
+  return report;
+}
+
+int LoadMonitor::busiestTreeOn(net::LinkId link) const {
+  const net::Topology& topo = controller_.network().topology();
+  int best = -1;
+  std::size_t bestCount = 0;
+  for (const SpanningTree* tree : controller_.trees()) {
+    std::size_t count = 0;
+    for (const PathId id : controller_.registry().pathsOfTree(tree->id())) {
+      const InstalledPath& path = controller_.registry().at(id);
+      for (const RouteHop& hop : path.hops) {
+        if (topo.linkAt(hop.switchNode, hop.outPort) == link) {
+          ++count;
+          break;
+        }
+      }
+    }
+    if (count > bestCount) {
+      bestCount = count;
+      best = tree->id();
+    }
+  }
+  return best;
+}
+
+net::NodeId LoadMonitor::coldestSwitch() const {
+  const auto& net = controller_.network();
+  const net::Topology& topo = net.topology();
+  net::NodeId coldest = net::kInvalidNode;
+  std::uint64_t coldestLoad = std::numeric_limits<std::uint64_t>::max();
+  for (const net::NodeId sw : controller_.scope().switches) {
+    std::uint64_t load = 0;
+    for (const auto& [port, lid] : topo.portsOf(sw)) {
+      load += net.linkCounters(lid).packets;
+    }
+    if (load < coldestLoad) {
+      coldestLoad = load;
+      coldest = sw;
+    }
+  }
+  return coldest;
+}
+
+bool LoadMonitor::rebalanceOnce() {
+  if (!last_.overloaded || last_.links.empty()) return false;
+  const int treeId = busiestTreeOn(last_.links.front().link);
+  if (treeId < 0) return false;
+  const net::NodeId newRoot = coldestSwitch();
+  if (newRoot == net::kInvalidNode) return false;
+  return controller_.rerootTree(treeId, newRoot);
+}
+
+}  // namespace pleroma::ctrl

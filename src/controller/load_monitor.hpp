@@ -1,0 +1,69 @@
+// Overload detection and reaction — the extension sketched in the paper's
+// conclusion (Sec 8: "new mechanisms need to be introduced in order to
+// detect and react to overload situations in the presence of a dynamic
+// workload").
+//
+// The monitor periodically samples the data plane's per-link packet
+// counters and computes per-link rates over the sampling window. When the
+// hottest switch-switch link exceeds `hotLinkThreshold` times the mean
+// rate, the monitor reacts by re-rooting the spanning tree that embeds the
+// most paths across that link: the rebuilt shortest-path tree is rooted at
+// the coldest switch, steering its traffic onto less-utilised links (this
+// exploits PLEROMA's multiple independently configurable trees, Sec 3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "controller/controller.hpp"
+
+namespace pleroma::ctrl {
+
+struct LoadMonitorConfig {
+  /// A link is "hot" when its rate exceeds threshold * mean rate of used
+  /// switch-switch links.
+  double hotLinkThreshold = 2.0;
+};
+
+struct LinkLoad {
+  net::LinkId link = net::kInvalidLink;
+  std::uint64_t packetsInWindow = 0;
+};
+
+struct LoadReport {
+  net::SimTime windowStart = 0;
+  net::SimTime windowEnd = 0;
+  std::vector<LinkLoad> links;   ///< switch-switch links with traffic, hottest first
+  double meanPackets = 0.0;
+  bool overloaded = false;       ///< hottest link exceeded the threshold
+};
+
+class LoadMonitor {
+ public:
+  LoadMonitor(Controller& controller, LoadMonitorConfig config = {});
+
+  /// Samples the link counters, returning the load of the window since the
+  /// previous sample.
+  LoadReport sample();
+
+  /// If the last report flagged an overload, re-roots the tree with the
+  /// most paths across the hottest link at the coldest reachable switch.
+  /// Returns whether a tree was re-rooted.
+  bool rebalanceOnce();
+
+  const LoadReport& lastReport() const noexcept { return last_; }
+
+ private:
+  /// The tree embedding the most registered paths over `link`, or -1.
+  int busiestTreeOn(net::LinkId link) const;
+  /// The switch whose adjacent links carried the least traffic.
+  net::NodeId coldestSwitch() const;
+
+  Controller& controller_;
+  LoadMonitorConfig config_;
+  std::vector<std::uint64_t> previousPackets_;
+  net::SimTime previousTime_ = 0;
+  LoadReport last_;
+};
+
+}  // namespace pleroma::ctrl

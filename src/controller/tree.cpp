@@ -1,0 +1,134 @@
+#include "controller/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace pleroma::ctrl {
+
+SpanningTree::SpanningTree(int id, dz::DzSet dzSet, net::NodeId root,
+                           const net::Topology& topology,
+                           const std::vector<net::LinkId>& allowedLinks)
+    : id_(id), dzSet_(std::move(dzSet)), root_(root) {
+  assert(topology.isSwitch(root));
+  const auto n = static_cast<std::size_t>(topology.nodeCount());
+  parentNode_.assign(n, net::kInvalidNode);
+  parentLink_.assign(n, net::kInvalidLink);
+
+  std::unordered_set<net::LinkId> allowed(allowedLinks.begin(), allowedLinks.end());
+
+  // Dijkstra over switches restricted to the partition's internal links.
+  std::vector<net::SimTime> dist(n, std::numeric_limits<net::SimTime>::max());
+  using Item = std::pair<net::SimTime, net::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(root)] = 0;
+  heap.emplace(0, root);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& [port, lid] : topology.portsOf(u)) {
+      if (!allowed.contains(lid)) continue;
+      const net::Link& l = topology.link(lid);
+      const net::NodeId v = l.peerOf(u).node;
+      if (!topology.isSwitch(v)) continue;
+      const net::SimTime nd = d + l.latency;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        parentNode_[static_cast<std::size_t>(v)] = u;
+        parentLink_[static_cast<std::size_t>(v)] = lid;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  // Mark reachability of the root itself (parent invalid but distinct from
+  // unreachable) via dist; store it implicitly: reaches() checks dist via
+  // parent arrays, so record root reachability in reachable_ bitmapless way:
+  // root has parentNode == kInvalidNode like unreachable nodes, so keep a
+  // separate note by pointing the root's parentNode at itself.
+  parentNode_[static_cast<std::size_t>(root)] = root;
+}
+
+void SpanningTree::addPublisher(PublisherId p, const dz::DzSet& overlap) {
+  publishers_[p].unionWith(overlap);
+}
+
+bool SpanningTree::reaches(net::NodeId switchNode) const noexcept {
+  return parentNode_[static_cast<std::size_t>(switchNode)] != net::kInvalidNode;
+}
+
+std::vector<net::NodeId> SpanningTree::pathBetween(net::NodeId from,
+                                                   net::NodeId to) const {
+  assert(reaches(from) && reaches(to));
+  if (from == to) return {from};
+
+  // Walk both nodes to the root, then splice at the lowest common ancestor.
+  auto chainToRoot = [&](net::NodeId start) {
+    std::vector<net::NodeId> chain{start};
+    net::NodeId cur = start;
+    while (cur != root_) {
+      cur = parentNode_[static_cast<std::size_t>(cur)];
+      chain.push_back(cur);
+    }
+    return chain;
+  };
+  const std::vector<net::NodeId> upFrom = chainToRoot(from);
+  const std::vector<net::NodeId> upTo = chainToRoot(to);
+
+  // Find the LCA: deepest node present in both chains.
+  std::unordered_set<net::NodeId> onFromChain(upFrom.begin(), upFrom.end());
+  std::size_t lcaIdxInTo = 0;
+  while (!onFromChain.contains(upTo[lcaIdxInTo])) ++lcaIdxInTo;
+  const net::NodeId lca = upTo[lcaIdxInTo];
+
+  std::vector<net::NodeId> path;
+  for (const net::NodeId nid : upFrom) {
+    path.push_back(nid);
+    if (nid == lca) break;
+  }
+  // Descend from the LCA to `to` (reverse of upTo's prefix).
+  for (std::size_t i = lcaIdxInTo; i-- > 0;) path.push_back(upTo[i]);
+  return path;
+}
+
+std::vector<RouteHop> SpanningTree::route(const Endpoint& publisher,
+                                          const Endpoint& subscriber,
+                                          const net::Topology& topology) const {
+  if (!reaches(publisher.attachSwitch) || !reaches(subscriber.attachSwitch)) {
+    return {};
+  }
+  std::vector<RouteHop> hops;
+  const std::vector<net::NodeId> nodes =
+      pathBetween(publisher.attachSwitch, subscriber.attachSwitch);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    // Out-port of nodes[i] toward nodes[i+1]: the tree edge between them is
+    // one of the two parent links (whichever of the pair is the child).
+    const net::NodeId a = nodes[i];
+    const net::NodeId b = nodes[i + 1];
+    const net::LinkId lid =
+        parentNode_[static_cast<std::size_t>(a)] == b
+            ? parentLink_[static_cast<std::size_t>(a)]
+            : parentLink_[static_cast<std::size_t>(b)];
+    assert(lid != net::kInvalidLink);
+    hops.push_back(RouteHop{a, topology.link(lid).endOf(a).port, std::nullopt});
+  }
+  // Terminal hop: out of the subscriber's attachment port, rewriting the
+  // destination for real hosts.
+  hops.push_back(
+      RouteHop{subscriber.attachSwitch, subscriber.port, subscriber.rewrite});
+  return hops;
+}
+
+std::vector<net::LinkId> SpanningTree::edges() const {
+  std::vector<net::LinkId> out;
+  for (std::size_t i = 0; i < parentLink_.size(); ++i) {
+    if (parentLink_[i] != net::kInvalidLink) out.push_back(parentLink_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace pleroma::ctrl

@@ -1,0 +1,79 @@
+// Spanning trees (Sec 3.2). Each tree t disseminates the events of the
+// disjoint subspace set DZ(t) and is built as a shortest-path tree rooted at
+// the access switch of the publisher that caused its creation. The tree
+// logically interconnects all switches of the partition; per-(publisher,
+// subscriber) routes are embedded along its edges.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "controller/types.hpp"
+#include "dz/dz_set.hpp"
+#include "net/topology.hpp"
+
+namespace pleroma::ctrl {
+
+/// One step of a route through the switch network: forward matching events
+/// out of `outPort` of `switchNode`; `rewrite` is set on the terminal hop
+/// towards a real subscriber host.
+struct RouteHop {
+  net::NodeId switchNode = net::kInvalidNode;
+  net::PortId outPort = net::kInvalidPort;
+  std::optional<dz::Ipv6Address> rewrite;
+
+  friend bool operator==(const RouteHop&, const RouteHop&) = default;
+};
+
+class SpanningTree {
+ public:
+  /// Builds a shortest-path tree rooted at `root` over the switches of the
+  /// partition, using only `allowedLinks` (switch-switch links internal to
+  /// the partition). Hosts are not part of the tree; routes reach them via
+  /// their access link in the terminal hop.
+  SpanningTree(int id, dz::DzSet dzSet, net::NodeId root,
+               const net::Topology& topology,
+               const std::vector<net::LinkId>& allowedLinks);
+
+  int id() const noexcept { return id_; }
+  net::NodeId root() const noexcept { return root_; }
+
+  const dz::DzSet& dzSet() const noexcept { return dzSet_; }
+  void setDzSet(dz::DzSet dzSet) { dzSet_ = std::move(dzSet); }
+
+  /// Publishers attached to this tree and the part of their advertisement
+  /// this tree carries: DZ^t(p).
+  const std::map<PublisherId, dz::DzSet>& publishers() const noexcept {
+    return publishers_;
+  }
+  void addPublisher(PublisherId p, const dz::DzSet& overlap);
+  void removePublisher(PublisherId p) { publishers_.erase(p); }
+  bool hasPublisher(PublisherId p) const { return publishers_.contains(p); }
+
+  bool reaches(net::NodeId switchNode) const noexcept;
+
+  /// The unique tree path between two switches (inclusive), via their
+  /// lowest common ancestor. Both must be reachable switches of the tree.
+  std::vector<net::NodeId> pathBetween(net::NodeId from, net::NodeId to) const;
+
+  /// The switch-level route from publisher endpoint to subscriber endpoint:
+  /// hops with out-ports along pathBetween(), plus the terminal hop out of
+  /// the subscriber's attachment port (with its rewrite). An empty result
+  /// means the endpoints are not connected on this tree.
+  std::vector<RouteHop> route(const Endpoint& publisher,
+                              const Endpoint& subscriber,
+                              const net::Topology& topology) const;
+
+  /// Edges (links) used by the tree; for load/ablation analysis.
+  std::vector<net::LinkId> edges() const;
+
+ private:
+  int id_;
+  dz::DzSet dzSet_;
+  net::NodeId root_;
+  std::vector<net::NodeId> parentNode_;  // toward root; kInvalidNode at root
+  std::vector<net::LinkId> parentLink_;
+  std::map<PublisherId, dz::DzSet> publishers_;
+};
+
+}  // namespace pleroma::ctrl

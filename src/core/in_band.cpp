@@ -1,0 +1,116 @@
+#include "core/in_band.hpp"
+
+namespace pleroma::core {
+
+InBandSignaling::InBandSignaling(net::Network& network,
+                                 ctrl::Controller& controller,
+                                 net::Network::PacketInHandler packetInFallthrough,
+                                 net::Network::DeliverHandler deliverFallthrough)
+    : network_(network),
+      controller_(controller),
+      fallthrough_(std::move(packetInFallthrough)) {
+  network_.setPacketInHandler(
+      [this](net::NodeId sw, net::PortId port, const net::Packet& pkt) {
+        onPacketIn(sw, port, pkt);
+      });
+  network_.setDeliverHandler(
+      [this, fall = std::move(deliverFallthrough)](net::NodeId host,
+                                                   const net::Packet& pkt) {
+        if (pkt.controlKind == kControlKind) {
+          onAckAtHost(host, pkt);
+        } else if (fall) {
+          fall(host, pkt);
+        }
+      });
+}
+
+std::uint64_t InBandSignaling::sendRequest(Request request) {
+  const std::uint64_t token = nextToken_++;
+  request.token = token;
+
+  net::Packet pkt;
+  pkt.dst = dz::kControlAddress;
+  pkt.src = net::hostAddress(request.host);
+  pkt.publisherHost = request.host;
+  pkt.sizeBytes = 64 + 8 * static_cast<int>(request.rect.ranges.size());
+  pkt.controlKind = kControlKind;
+  pkt.control = std::make_shared<Request>(std::move(request));
+  network_.sendFromHost(pkt.publisherHost, std::move(pkt));
+  return token;
+}
+
+std::uint64_t InBandSignaling::sendAdvertise(net::NodeId host,
+                                             const dz::Rectangle& rect) {
+  return sendRequest(Request{RequestKind::kAdvertise, 0, host, rect, {}});
+}
+
+std::uint64_t InBandSignaling::sendSubscribe(net::NodeId host,
+                                             const dz::Rectangle& rect) {
+  return sendRequest(Request{RequestKind::kSubscribe, 0, host, rect, {}});
+}
+
+std::uint64_t InBandSignaling::sendUnadvertise(net::NodeId host,
+                                               ctrl::PublisherId id) {
+  return sendRequest(Request{RequestKind::kUnadvertise, 0, host, {}, id});
+}
+
+std::uint64_t InBandSignaling::sendUnsubscribe(net::NodeId host,
+                                               ctrl::SubscriptionId id) {
+  return sendRequest(Request{RequestKind::kUnsubscribe, 0, host, {}, id});
+}
+
+void InBandSignaling::onPacketIn(net::NodeId switchNode, net::PortId inPort,
+                                 const net::Packet& packet) {
+  if (packet.controlKind != kControlKind || packet.control == nullptr) {
+    if (fallthrough_) fallthrough_(switchNode, inPort, packet);
+    return;
+  }
+  const auto& request = *static_cast<const Request*>(packet.control.get());
+  ++processed_;
+
+  Ack ack;
+  ack.token = request.token;
+  ack.kind = request.kind;
+  switch (request.kind) {
+    case RequestKind::kAdvertise:
+      ack.assignedId = controller_.advertise(request.host, request.rect);
+      ack.ok = true;
+      break;
+    case RequestKind::kSubscribe:
+      ack.assignedId = controller_.subscribe(request.host, request.rect);
+      ack.ok = true;
+      break;
+    case RequestKind::kUnadvertise:
+      controller_.unadvertise(request.target);
+      ack.ok = true;
+      break;
+    case RequestKind::kUnsubscribe:
+      controller_.unsubscribe(request.target);
+      ack.ok = true;
+      break;
+  }
+
+  // Acknowledge with a packet-out through the port the request arrived on
+  // (the requesting host's access port).
+  net::Packet reply;
+  reply.dst = net::hostAddress(request.host);
+  reply.sizeBytes = 64;
+  reply.controlKind = kControlKind;
+  reply.control = std::make_shared<Ack>(ack);
+  network_.sendOutPort(switchNode, inPort, std::move(reply));
+}
+
+void InBandSignaling::onAckAtHost(net::NodeId host, const net::Packet& packet) {
+  if (packet.control == nullptr) return;
+  const Ack& ack = *static_cast<const Ack*>(packet.control.get());
+  acks_[ack.token] = ack;
+  if (ackCallback_) ackCallback_(host, ack);
+}
+
+std::optional<Ack> InBandSignaling::ackFor(std::uint64_t token) const {
+  const auto it = acks_.find(token);
+  if (it == acks_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace pleroma::core

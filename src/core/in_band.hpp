@@ -1,0 +1,93 @@
+// In-band registration signalling (Sec 2 of the paper): hosts are not part
+// of the SDN control network, so a publisher/subscriber sends its
+// advertisement/subscription in a packet addressed to the reserved IP_mid.
+// No switch installs flows for IP_mid, so the first switch punts the packet
+// to the controller over the control network; the controller processes the
+// request and acknowledges with a packet-out to the requesting host.
+//
+// The facade's direct API (core::Pleroma::subscribe etc.) bypasses this
+// wire path for convenience; InBandSignaling provides the faithful
+// packet-based path on top of any Network + Controller pair. Registrations
+// are asynchronous: the caller receives a request token immediately and the
+// handle once the acknowledgement packet arrives back at the host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "controller/controller.hpp"
+#include "net/network.hpp"
+
+namespace pleroma::core {
+
+/// Kinds of in-band requests (carried inside an IP_mid packet).
+enum class RequestKind { kAdvertise, kSubscribe, kUnadvertise, kUnsubscribe };
+
+/// Outcome of one request, delivered with the acknowledgement.
+struct Ack {
+  std::uint64_t token = 0;
+  RequestKind kind = RequestKind::kAdvertise;
+  bool ok = false;
+  /// Publisher or subscription id assigned by the controller (for
+  /// kAdvertise / kSubscribe).
+  std::int64_t assignedId = -1;
+};
+
+class InBandSignaling {
+ public:
+  /// `controlKind` tags this protocol's packets so several packet-in
+  /// consumers can coexist on one network (interop uses kind 1).
+  static constexpr int kControlKind = 2;
+
+  using AckCallback = std::function<void(net::NodeId host, const Ack&)>;
+
+  /// Installs itself as the network's packet-in AND delivery handler,
+  /// chained in front of the given fallthroughs: `packetInFallthrough`
+  /// receives non-registration punts (e.g. interop messages) and
+  /// `deliverFallthrough` receives ordinary event deliveries at hosts.
+  InBandSignaling(net::Network& network, ctrl::Controller& controller,
+                  net::Network::PacketInHandler packetInFallthrough = nullptr,
+                  net::Network::DeliverHandler deliverFallthrough = nullptr);
+
+  /// Called when an acknowledgement reaches the requesting host.
+  void setAckCallback(AckCallback cb) { ackCallback_ = std::move(cb); }
+
+  // --- host side: craft and send request packets -----------------------
+
+  std::uint64_t sendAdvertise(net::NodeId host, const dz::Rectangle& rect);
+  std::uint64_t sendSubscribe(net::NodeId host, const dz::Rectangle& rect);
+  std::uint64_t sendUnadvertise(net::NodeId host, ctrl::PublisherId id);
+  std::uint64_t sendUnsubscribe(net::NodeId host, ctrl::SubscriptionId id);
+
+  /// Acks observed so far, by token (for polling instead of the callback).
+  std::optional<Ack> ackFor(std::uint64_t token) const;
+
+  std::uint64_t requestsProcessed() const noexcept { return processed_; }
+
+ private:
+  struct Request {
+    RequestKind kind;
+    std::uint64_t token;
+    net::NodeId host;
+    dz::Rectangle rect;     // for adv/sub
+    std::int64_t target{};  // for unadv/unsub
+  };
+
+  std::uint64_t sendRequest(Request request);
+  void onPacketIn(net::NodeId switchNode, net::PortId inPort,
+                  const net::Packet& packet);
+  void onAckAtHost(net::NodeId host, const net::Packet& packet);
+
+  net::Network& network_;
+  ctrl::Controller& controller_;
+  net::Network::PacketInHandler fallthrough_;
+  AckCallback ackCallback_;
+  std::map<std::uint64_t, Ack> acks_;
+  std::uint64_t nextToken_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace pleroma::core

@@ -1,0 +1,104 @@
+#include "core/pleroma.hpp"
+
+#include <algorithm>
+
+namespace pleroma::core {
+
+Pleroma::Pleroma(net::Topology topology, PleromaOptions options)
+    : dimensionWindow_(options.dimensionWindow) {
+  network_ = std::make_unique<net::Network>(std::move(topology), sim_,
+                                            options.network);
+  controller_ = std::make_unique<ctrl::Controller>(
+      dz::EventSpace(options.numAttributes, options.bitsPerDim), *network_,
+      ctrl::Scope::wholeTopology(network_->topology()), options.controller);
+  if (options.asyncFlowInstall) controller_->channel().enableAsyncInstall();
+  network_->setDeliverHandler(
+      [this](net::NodeId host, const net::Packet& pkt) { onDeliver(host, pkt); });
+}
+
+ctrl::PublisherId Pleroma::advertise(net::NodeId host, const dz::Rectangle& rect) {
+  return controller_->advertise(host, rect);
+}
+
+void Pleroma::unadvertise(ctrl::PublisherId id) { controller_->unadvertise(id); }
+
+ctrl::SubscriptionId Pleroma::subscribe(net::NodeId host,
+                                        const dz::Rectangle& rect) {
+  const ctrl::SubscriptionId id = controller_->subscribe(host, rect);
+  subs_.emplace(id, std::make_pair(host, rect));
+  subsByHost_[host].push_back(id);
+  return id;
+}
+
+void Pleroma::unsubscribe(ctrl::SubscriptionId id) {
+  controller_->unsubscribe(id);
+  const auto it = subs_.find(id);
+  if (it != subs_.end()) {
+    auto& list = subsByHost_[it->second.first];
+    std::erase(list, id);
+    subs_.erase(it);
+  }
+}
+
+net::EventId Pleroma::publish(net::NodeId host, const dz::Event& event,
+                              net::EventId id) {
+  if (id == 0) id = nextEventId_++;
+  network_->sendFromHost(host, controller_->makeEventPacket(host, event, id));
+  eventWindow_.push_back(event);
+  while (eventWindow_.size() > dimensionWindow_) eventWindow_.pop_front();
+  if (autoDimselEvery_ != 0 && ++publishesSinceDimsel_ >= autoDimselEvery_) {
+    publishesSinceDimsel_ = 0;
+    const std::size_t reindexesBefore = reindexes_;
+    runDimensionSelection(autoDimselThreshold_);
+    if (reindexes_ != reindexesBefore) ++autoReindexCount_;
+  }
+  return id;
+}
+
+void Pleroma::onDeliver(net::NodeId host, const net::Packet& packet) {
+  DeliveryRecord rec;
+  rec.host = host;
+  rec.eventId = packet.eventId;
+  rec.latency = sim_.now() - packet.sentAt;
+
+  // A delivery is a false positive when no subscription registered at this
+  // host actually matches the event's exact attribute values (Sec 6.4).
+  bool matched = false;
+  const auto it = subsByHost_.find(host);
+  if (it != subsByHost_.end()) {
+    for (const ctrl::SubscriptionId sid : it->second) {
+      if (subs_.at(sid).second.contains(packet.event)) {
+        matched = true;
+        break;
+      }
+    }
+  }
+  rec.falsePositive = !matched;
+
+  ++stats_.delivered;
+  if (rec.falsePositive) ++stats_.falsePositives;
+  stats_.latencySum += rec.latency;
+  latencies_.push_back(rec.latency);
+  if (callback_) callback_(rec);
+}
+
+std::vector<int> Pleroma::runDimensionSelection(double threshold) {
+  std::vector<dz::Rectangle> rects;
+  rects.reserve(subs_.size());
+  for (const auto& [id, hostRect] : subs_) rects.push_back(hostRect.second);
+  const std::vector<dz::Event> window(eventWindow_.begin(), eventWindow_.end());
+  std::vector<int> dims = dimsel::selectDimensions(
+      window, rects, controller_->space().numAttributes(), threshold);
+  if (dims.empty()) return dims;
+  std::vector<int> sorted = dims;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> current = controller_->space().indexedDimensions();
+  std::sort(current.begin(), current.end());
+  if (sorted != current) {
+    controller_->reindex(dims);
+    ++reindexes_;
+  }
+  return dims;
+}
+
+}  // namespace pleroma::core

@@ -1,0 +1,231 @@
+#include "core/script_runner.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pleroma::core {
+
+ScriptRunner::ScriptRunner(OutputSink sink) : sink_(std::move(sink)) {
+  reset(net::Topology::testbedFatTree(), 2, 10);
+}
+
+void ScriptRunner::reset(net::Topology topo, int attrs, int bits) {
+  PleromaOptions options;
+  options.numAttributes = attrs;
+  options.bitsPerDim = bits;
+  options.controller.maxCellsPerRequest = 32;
+  middleware_ = std::make_unique<Pleroma>(std::move(topo), options);
+  attrs_ = attrs;
+  pendingDeliveries_.clear();
+  middleware_->setDeliveryCallback(
+      [this](const DeliveryRecord& r) { pendingDeliveries_.push_back(r); });
+}
+
+net::NodeId ScriptRunner::hostByName(const std::string& name) const {
+  for (const net::NodeId h : middleware_->topology().hosts()) {
+    if (middleware_->topology().node(h).name == name) return h;
+  }
+  return net::kInvalidNode;
+}
+
+net::NodeId ScriptRunner::switchByName(const std::string& name) const {
+  for (const net::NodeId s : middleware_->topology().switches()) {
+    if (middleware_->topology().node(s).name == name) return s;
+  }
+  return net::kInvalidNode;
+}
+
+bool ScriptRunner::parseRanges(std::istream& in, dz::Rectangle& rect) const {
+  std::string token;
+  while (in >> token) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos) return false;
+    try {
+      const auto lo =
+          static_cast<dz::AttributeValue>(std::stoul(token.substr(0, colon)));
+      const auto hi =
+          static_cast<dz::AttributeValue>(std::stoul(token.substr(colon + 1)));
+      rect.ranges.push_back(dz::Range{lo, hi});
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return rect.ranges.size() == static_cast<std::size_t>(attrs_);
+}
+
+bool ScriptRunner::executeLine(const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd) || cmd[0] == '#') return true;
+
+  if (cmd == "quit" || cmd == "exit") return false;
+
+  if (cmd == "topo") {
+    std::string kind;
+    in >> kind;
+    if (kind == "fat-tree") {
+      reset(net::Topology::testbedFatTree(), attrs_, 10);
+    } else if (kind == "ring" || kind == "line") {
+      int n = 6;
+      in >> n;
+      reset(kind == "ring" ? net::Topology::ring(n) : net::Topology::line(n),
+            attrs_, 10);
+    } else if (kind == "random") {
+      int n = 8, extra = 3;
+      std::uint64_t seed = 1;
+      in >> n >> extra >> seed;
+      reset(net::Topology::randomConnected(n, extra, seed), attrs_, 10);
+    } else {
+      emitf("error: unknown topology '%s'", kind.c_str());
+      return true;
+    }
+    emitf("ok: %zu switches, %zu hosts",
+          middleware_->topology().switches().size(),
+          middleware_->topology().hosts().size());
+  } else if (cmd == "attrs") {
+    int k = 2, bits = 10;
+    in >> k;
+    if (!(in >> bits)) bits = 10;
+    if (k < 1 || bits < 1 || bits > 20) {
+      emit("error: attrs K [BITS] with K>=1, 1<=BITS<=20");
+      return true;
+    }
+    reset(net::Topology::testbedFatTree(), k, bits);
+    emitf("ok: %d attributes, %d bits each", k, bits);
+  } else if (cmd == "adv" || cmd == "sub") {
+    std::string hostName;
+    in >> hostName;
+    const net::NodeId host = hostByName(hostName);
+    if (host == net::kInvalidNode) {
+      emitf("error: unknown host '%s'", hostName.c_str());
+      return true;
+    }
+    dz::Rectangle rect;
+    if (!parseRanges(in, rect)) {
+      emitf("error: expected %d lo:hi ranges", attrs_);
+      return true;
+    }
+    if (cmd == "adv") {
+      const auto id = middleware_->advertise(host, rect);
+      emitf("publisher %lld (dz=%s)", static_cast<long long>(id),
+            middleware_->controller().advertisementDz(id).toString().c_str());
+    } else {
+      const auto id = middleware_->subscribe(host, rect);
+      emitf("subscription %lld (dz=%s)", static_cast<long long>(id),
+            middleware_->controller().subscriptionDz(id).toString().c_str());
+    }
+  } else if (cmd == "unadv" || cmd == "unsub") {
+    long long id = -1;
+    if (!(in >> id)) {
+      emit("error: expected an id");
+      return true;
+    }
+    if (cmd == "unadv") {
+      middleware_->unadvertise(id);
+    } else {
+      middleware_->unsubscribe(id);
+    }
+    emit("ok");
+  } else if (cmd == "pub") {
+    std::string hostName;
+    in >> hostName;
+    const net::NodeId host = hostByName(hostName);
+    if (host == net::kInvalidNode) {
+      emitf("error: unknown host '%s'", hostName.c_str());
+      return true;
+    }
+    dz::Event e;
+    unsigned long v = 0;
+    while (in >> v) e.push_back(static_cast<dz::AttributeValue>(v));
+    if (e.size() != static_cast<std::size_t>(attrs_)) {
+      emitf("error: expected %d attribute values", attrs_);
+      return true;
+    }
+    const auto id = middleware_->publish(host, e);
+    emitf("event %llu published (dz=%s)", static_cast<unsigned long long>(id),
+          middleware_->controller().stampEvent(e).toString().c_str());
+  } else if (cmd == "fail" || cmd == "restore") {
+    int link = -1;
+    if (!(in >> link) || link < 0 ||
+        link >= middleware_->topology().linkCount()) {
+      emit("error: expected a valid link id");
+      return true;
+    }
+    const bool up = cmd == "restore";
+    middleware_->network().setLinkUp(link, up);
+    if (up) {
+      middleware_->controller().onLinkUp(link);
+    } else {
+      middleware_->controller().onLinkDown(link);
+    }
+    emitf("ok: link %d %s", link, up ? "restored" : "failed");
+  } else if (cmd == "run") {
+    middleware_->settle();
+    for (const auto& d : pendingDeliveries_) {
+      emitf("  event %llu -> %s (%.0f us%s)",
+            static_cast<unsigned long long>(d.eventId),
+            middleware_->topology().node(d.host).name.c_str(),
+            static_cast<double>(d.latency) / 1000.0,
+            d.falsePositive ? ", false positive" : "");
+    }
+    emitf("ok: %zu deliveries", pendingDeliveries_.size());
+    pendingDeliveries_.clear();
+  } else if (cmd == "trees") {
+    for (const auto* t : middleware_->controller().trees()) {
+      emitf("  tree %d root=%s DZ=%s publishers=%zu", t->id(),
+            middleware_->topology().node(t->root()).name.c_str(),
+            t->dzSet().toString().c_str(), t->publishers().size());
+    }
+    emitf("ok: %zu trees", middleware_->controller().treeCount());
+  } else if (cmd == "flows") {
+    std::string swName;
+    in >> swName;
+    const net::NodeId sw = switchByName(swName);
+    if (sw == net::kInvalidNode) {
+      emitf("error: unknown switch '%s'", swName.c_str());
+      return true;
+    }
+    for (const auto& e : middleware_->network().flowTable(sw).entries()) {
+      emitf("  %s matched=%llu", e.toString().c_str(),
+            static_cast<unsigned long long>(e.matchedPackets));
+    }
+    emitf("ok: %zu flows", middleware_->network().flowTable(sw).size());
+  } else if (cmd == "dimsel") {
+    double threshold = 0.9;
+    in >> threshold;
+    const auto dims = middleware_->runDimensionSelection(threshold);
+    std::string out = "ok: indexing dimensions";
+    for (const int d : dims) out += " " + std::to_string(d);
+    emit(out);
+  } else if (cmd == "stats") {
+    const auto& ds = middleware_->deliveryStats();
+    const auto& cs = middleware_->controller().controlStats();
+    std::size_t flows = 0;
+    for (const net::NodeId sw : middleware_->topology().switches()) {
+      flows += middleware_->network().flowTable(sw).size();
+    }
+    emitf(
+        "delivered=%llu falsePositives=%llu meanLatency=%.0fus flows=%zu "
+        "flowMods=%llu trees=%zu",
+        static_cast<unsigned long long>(ds.delivered),
+        static_cast<unsigned long long>(ds.falsePositives), ds.meanLatencyUs(),
+        flows, static_cast<unsigned long long>(cs.flowModsSent),
+        middleware_->controller().treeCount());
+  } else if (cmd == "help") {
+    emit("commands: topo attrs adv sub unadv unsub pub fail restore run "
+         "trees flows dimsel stats quit");
+  } else {
+    emitf("error: unknown command '%s' (try help)", cmd.c_str());
+  }
+  return true;
+}
+
+void ScriptRunner::executeScript(const std::string& script) {
+  std::istringstream in(script);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!executeLine(line)) break;
+  }
+}
+
+}  // namespace pleroma::core

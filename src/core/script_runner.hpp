@@ -1,0 +1,62 @@
+// A small command language for driving the middleware from scripts — used
+// by the pleroma_cli example, by tests, and handy for reproducing bug
+// reports. One command per line; '#' starts a comment.
+//
+//   topo fat-tree | topo ring N | topo line N | topo random N EXTRA SEED
+//   attrs K [BITS]              reset middleware with K attributes
+//   adv  HOST lo:hi [lo:hi...]  advertise a rectangle (prints publisher id)
+//   sub  HOST lo:hi [lo:hi...]  subscribe (prints subscription id)
+//   unadv ID | unsub ID
+//   pub  HOST v1 [v2...]        publish an event
+//   fail L | restore L          link failure injection (by link id)
+//   run                         settle the simulator, print deliveries
+//   trees | flows SWITCH | stats
+//   dimsel [THRESHOLD]          run dimension selection and re-index
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pleroma.hpp"
+
+namespace pleroma::core {
+
+class ScriptRunner {
+ public:
+  /// Output lines are passed to `sink` (e.g. print, or collect in a test).
+  using OutputSink = std::function<void(const std::string&)>;
+
+  explicit ScriptRunner(OutputSink sink);
+
+  /// Executes one command line. Returns false when the script asked to
+  /// quit; errors are reported through the sink and return true.
+  bool executeLine(const std::string& line);
+
+  /// Executes a whole script (newline separated).
+  void executeScript(const std::string& script);
+
+  /// The middleware currently driven (recreated by `topo`/`attrs`).
+  Pleroma& middleware() noexcept { return *middleware_; }
+
+ private:
+  void reset(net::Topology topo, int attrs, int bits);
+  net::NodeId hostByName(const std::string& name) const;
+  net::NodeId switchByName(const std::string& name) const;
+  bool parseRanges(std::istream& in, dz::Rectangle& rect) const;
+  void emit(const std::string& line) { sink_(line); }
+  template <typename... Args>
+  void emitf(const char* fmt, Args... args) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    sink_(buf);
+  }
+
+  OutputSink sink_;
+  std::unique_ptr<Pleroma> middleware_;
+  int attrs_ = 2;
+  std::vector<DeliveryRecord> pendingDeliveries_;
+};
+
+}  // namespace pleroma::core

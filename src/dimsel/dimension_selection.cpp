@@ -1,0 +1,102 @@
+#include "dimsel/dimension_selection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pleroma::dimsel {
+
+Matrix buildMatchMatrix(const std::vector<dz::Event>& events,
+                        const std::vector<dz::Rectangle>& subscriptions,
+                        int numAttributes) {
+  Matrix w(static_cast<std::size_t>(numAttributes), events.size());
+  for (std::size_t j = 0; j < events.size(); ++j) {
+    const dz::Event& e = events[j];
+    assert(e.size() == static_cast<std::size_t>(numAttributes));
+    for (const dz::Rectangle& sub : subscriptions) {
+      assert(sub.ranges.size() == static_cast<std::size_t>(numAttributes));
+      for (int d = 0; d < numAttributes; ++d) {
+        const auto dd = static_cast<std::size_t>(d);
+        if (sub.ranges[dd].contains(e[dd])) w.at(dd, j) += 1.0;
+      }
+    }
+  }
+  return w;
+}
+
+DimensionRanking rankDimensions(const Matrix& matchMatrix, double threshold) {
+  assert(threshold > 0.0 && threshold <= 1.0);
+  const std::size_t dims = matchMatrix.rows();
+  DimensionRanking out;
+
+  // Degenerate window: fall back to "keep everything" ranked by raw row
+  // variance (still deterministic).
+  if (matchMatrix.cols() < 2) {
+    out.ranked.resize(dims);
+    std::iota(out.ranked.begin(), out.ranked.end(), 0);
+    out.weight.assign(dims, 1.0 / static_cast<double>(dims));
+    out.k = static_cast<int>(dims);
+    return out;
+  }
+
+  // Center each dimension's match counts across the event observations
+  // ("subtracting the mean of W from its columns" — the mean here is the
+  // per-dimension mean vector), then C = W̃ W̃ᵀ is the covariance between
+  // dimensions. A dimension whose match count never varies (e.g. everyone
+  // subscribes to its whole domain) contributes nothing to C.
+  const Matrix centered = matchMatrix.centeredRows();
+  const Matrix cov = centered.rowCovariance();
+  const EigenDecomposition eig = eigenSymmetric(cov);
+
+  // Importance of dimension i: its loading across the eigenvectors,
+  // weighted by the variance each eigenvector explains,
+  //     importance_i = sum_j lambda_j * |Q_ij|.
+  // With strongly correlated dimensions one eigenvalue dominates and this
+  // reduces to the paper's rank-by-|q_i|-of-the-principal-eigenvector rule
+  // (Malhi & Gao); with *uncorrelated* informative dimensions the
+  // principal eigenvector aligns with a single axis and would starve the
+  // others, which the weighted sum avoids.
+  std::vector<double> magnitude(dims, 0.0);
+  for (std::size_t j = 0; j < dims; ++j) {
+    const double weight = std::max(eig.values[j], 0.0);
+    if (weight <= 0.0) continue;
+    for (std::size_t i = 0; i < dims; ++i) {
+      magnitude[i] += weight * std::fabs(eig.vectors.at(i, j));
+    }
+  }
+
+  out.ranked.resize(dims);
+  std::iota(out.ranked.begin(), out.ranked.end(), 0);
+  std::stable_sort(out.ranked.begin(), out.ranked.end(), [&](int a, int b) {
+    return magnitude[static_cast<std::size_t>(a)] >
+           magnitude[static_cast<std::size_t>(b)];
+  });
+
+  const double total = std::accumulate(magnitude.begin(), magnitude.end(), 0.0);
+  out.weight.reserve(dims);
+  double cumulative = 0.0;
+  out.k = static_cast<int>(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    const double wi =
+        total > 0.0 ? magnitude[static_cast<std::size_t>(out.ranked[i])] / total
+                    : 1.0 / static_cast<double>(dims);
+    out.weight.push_back(wi);
+    cumulative += wi;
+    if (cumulative >= threshold && out.k == static_cast<int>(dims)) {
+      out.k = static_cast<int>(i + 1);
+    }
+  }
+  return out;
+}
+
+std::vector<int> selectDimensions(const std::vector<dz::Event>& events,
+                                  const std::vector<dz::Rectangle>& subscriptions,
+                                  int numAttributes, double threshold) {
+  const Matrix w = buildMatchMatrix(events, subscriptions, numAttributes);
+  const DimensionRanking ranking = rankDimensions(w, threshold);
+  std::vector<int> dims(ranking.ranked.begin(), ranking.ranked.begin() + ranking.k);
+  return dims;
+}
+
+}  // namespace pleroma::dimsel

@@ -1,0 +1,46 @@
+// Dimension selection (Sec 5): choose the subset Omega_P of attributes to
+// spatially index so that in-network filtering removes the most unnecessary
+// traffic with the least dz length / flow-table overhead.
+//
+// Pipeline: build W (|Omega| x |E^t|) where w_ij is the number of
+// subscriptions matched by event j along dimension i alone; center; compute
+// the covariance across dimensions; eigendecompose; rank the *original*
+// dimensions by the magnitude of their coefficient in the principal
+// eigenvector (PCA-based feature selection after Malhi & Gao); keep the
+// first k whose cumulative coefficient mass reaches the threshold.
+#pragma once
+
+#include <vector>
+
+#include "dimsel/eigen.hpp"
+#include "dz/event_space.hpp"
+
+namespace pleroma::dimsel {
+
+/// Builds the match-count matrix W: rows = dimensions, columns = the last
+/// eta events; w_ij = |S^i_j| = number of subscriptions whose range on
+/// dimension i contains event j's value on that dimension.
+Matrix buildMatchMatrix(const std::vector<dz::Event>& events,
+                        const std::vector<dz::Rectangle>& subscriptions,
+                        int numAttributes);
+
+struct DimensionRanking {
+  /// All dimensions, most informative first.
+  std::vector<int> ranked;
+  /// Coefficient magnitude per dimension (aligned with `ranked`).
+  std::vector<double> weight;
+  /// Number of leading dimensions whose cumulative weight first reaches the
+  /// threshold.
+  int k = 0;
+};
+
+/// Ranks dimensions by filtering utility and picks k by the administrator
+/// threshold on cumulative coefficient magnitude (0 < threshold <= 1).
+DimensionRanking rankDimensions(const Matrix& matchMatrix, double threshold = 0.9);
+
+/// End-to-end convenience: the selected Omega_P for a recent event window.
+std::vector<int> selectDimensions(const std::vector<dz::Event>& events,
+                                  const std::vector<dz::Rectangle>& subscriptions,
+                                  int numAttributes, double threshold = 0.9);
+
+}  // namespace pleroma::dimsel

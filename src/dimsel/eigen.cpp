@@ -1,0 +1,85 @@
+#include "dimsel/eigen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pleroma::dimsel {
+
+EigenDecomposition eigenSymmetric(const Matrix& input, int maxSweeps,
+                                  double tolerance) {
+  assert(input.rows() == input.cols());
+  const std::size_t n = input.rows();
+
+  // Work on a symmetrised copy.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = 0.5 * (input.at(i, j) + input.at(j, i));
+    }
+  }
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) q.at(i, i) = 1.0;
+
+  auto offDiagonalNorm = [&]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) acc += a.at(i, j) * a.at(i, j);
+    }
+    return std::sqrt(acc);
+  };
+
+  for (int sweep = 0; sweep < maxSweeps && offDiagonalNorm() > tolerance; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t r = p + 1; r < n; ++r) {
+        const double apr = a.at(p, r);
+        if (std::fabs(apr) <= tolerance) continue;
+        const double app = a.at(p, p);
+        const double arr = a.at(r, r);
+        // Classic Jacobi rotation annihilating a[p][r].
+        const double theta = (arr - app) / (2.0 * apr);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akr = a.at(k, r);
+          a.at(k, p) = c * akp - s * akr;
+          a.at(k, r) = s * akp + c * akr;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double ark = a.at(r, k);
+          a.at(p, k) = c * apk - s * ark;
+          a.at(r, k) = s * apk + c * ark;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double qkp = q.at(k, p);
+          const double qkr = q.at(k, r);
+          q.at(k, p) = c * qkp - s * qkr;
+          q.at(k, r) = s * qkp + c * qkr;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a.at(x, x) > a.at(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.values[i] = a.at(order[i], order[i]);
+    for (std::size_t k = 0; k < n; ++k) out.vectors.at(k, i) = q.at(k, order[i]);
+  }
+  return out;
+}
+
+}  // namespace pleroma::dimsel

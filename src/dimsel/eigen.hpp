@@ -1,0 +1,25 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method —
+// exact to machine precision for the small (<= #attributes, i.e. <= 10x10)
+// covariance matrices of the dimension-selection step.
+#pragma once
+
+#include <vector>
+
+#include "dimsel/matrix.hpp"
+
+namespace pleroma::dimsel {
+
+struct EigenDecomposition {
+  /// Eigenvalues sorted descending.
+  std::vector<double> values;
+  /// eigenvector `i` (column i) corresponds to values[i]; unit length.
+  Matrix vectors;
+};
+
+/// Decomposes a symmetric matrix: C = Q diag(values) Q^T. Asserts on
+/// non-square input; symmetry is assumed (the strictly-lower triangle is
+/// read as the mirror of the upper one).
+EigenDecomposition eigenSymmetric(const Matrix& m, int maxSweeps = 64,
+                                  double tolerance = 1e-12);
+
+}  // namespace pleroma::dimsel

@@ -1,0 +1,70 @@
+#include "dz/dz_expression.hpp"
+
+#include <cassert>
+
+namespace pleroma::dz {
+
+std::optional<DzExpression> DzExpression::fromString(std::string_view s) noexcept {
+  if (s.size() > static_cast<std::size_t>(kMaxDzLength)) return std::nullopt;
+  U128 bits{};
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') {
+      bits.setBitFromMsb(static_cast<int>(i), true);
+    } else if (s[i] != '0') {
+      return std::nullopt;
+    }
+  }
+  return DzExpression(bits, static_cast<int>(s.size()));
+}
+
+std::string DzExpression::toString() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(length_));
+  for (int i = 0; i < length_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+DzExpression DzExpression::child(bool bitValue) const noexcept {
+  assert(length_ < kMaxDzLength);
+  U128 bits = bits_;
+  bits.setBitFromMsb(length_, bitValue);
+  return DzExpression(bits, length_ + 1);
+}
+
+DzExpression DzExpression::parent() const noexcept {
+  assert(length_ > 0);
+  return DzExpression(bits_, length_ - 1);
+}
+
+DzExpression DzExpression::sibling() const noexcept {
+  assert(length_ > 0);
+  U128 bits = bits_;
+  bits.setBitFromMsb(length_ - 1, !bit(length_ - 1));
+  return DzExpression(bits, length_);
+}
+
+DzExpression DzExpression::prefix(int n) const noexcept {
+  assert(n >= 0 && n <= length_);
+  return DzExpression(bits_, n);
+}
+
+DzRelation DzExpression::relation(const DzExpression& other) const noexcept {
+  if (*this == other) return DzRelation::kEqual;
+  if (covers(other)) return DzRelation::kCovers;
+  if (other.covers(*this)) return DzRelation::kCoveredBy;
+  return DzRelation::kDisjoint;
+}
+
+std::optional<DzExpression> DzExpression::intersect(
+    const DzExpression& other) const noexcept {
+  if (covers(other)) return other;
+  if (other.covers(*this)) return *this;
+  return std::nullopt;
+}
+
+DzExpression DzExpression::truncated(int maxLength) const noexcept {
+  assert(maxLength >= 0);
+  return length_ <= maxLength ? *this : DzExpression(bits_, maxLength);
+}
+
+}  // namespace pleroma::dz

@@ -1,0 +1,120 @@
+// dz-expressions (Sec 2 of the paper): binary strings identifying regular
+// subspaces of the event space obtained by recursive, dimension-interleaved
+// bisection. The empty string is the whole space; appending a bit halves the
+// current cell along the next dimension. Prefix relation == spatial
+// containment, which is what lets TCAM CIDR masks evaluate content filters.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dz/u128.hpp"
+
+namespace pleroma::dz {
+
+/// Maximum representable dz length. The paper embeds dz into the low 112
+/// bits of an IPv6 multicast address after the fixed ff0e prefix.
+inline constexpr int kMaxDzLength = 112;
+
+/// Spatial relation between two dz-expressions.
+enum class DzRelation {
+  kEqual,      ///< identical subspaces
+  kCovers,     ///< *this is a proper prefix of the other (larger subspace)
+  kCoveredBy,  ///< the other is a proper prefix of *this
+  kDisjoint,   ///< neither is a prefix of the other
+};
+
+/// An immutable-by-convention binary string of length [0, 112], stored
+/// left-aligned in 128 bits. Value type: cheap to copy (24 bytes), totally
+/// ordered (by (bits, length) lexicographic trie order) for use in sorted
+/// containers.
+class DzExpression {
+ public:
+  /// The empty dz — the whole event space Omega.
+  constexpr DzExpression() = default;
+
+  /// Builds from left-aligned bits; only the first `length` bits are kept.
+  constexpr DzExpression(U128 bits, int length) noexcept
+      : bits_(bits & U128::topMask(length)), length_(length) {}
+
+  /// Parses a string of '0'/'1'. Returns nullopt on any other character or
+  /// if the string is longer than kMaxDzLength.
+  static std::optional<DzExpression> fromString(std::string_view s) noexcept;
+
+  /// "0"/"1" string of exactly length() characters ("" for the whole space).
+  std::string toString() const;
+
+  constexpr int length() const noexcept { return length_; }
+  constexpr U128 bits() const noexcept { return bits_; }
+  constexpr bool isWholeSpace() const noexcept { return length_ == 0; }
+
+  /// Bit at position i (0-based from the front). Requires i < length().
+  constexpr bool bit(int i) const noexcept { return bits_.bitFromMsb(i); }
+
+  /// dz extended by one bit. Requires length() < kMaxDzLength.
+  DzExpression child(bool bitValue) const noexcept;
+
+  /// dz with the last bit dropped. Requires length() > 0.
+  DzExpression parent() const noexcept;
+
+  /// The other child of this dz's parent. Requires length() > 0.
+  DzExpression sibling() const noexcept;
+
+  /// First `n` bits. Requires 0 <= n <= length().
+  DzExpression prefix(int n) const noexcept;
+
+  /// True iff *this covers `other` (reflexively): this is a prefix of other,
+  /// i.e. the subspace of `other` is contained in the subspace of *this.
+  /// Written dz_this >= dz_other in the paper's notation.
+  constexpr bool covers(const DzExpression& other) const noexcept {
+    return length_ <= other.length_ &&
+           ((bits_ ^ other.bits_) & U128::topMask(length_)).isZero();
+  }
+
+  /// True iff the two subspaces overlap: one covers the other.
+  constexpr bool overlaps(const DzExpression& other) const noexcept {
+    return covers(other) || other.covers(*this);
+  }
+
+  DzRelation relation(const DzExpression& other) const noexcept;
+
+  /// The overlap of two overlapping dz is the longer of the two.
+  /// Returns nullopt when disjoint.
+  std::optional<DzExpression> intersect(const DzExpression& other) const noexcept;
+
+  /// Truncates to at most `maxLength` bits (identity if already shorter).
+  DzExpression truncated(int maxLength) const noexcept;
+
+  friend constexpr bool operator==(const DzExpression& a,
+                                   const DzExpression& b) noexcept {
+    return a.length_ == b.length_ && a.bits_ == b.bits_;
+  }
+
+  /// Trie order: by bit string lexicographically, prefixes first. With this
+  /// order every dz sorts immediately before all dz it covers.
+  friend constexpr std::strong_ordering operator<=>(
+      const DzExpression& a, const DzExpression& b) noexcept {
+    const int common = a.length_ < b.length_ ? a.length_ : b.length_;
+    const U128 mask = U128::topMask(common);
+    if (auto c = (a.bits_ & mask) <=> (b.bits_ & mask); c != 0) return c;
+    return a.length_ <=> b.length_;
+  }
+
+ private:
+  U128 bits_{};
+  int length_ = 0;
+};
+
+/// Hash support for unordered containers.
+struct DzHash {
+  std::size_t operator()(const DzExpression& d) const noexcept {
+    const std::uint64_t h = d.bits().hi * 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t l = d.bits().lo * 0xc2b2ae3d27d4eb4fULL;
+    return static_cast<std::size_t>(h ^ (l + static_cast<std::uint64_t>(d.length())));
+  }
+};
+
+}  // namespace pleroma::dz

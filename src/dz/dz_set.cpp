@@ -1,0 +1,167 @@
+#include "dz/dz_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pleroma::dz {
+
+std::optional<DzSet> DzSet::fromString(std::string_view s) {
+  DzSet out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    while (pos < s.size() && (s[pos] == ',' || s[pos] == ' ')) ++pos;
+    std::size_t end = pos;
+    while (end < s.size() && s[end] != ',' && s[end] != ' ') ++end;
+    if (end > pos) {
+      auto d = DzExpression::fromString(s.substr(pos, end - pos));
+      if (!d) return std::nullopt;
+      out.insert(*d);
+    }
+    pos = end;
+  }
+  return out;
+}
+
+std::string DzSet::toString() const {
+  std::string out;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    // The whole space prints as "*" to stay readable.
+    out += items_[i].isWholeSpace() ? "*" : items_[i].toString();
+  }
+  return out;
+}
+
+void DzSet::insert(DzExpression d) {
+  if (covers(d)) return;
+  items_.push_back(d);
+  canonicalize();
+}
+
+void DzSet::unionWith(const DzSet& other) {
+  if (other.empty()) return;
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  canonicalize();
+}
+
+bool DzSet::covers(const DzExpression& d) const noexcept {
+  return std::any_of(items_.begin(), items_.end(),
+                     [&](const DzExpression& m) { return m.covers(d); });
+}
+
+bool DzSet::coversSet(const DzSet& other) const noexcept {
+  return std::all_of(other.items_.begin(), other.items_.end(),
+                     [&](const DzExpression& d) { return covers(d); });
+}
+
+bool DzSet::overlaps(const DzExpression& d) const noexcept {
+  return std::any_of(items_.begin(), items_.end(),
+                     [&](const DzExpression& m) { return m.overlaps(d); });
+}
+
+bool DzSet::overlaps(const DzSet& other) const noexcept {
+  return std::any_of(other.items_.begin(), other.items_.end(),
+                     [&](const DzExpression& d) { return overlaps(d); });
+}
+
+DzSet DzSet::intersect(const DzSet& other) const {
+  DzSet out;
+  for (const auto& a : items_) {
+    for (const auto& b : other.items_) {
+      if (auto i = a.intersect(b)) out.items_.push_back(*i);
+    }
+  }
+  out.canonicalize();
+  return out;
+}
+
+namespace {
+
+/// Emits `cell − subtrahend` for a cell that overlaps at least one member of
+/// `subtrahend`, by splitting down the trie. Pre: no member covers `cell`.
+void subtractCell(const DzExpression& cell, const DzSet& subtrahend,
+                  std::vector<DzExpression>& out) {
+  // All members overlapping `cell` are now strictly longer than `cell`
+  // (otherwise one would cover it). Split and recurse on each half.
+  for (bool bit : {false, true}) {
+    const DzExpression half = cell.child(bit);
+    if (subtrahend.covers(half)) continue;
+    if (!subtrahend.overlaps(half)) {
+      out.push_back(half);
+    } else {
+      subtractCell(half, subtrahend, out);
+    }
+  }
+}
+
+}  // namespace
+
+DzSet DzSet::subtract(const DzSet& other) const {
+  DzSet out;
+  for (const auto& a : items_) {
+    if (other.covers(a)) continue;
+    if (!other.overlaps(a)) {
+      out.items_.push_back(a);
+    } else {
+      subtractCell(a, other, out.items_);
+    }
+  }
+  out.canonicalize();
+  return out;
+}
+
+DzSet DzSet::truncated(int maxLength) const {
+  DzSet out;
+  for (const auto& a : items_) out.items_.push_back(a.truncated(maxLength));
+  out.canonicalize();
+  return out;
+}
+
+double DzSet::volume() const noexcept {
+  double total = 0.0;
+  for (const auto& d : items_) {
+    total += std::pow(2.0, -static_cast<double>(d.length()));
+  }
+  return total;
+}
+
+void DzSet::canonicalize() {
+  if (items_.empty()) return;
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+
+  // Drop members covered by an earlier member. In trie order a covering
+  // prefix sorts immediately before everything it covers, but not
+  // necessarily adjacently, so scan with a running "last kept" stack of one:
+  // any kept member covers all subsequent covered members contiguously.
+  std::vector<DzExpression> kept;
+  kept.reserve(items_.size());
+  for (const auto& d : items_) {
+    if (!kept.empty() && kept.back().covers(d)) continue;
+    kept.push_back(d);
+  }
+  items_ = std::move(kept);
+
+  // Merge sibling pairs bottom-up until fixpoint. After each merge the
+  // parent might itself have its sibling present, so loop.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 1 < items_.size(); ++i) {
+      const DzExpression& a = items_[i];
+      const DzExpression& b = items_[i + 1];
+      if (a.length() > 0 && a.length() == b.length() && a.sibling() == b) {
+        const DzExpression parent = a.parent();
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i),
+                     items_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        // Insert parent keeping sort order; it sorts where `a` was.
+        items_.insert(items_.begin() + static_cast<std::ptrdiff_t>(i), parent);
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace pleroma::dz

@@ -1,0 +1,82 @@
+// DZ sets (Sec 2): an advertisement/subscription is approximated by a set of
+// dz-expressions. The set is kept canonical: members are pairwise disjoint
+// (no member covers another) and sibling pairs are merged into their parent,
+// so equality of the represented subspace implies equality of the
+// representation. All the containment/overlap relations the controller
+// algorithms (Sec 3-4) need are defined here.
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dz/dz_expression.hpp"
+
+namespace pleroma::dz {
+
+class DzSet {
+ public:
+  DzSet() = default;
+  explicit DzSet(DzExpression single) { insert(single); }
+  DzSet(std::initializer_list<DzExpression> items) {
+    for (const auto& d : items) insert(d);
+  }
+
+  /// Parses a comma/space separated list of binary strings, e.g. "110,100".
+  static std::optional<DzSet> fromString(std::string_view s);
+  std::string toString() const;
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+  const std::vector<DzExpression>& items() const noexcept { return items_; }
+  auto begin() const noexcept { return items_.begin(); }
+  auto end() const noexcept { return items_.end(); }
+
+  /// Adds a subspace, re-canonicalising (drops members covered by `d`,
+  /// no-ops if `d` is already covered, merges resulting sibling chains).
+  void insert(DzExpression d);
+
+  /// Set union of represented subspaces.
+  void unionWith(const DzSet& other);
+
+  /// True iff some member covers `d` (the set's subspace contains d's).
+  bool covers(const DzExpression& d) const noexcept;
+
+  /// True iff every member of `other` is covered: this ⊇ other spatially.
+  bool coversSet(const DzSet& other) const noexcept;
+
+  /// True iff some member overlaps `d`.
+  bool overlaps(const DzExpression& d) const noexcept;
+  bool overlaps(const DzSet& other) const noexcept;
+
+  /// Spatial intersection (pairwise longer-of-overlapping-pair), canonical.
+  DzSet intersect(const DzSet& other) const;
+  DzSet intersect(const DzExpression& d) const { return intersect(DzSet(d)); }
+
+  /// Spatial difference this − other, canonical. The non-overlapping part of
+  /// a dz w.r.t. a finer dz is a set of sibling subspaces (paper Sec 2,
+  /// property 4); depth of the expansion is bounded by the longest member of
+  /// `other` that overlaps.
+  DzSet subtract(const DzSet& other) const;
+
+  /// Every member truncated to `maxLength` bits, re-canonicalised. Models
+  /// the L_dz limit of the IP-address embedding (Sec 6.4).
+  DzSet truncated(int maxLength) const;
+
+  /// Fraction of the event space this set covers, in [0, 1]. Canonical
+  /// members are disjoint, so it is simply sum(2^-|dz|). Useful for
+  /// analytic false-positive estimates: a subscription's expected FPR
+  /// under uniform traffic is 1 - exactVolume / coverVolume.
+  double volume() const noexcept;
+
+  friend bool operator==(const DzSet&, const DzSet&) = default;
+
+ private:
+  void canonicalize();
+
+  // Sorted in trie order, pairwise disjoint, sibling-merged.
+  std::vector<DzExpression> items_;
+};
+
+}  // namespace pleroma::dz

@@ -1,0 +1,137 @@
+// A binary trie keyed by dz-expressions, mapping each dz to a bag of
+// values. Supports the two spatial queries the controller needs fast:
+// values at *covering* keys (prefixes of a dz — the coarser subspaces
+// containing it) and values at *covered* keys (extensions — the finer
+// subspaces inside it). Used as the controller's subscription index so
+// that advertisement processing (Algorithm 1's addFlowMultSub) touches
+// only overlapping subscriptions instead of scanning all of them.
+//
+// Header-only template; values are stored per exact key in insertion
+// order. Duplicate (key, value) pairs are allowed and erased one at a
+// time.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dz/dz_expression.hpp"
+
+namespace pleroma::dz {
+
+template <typename T>
+class DzTrie {
+ public:
+  /// Adds `value` under key `d`.
+  void insert(const DzExpression& d, T value) {
+    Node* node = &root_;
+    for (int i = 0; i < d.length(); ++i) {
+      auto& child = node->children[d.bit(i) ? 1 : 0];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    node->values.push_back(std::move(value));
+    ++size_;
+  }
+
+  /// Removes one occurrence of `value` at key `d`. Returns whether a value
+  /// was removed. Empty branches are pruned.
+  bool erase(const DzExpression& d, const T& value) {
+    const bool removed = eraseImpl(root_, d, 0, value);
+    if (removed) --size_;
+    return removed;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  void clear() {
+    root_ = Node{};
+    size_ = 0;
+  }
+
+  /// Visits every value stored at a prefix of `d` (keys whose subspace
+  /// covers d's), including d itself, shallowest first.
+  void forEachCovering(const DzExpression& d,
+                       const std::function<void(const DzExpression&, const T&)>& fn) const {
+    const Node* node = &root_;
+    for (int i = 0; i <= d.length(); ++i) {
+      for (const T& v : node->values) fn(d.prefix(i), v);
+      if (i == d.length()) break;
+      node = node->children[d.bit(i) ? 1 : 0].get();
+      if (node == nullptr) break;
+    }
+  }
+
+  /// Visits every value stored at an extension of `d` (keys whose subspace
+  /// is covered by d's), including d itself, in trie order.
+  void forEachCovered(const DzExpression& d,
+                      const std::function<void(const DzExpression&, const T&)>& fn) const {
+    const Node* node = &root_;
+    for (int i = 0; i < d.length(); ++i) {
+      node = node->children[d.bit(i) ? 1 : 0].get();
+      if (node == nullptr) return;
+    }
+    DzExpression key = d;
+    visitSubtree(*node, key, fn);
+  }
+
+  /// Visits every value whose key overlaps `d` (covering or covered); a
+  /// value is visited exactly once (the two key sets intersect only at d
+  /// itself, which forEachCovered handles).
+  void forEachOverlapping(const DzExpression& d,
+                          const std::function<void(const DzExpression&, const T&)>& fn) const {
+    const Node* node = &root_;
+    for (int i = 0; i < d.length(); ++i) {
+      for (const T& v : node->values) fn(d.prefix(i), v);
+      node = node->children[d.bit(i) ? 1 : 0].get();
+      if (node == nullptr) return;
+    }
+    DzExpression key = d;
+    visitSubtree(*node, key, fn);
+  }
+
+ private:
+  struct Node {
+    std::vector<T> values;
+    std::unique_ptr<Node> children[2];
+
+    bool empty() const noexcept {
+      return values.empty() && !children[0] && !children[1];
+    }
+  };
+
+  static bool eraseImpl(Node& node, const DzExpression& d, int depth,
+                        const T& value) {
+    if (depth == d.length()) {
+      const auto it = std::find(node.values.begin(), node.values.end(), value);
+      if (it == node.values.end()) return false;
+      node.values.erase(it);
+      return true;
+    }
+    auto& child = node.children[d.bit(depth) ? 1 : 0];
+    if (!child) return false;
+    const bool removed = eraseImpl(*child, d, depth + 1, value);
+    if (removed && child->empty()) child.reset();
+    return removed;
+  }
+
+  static void visitSubtree(
+      const Node& node, DzExpression& key,
+      const std::function<void(const DzExpression&, const T&)>& fn) {
+    for (const T& v : node.values) fn(key, v);
+    if (key.length() >= kMaxDzLength) return;
+    for (int bit = 0; bit < 2; ++bit) {
+      const Node* child = node.children[bit].get();
+      if (child == nullptr) continue;
+      DzExpression childKey = key.child(bit == 1);
+      visitSubtree(*child, childKey, fn);
+    }
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pleroma::dz

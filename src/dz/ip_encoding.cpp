@@ -1,0 +1,49 @@
+#include "dz/ip_encoding.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace pleroma::dz {
+
+std::string Ipv6Address::toString() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 8; ++i) {
+    const U128 shifted = value >> (112 - 16 * i);
+    groups[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(shifted.lo & 0xffff);
+  }
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    std::snprintf(buf, sizeof buf, "%04x", groups[static_cast<std::size_t>(i)]);
+    if (i > 0) out.push_back(':');
+    out += buf;
+  }
+  return out;
+}
+
+std::string Ipv6Prefix::toString() const {
+  return address.toString() + "/" + std::to_string(length);
+}
+
+Ipv6Address dzToAddress(const DzExpression& d) noexcept {
+  const U128 prefix = U128{0, kMulticastPrefix} << 112;
+  return Ipv6Address{prefix | (d.bits() >> 16)};
+}
+
+Ipv6Prefix dzToPrefix(const DzExpression& d) noexcept {
+  return Ipv6Prefix{dzToAddress(d), 16 + d.length()};
+}
+
+std::optional<DzExpression> prefixToDz(const Ipv6Prefix& p) noexcept {
+  if (p.length < 16 || p.length > 16 + kMaxDzLength) return std::nullopt;
+  if (!isPleromaAddress(p.address)) return std::nullopt;
+  return DzExpression(p.address.value << 16, p.length - 16);
+}
+
+std::optional<DzExpression> addressToDz(Ipv6Address addr, int dzLength) noexcept {
+  if (dzLength < 0 || dzLength > kMaxDzLength) return std::nullopt;
+  if (!isPleromaAddress(addr)) return std::nullopt;
+  return DzExpression(addr.value << 16, dzLength);
+}
+
+}  // namespace pleroma::dz

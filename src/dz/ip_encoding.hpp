@@ -1,0 +1,85 @@
+// Embedding of dz-expressions into IPv6 multicast addresses (Sec 3.3.2).
+// An event/flow subspace dz is carried in the 112 bits following the fixed
+// ff0e multicast prefix: addr = ff0e:: | dz << (112 - |dz|), and a flow
+// matches with CIDR prefix length 16 + |dz|. Prefix match on addresses is
+// then exactly the dz covering relation, which is what lets commodity TCAMs
+// evaluate content filters at line rate:
+//   dz=101    -> ff0e:a000::/19
+//   dz=101101 -> ff0e:b400::/22
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+
+#include "dz/dz_expression.hpp"
+
+namespace pleroma::dz {
+
+/// The 16-bit prefix reserved for PLEROMA traffic (IPv6 multicast, scope e).
+inline constexpr std::uint16_t kMulticastPrefix = 0xff0e;
+
+/// A 128-bit IPv6 address value type.
+struct Ipv6Address {
+  U128 value{};
+
+  friend constexpr bool operator==(Ipv6Address, Ipv6Address) noexcept = default;
+  friend constexpr std::strong_ordering operator<=>(Ipv6Address a,
+                                                    Ipv6Address b) noexcept {
+    return a.value <=> b.value;
+  }
+
+  /// Canonical full-form text, e.g. "ff0e:a000:0000:...:0000".
+  std::string toString() const;
+};
+
+/// A CIDR prefix: address plus prefix length in [0, 128].
+struct Ipv6Prefix {
+  Ipv6Address address{};
+  int length = 0;
+
+  /// True iff `addr` falls inside this prefix.
+  constexpr bool matches(Ipv6Address addr) const noexcept {
+    return ((address.value ^ addr.value) & U128::topMask(length)).isZero();
+  }
+
+  /// True iff this prefix contains the other prefix entirely.
+  constexpr bool covers(const Ipv6Prefix& other) const noexcept {
+    return length <= other.length && matches(other.address);
+  }
+
+  friend constexpr bool operator==(const Ipv6Prefix&,
+                                   const Ipv6Prefix&) noexcept = default;
+
+  std::string toString() const;
+};
+
+/// Encodes a dz as the multicast address carried by events.
+Ipv6Address dzToAddress(const DzExpression& d) noexcept;
+
+/// Encodes a dz as the match prefix installed into flow tables
+/// (length = 16 + |dz|).
+Ipv6Prefix dzToPrefix(const DzExpression& d) noexcept;
+
+/// Inverse of dzToPrefix. Returns nullopt when the prefix is not inside the
+/// PLEROMA multicast range or is shorter than the ff0e prefix itself.
+std::optional<DzExpression> prefixToDz(const Ipv6Prefix& p) noexcept;
+
+/// Inverse of dzToAddress at a given dz length.
+std::optional<DzExpression> addressToDz(Ipv6Address addr, int dzLength) noexcept;
+
+/// True iff the address lies in the reserved PLEROMA multicast range.
+constexpr bool isPleromaAddress(Ipv6Address addr) noexcept {
+  return (addr.value >> 112) == U128{0, kMulticastPrefix};
+}
+
+/// The reserved address IP_mid to which hosts send advertisements and
+/// subscriptions; switches never install flows for it, so such packets are
+/// punted to the controller (Sec 2). We use ff0e::/128-all-ones by
+/// convention, which no dz encoding can produce (dz encodings are left
+/// aligned and zero padded below 16+|dz| <= 128 bits only for |dz| = 112
+/// with all-ones dz; we additionally never install flows matching it).
+inline constexpr Ipv6Address kControlAddress{
+    U128{0xff0effffffffffffULL, 0xfffffffffffffffeULL}};
+
+}  // namespace pleroma::dz

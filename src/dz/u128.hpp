@@ -1,0 +1,76 @@
+// A tiny fixed-width 128-bit unsigned integer with just the operations the
+// dz-expression algebra and the IPv6 embedding need: shifts, bitwise ops,
+// and comparisons. Bit 127 is the most significant bit ("leftmost").
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace pleroma::dz {
+
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t h, std::uint64_t l) noexcept : hi(h), lo(l) {}
+
+  friend constexpr U128 operator&(U128 a, U128 b) noexcept {
+    return {a.hi & b.hi, a.lo & b.lo};
+  }
+  friend constexpr U128 operator|(U128 a, U128 b) noexcept {
+    return {a.hi | b.hi, a.lo | b.lo};
+  }
+  friend constexpr U128 operator^(U128 a, U128 b) noexcept {
+    return {a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+  constexpr U128 operator~() const noexcept { return {~hi, ~lo}; }
+
+  friend constexpr U128 operator<<(U128 a, int n) noexcept {
+    if (n <= 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {a.lo << (n - 64), 0};
+    return {(a.hi << n) | (a.lo >> (64 - n)), a.lo << n};
+  }
+  friend constexpr U128 operator>>(U128 a, int n) noexcept {
+    if (n <= 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {0, a.hi >> (n - 64)};
+    return {a.hi >> n, (a.lo >> n) | (a.hi << (64 - n))};
+  }
+
+  friend constexpr bool operator==(U128, U128) noexcept = default;
+  friend constexpr std::strong_ordering operator<=>(U128 a, U128 b) noexcept {
+    if (auto c = a.hi <=> b.hi; c != 0) return c;
+    return a.lo <=> b.lo;
+  }
+
+  constexpr bool isZero() const noexcept { return hi == 0 && lo == 0; }
+
+  /// Bit at position `i` counted from the most significant bit
+  /// (i = 0 -> bit 127). Requires 0 <= i < 128.
+  constexpr bool bitFromMsb(int i) const noexcept {
+    return i < 64 ? ((hi >> (63 - i)) & 1U) != 0 : ((lo >> (127 - i)) & 1U) != 0;
+  }
+
+  /// Sets bit at position `i` counted from the MSB to `value`.
+  constexpr void setBitFromMsb(int i, bool value) noexcept {
+    if (i < 64) {
+      const std::uint64_t mask = 1ULL << (63 - i);
+      hi = value ? (hi | mask) : (hi & ~mask);
+    } else {
+      const std::uint64_t mask = 1ULL << (127 - i);
+      lo = value ? (lo | mask) : (lo & ~mask);
+    }
+  }
+
+  /// A mask with the top `n` (MSB-side) bits set. n in [0, 128].
+  static constexpr U128 topMask(int n) noexcept {
+    if (n <= 0) return {};
+    if (n >= 128) return {~0ULL, ~0ULL};
+    if (n <= 64) return {~0ULL << (64 - n), 0};
+    return {~0ULL, ~0ULL << (128 - n)};
+  }
+};
+
+}  // namespace pleroma::dz

@@ -1,0 +1,159 @@
+// Interoperability of independently controlled partitions (Sec 4). A
+// MultiDomain instantiates one PLEROMA controller per partition of a shared
+// physical topology, discovers border gateways with the LLDP mechanism, and
+// propagates advertisements/subscriptions between controllers:
+//
+//  * advertisements flood to all partitions (registered remotely as
+//    *virtual hosts* on the receiving border switch port);
+//  * subscriptions follow the reverse path of the overlapping external
+//    advertisements;
+//  * both directions apply covering-based suppression — a request is only
+//    forwarded to a neighbour if it is not covered by what was previously
+//    forwarded there (Sec 4.2).
+//
+// Inter-controller messages travel through the data plane as packets to the
+// reserved IP_mid address, pushed out of the local border port and punted
+// to the remote controller by the remote border switch — exactly the
+// mechanism of Sec 4.1. Figs 7g/7h measure the per-controller request load
+// and the total control traffic this produces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "openflow/lldp.hpp"
+
+namespace pleroma::interop {
+
+using openflow::PartitionId;
+
+/// A registration handle that names the owning partition.
+struct GlobalPublisherId {
+  PartitionId partition = -1;
+  ctrl::PublisherId local = ctrl::kInvalidPublisher;
+};
+struct GlobalSubscriptionId {
+  PartitionId partition = -1;
+  ctrl::SubscriptionId local = ctrl::kInvalidSubscription;
+};
+
+/// Control-load accounting per partition (Fig 7g/7h).
+struct PartitionStats {
+  std::uint64_t internalRequests = 0;  ///< adv/sub from local end hosts
+  std::uint64_t externalRequests = 0;  ///< adv/sub received from neighbours
+  std::uint64_t messagesSent = 0;      ///< inter-controller messages emitted
+  std::uint64_t advsSuppressed = 0;    ///< covering suppression hits (adv)
+  std::uint64_t subsSuppressed = 0;    ///< covering suppression hits (sub)
+
+  std::uint64_t requestsProcessed() const noexcept {
+    return internalRequests + externalRequests;
+  }
+};
+
+class MultiDomain {
+ public:
+  /// `partitionOf[node]` assigns each switch to a partition id in
+  /// [0, numPartitions); host entries are ignored (hosts belong to their
+  /// access switch's partition).
+  MultiDomain(net::Topology topology, std::vector<PartitionId> partitionOf,
+              dz::EventSpace space, ctrl::ControllerConfig controllerConfig = {},
+              net::NetworkConfig networkConfig = {});
+
+  std::size_t partitionCount() const noexcept { return partitions_.size(); }
+  ctrl::Controller& controller(PartitionId p);
+  const openflow::DiscoveryResult& discovery(PartitionId p) const;
+  const PartitionStats& stats(PartitionId p) const;
+  PartitionId partitionOfHost(net::NodeId host) const;
+
+  net::Network& network() noexcept { return *network_; }
+  net::Simulator& simulator() noexcept { return sim_; }
+
+  /// Registers an advertisement at the host's local controller, then floods
+  /// it across partitions (with covering suppression). Runs the simulator
+  /// until all control traffic has settled.
+  GlobalPublisherId advertise(net::NodeId host, const dz::Rectangle& rect);
+
+  /// Registers a subscription locally, then forwards it along the reverse
+  /// paths of overlapping external advertisements.
+  GlobalSubscriptionId subscribe(net::NodeId host, const dz::Rectangle& rect);
+
+  /// Removes a subscription's paths in its home partition. Interest already
+  /// relayed to other partitions is retained conservatively (the paper does
+  /// not define cross-partition retraction; covering state makes it
+  /// ambiguous which relays are still needed by other subscribers) — events
+  /// may still cross borders and are then dropped at the first switch with
+  /// no matching flow, costing bandwidth but never false deliveries.
+  void unsubscribe(GlobalSubscriptionId id);
+
+  /// Removes an advertisement in its home partition. Virtual-host replicas
+  /// in remote partitions are retained conservatively (see unsubscribe);
+  /// the retired publisher simply stops emitting events.
+  void unadvertise(GlobalPublisherId id);
+
+  /// Publishes an event from `host` into the data plane. Delivery happens
+  /// as the simulator runs (`settle()` or manual stepping).
+  void publish(net::NodeId host, const dz::Event& event, net::EventId id = 0);
+
+  /// Runs the simulator until idle.
+  void settle() { sim_.run(); }
+
+  std::uint64_t totalControlMessages() const;
+
+ private:
+  // One inter-controller message (carried inside an IP_mid packet).
+  struct ControlMessage {
+    enum class Kind { kAdvertisement, kSubscription } kind = Kind::kAdvertisement;
+    PartitionId fromPartition = -1;
+    dz::DzSet dz;
+  };
+
+  struct ExternalAdv {
+    PartitionId fromNeighbor = -1;
+    dz::DzSet dz;
+    ctrl::PublisherId localPublisher = ctrl::kInvalidPublisher;
+  };
+
+  struct Partition {
+    PartitionId id = -1;
+    openflow::DiscoveryResult discovery;
+    std::unique_ptr<ctrl::Controller> controller;
+    PartitionStats stats;
+    /// First border port towards each neighbouring partition (used both as
+    /// messaging gateway and as the virtual-host endpoint).
+    std::map<PartitionId, openflow::BorderPort> gatewayTo;
+    /// Covering-suppression state per neighbour.
+    std::map<PartitionId, dz::DzSet> forwardedAdvs;
+    std::map<PartitionId, dz::DzSet> forwardedSubs;
+    /// External advertisements registered here as virtual hosts.
+    std::vector<ExternalAdv> externalAdvs;
+  };
+
+  Partition& owningPartition(net::NodeId switchNode);
+  void onPacketIn(net::NodeId switchNode, net::PortId inPort,
+                  const net::Packet& packet);
+  void handleExternalAdvertisement(Partition& part, PartitionId from,
+                                   const dz::DzSet& dz);
+  void handleExternalSubscription(Partition& part, PartitionId from,
+                                  const dz::DzSet& dz);
+  /// Sends `msg` from `part` to neighbour `to` through the data plane.
+  void sendToNeighbor(Partition& part, PartitionId to, ControlMessage msg);
+  /// Floods an advertisement to all neighbours except `except`, applying
+  /// covering suppression.
+  void forwardAdvertisement(Partition& part, const dz::DzSet& dz,
+                            PartitionId except);
+  /// Forwards a subscription towards neighbours with overlapping external
+  /// advertisements, applying covering suppression.
+  void forwardSubscription(Partition& part, const dz::DzSet& dz,
+                           PartitionId except);
+  ctrl::Endpoint virtualHostEndpoint(const Partition& part, PartitionId neighbor) const;
+
+  net::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<PartitionId> partitionOfNode_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace pleroma::interop

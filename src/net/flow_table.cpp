@@ -1,0 +1,147 @@
+#include "net/flow_table.hpp"
+
+#include <algorithm>
+
+namespace pleroma::net {
+
+void FlowEntry::addOutPort(PortId port, std::optional<dz::Ipv6Address> rewrite) {
+  for (auto& a : actions) {
+    if (a.port == port) {
+      if (rewrite) a.setDestination = rewrite;
+      return;
+    }
+  }
+  actions.push_back(FlowAction{port, rewrite});
+}
+
+bool FlowEntry::removeOutPort(PortId port) {
+  const auto it = std::find_if(actions.begin(), actions.end(),
+                               [&](const FlowAction& a) { return a.port == port; });
+  if (it == actions.end()) return false;
+  actions.erase(it);
+  return true;
+}
+
+bool FlowEntry::hasOutPort(PortId port) const noexcept {
+  return std::any_of(actions.begin(), actions.end(),
+                     [&](const FlowAction& a) { return a.port == port; });
+}
+
+std::vector<PortId> FlowEntry::outPorts() const {
+  std::vector<PortId> out;
+  out.reserve(actions.size());
+  for (const auto& a : actions) out.push_back(a.port);
+  return out;
+}
+
+std::string FlowEntry::toString() const {
+  std::string out = match.toString() + " prio=" + std::to_string(priority) + " ->";
+  for (const auto& a : actions) {
+    out += " " + std::to_string(a.port);
+    if (a.setDestination) out += "(set-dst)";
+  }
+  return out;
+}
+
+bool FlowTable::insert(FlowEntry entry) {
+  if (capacity_ != 0 && map_.size() >= capacity_) {
+    ++stats_.rejectedCapacity;
+    return false;
+  }
+  const Key key = keyOf(entry.match);
+  const auto [it, inserted] = map_.emplace(key, std::move(entry));
+  if (!inserted) {
+    ++stats_.rejectedDuplicate;
+    return false;
+  }
+  noteLengthAdded(key.length);
+  ++stats_.inserts;
+  return true;
+}
+
+bool FlowTable::insertOrReplace(FlowEntry entry) {
+  const Key key = keyOf(entry.match);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // OpenFlow modify preserves the per-flow counters.
+    entry.matchedPackets = it->second.matchedPackets;
+    it->second = std::move(entry);
+    ++stats_.modifies;
+    return true;
+  }
+  return insert(std::move(entry));
+}
+
+bool FlowTable::remove(const dz::Ipv6Prefix& match) {
+  const Key key = keyOf(match);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  map_.erase(it);
+  noteLengthRemoved(key.length);
+  ++stats_.removes;
+  return true;
+}
+
+const FlowEntry* FlowTable::find(const dz::Ipv6Prefix& match) const noexcept {
+  const auto it = map_.find(keyOf(match));
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+FlowEntry* FlowTable::findMutable(const dz::Ipv6Prefix& match) noexcept {
+  const auto it = map_.find(keyOf(match));
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+const FlowEntry* FlowTable::lookup(dz::Ipv6Address dst) const {
+  ++stats_.lookups;
+  const FlowEntry* best = nullptr;
+  for (const int len : lengthsInUse_) {
+    const Key key{dst.value & dz::U128::topMask(len), len};
+    const auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    const FlowEntry& e = it->second;
+    if (best == nullptr || e.priority > best->priority ||
+        (e.priority == best->priority && e.match.length > best->match.length)) {
+      best = &e;
+    }
+  }
+  if (best != nullptr) {
+    ++stats_.hits;
+    ++best->matchedPackets;
+  } else {
+    ++stats_.misses;
+  }
+  return best;
+}
+
+void FlowTable::clear() noexcept {
+  map_.clear();
+  std::fill(lengthCount_.begin(), lengthCount_.end(), 0U);
+  lengthsInUse_.clear();
+}
+
+std::vector<FlowEntry> FlowTable::entries() const {
+  std::vector<FlowEntry> out;
+  out.reserve(map_.size());
+  for (const auto& [key, entry] : map_) out.push_back(entry);
+  return out;
+}
+
+void FlowTable::forEach(const std::function<void(const FlowEntry&)>& fn) const {
+  for (const auto& [key, entry] : map_) fn(entry);
+}
+
+void FlowTable::noteLengthAdded(int length) {
+  if (lengthCount_[static_cast<std::size_t>(length)]++ == 0) {
+    lengthsInUse_.push_back(length);
+  }
+}
+
+void FlowTable::noteLengthRemoved(int length) {
+  if (--lengthCount_[static_cast<std::size_t>(length)] == 0) {
+    lengthsInUse_.erase(
+        std::find(lengthsInUse_.begin(), lengthsInUse_.end(), length));
+  }
+}
+
+}  // namespace pleroma::net

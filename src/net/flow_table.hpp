@@ -1,0 +1,140 @@
+// A TCAM-style flow table (Sec 3.3.2). Each entry matches the destination
+// IP against a CIDR prefix (the dz embedding) at a priority; the instruction
+// set is a list of output actions, optionally rewriting the destination
+// address before output (used on terminal switches to readdress events to
+// the subscriber host). Lookup selects the matching entry with the highest
+// priority (ties: longer prefix), mirroring OpenFlow semantics. Match
+// prefixes are unique within a table, as the controller maintains one flow
+// per dz per switch.
+//
+// Storage is a hash map keyed by (masked address, prefix length) with a
+// per-length occupancy count, so a lookup probes one hash bucket per
+// distinct installed prefix length — constant-time in table size, which is
+// also the hardware-TCAM property Fig 7a demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dz/ip_encoding.hpp"
+#include "net/types.hpp"
+
+namespace pleroma::net {
+
+/// One output action: emit on `port`, optionally rewriting the destination
+/// address first (OpenFlow set-field + output).
+struct FlowAction {
+  PortId port = kInvalidPort;
+  std::optional<dz::Ipv6Address> setDestination;
+
+  friend bool operator==(const FlowAction&, const FlowAction&) = default;
+};
+
+struct FlowEntry {
+  dz::Ipv6Prefix match;
+  int priority = 0;
+  std::vector<FlowAction> actions;
+  /// Packets that matched this entry (OpenFlow per-flow counter; not part
+  /// of entry identity/equality). Maintained by FlowTable::lookup.
+  mutable std::uint64_t matchedPackets = 0;
+
+  /// Adds `port` to the action list if absent; when present and `rewrite`
+  /// is set, updates the rewrite.
+  void addOutPort(PortId port, std::optional<dz::Ipv6Address> rewrite = std::nullopt);
+  bool removeOutPort(PortId port);
+  bool hasOutPort(PortId port) const noexcept;
+  std::vector<PortId> outPorts() const;
+
+  std::string toString() const;
+
+  /// Identity excludes the statistics counter.
+  friend bool operator==(const FlowEntry& a, const FlowEntry& b) {
+    return a.match == b.match && a.priority == b.priority && a.actions == b.actions;
+  }
+};
+
+/// Table statistics observable by benches and tests.
+struct FlowTableStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t modifies = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t rejectedCapacity = 0;
+  std::uint64_t rejectedDuplicate = 0;
+};
+
+class FlowTable {
+ public:
+  /// `capacity` models the switch's TCAM size (40k-180k entries in 2014
+  /// hardware, Sec 1 requirement 3); 0 means unlimited.
+  explicit FlowTable(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Inserts an entry. Fails when the table is full or an entry with the
+  /// same match prefix already exists.
+  bool insert(FlowEntry entry);
+
+  /// Replaces the entry with the same match prefix; inserts when absent.
+  bool insertOrReplace(FlowEntry entry);
+
+  /// Removes the entry with exactly this match prefix. Returns whether an
+  /// entry was removed.
+  bool remove(const dz::Ipv6Prefix& match);
+
+  /// Finds the entry with exactly this match prefix (nullptr when absent).
+  const FlowEntry* find(const dz::Ipv6Prefix& match) const noexcept;
+  FlowEntry* findMutable(const dz::Ipv6Prefix& match) noexcept;
+
+  /// TCAM lookup: the matching entry with the highest priority (ties broken
+  /// by longer prefix). nullptr on miss. Counted in stats.
+  const FlowEntry* lookup(dz::Ipv6Address dst) const;
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return map_.empty(); }
+  const FlowTableStats& stats() const noexcept { return stats_; }
+  void clear() noexcept;
+
+  /// Materialises all entries (unspecified order); for tests/inspection.
+  std::vector<FlowEntry> entries() const;
+
+  /// Visits every entry (used by controller-mirror consistency checks).
+  void forEach(const std::function<void(const FlowEntry&)>& fn) const;
+
+ private:
+  struct Key {
+    dz::U128 maskedBits{};
+    int length = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = k.maskedBits.hi * 0x9e3779b97f4a7c15ULL;
+      h ^= k.maskedBits.lo * 0xc2b2ae3d27d4eb4fULL;
+      h ^= static_cast<std::uint64_t>(k.length) * 0xff51afd7ed558ccdULL;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+
+  static Key keyOf(const dz::Ipv6Prefix& p) noexcept {
+    return Key{p.address.value & dz::U128::topMask(p.length), p.length};
+  }
+
+  std::unordered_map<Key, FlowEntry, KeyHash> map_;
+  /// Occupancy count per prefix length (index 0..128); lengthsInUse_ lists
+  /// lengths with nonzero count, unsorted.
+  std::vector<std::uint32_t> lengthCount_ = std::vector<std::uint32_t>(129, 0);
+  std::vector<int> lengthsInUse_;
+  std::size_t capacity_;
+  mutable FlowTableStats stats_;
+
+  void noteLengthAdded(int length);
+  void noteLengthRemoved(int length);
+};
+
+}  // namespace pleroma::net

@@ -1,0 +1,139 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pleroma::net {
+
+Network::Network(Topology topology, Simulator& sim, NetworkConfig config)
+    : topo_(std::move(topology)), sim_(sim), config_(config) {
+  tables_.reserve(static_cast<std::size_t>(topo_.nodeCount()));
+  for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
+    tables_.emplace_back(topo_.isSwitch(id) ? config_.flowTableCapacity : 0);
+  }
+  hostState_.resize(static_cast<std::size_t>(topo_.nodeCount()));
+  linkCounters_.resize(static_cast<std::size_t>(topo_.linkCount()));
+  linkUp_.assign(static_cast<std::size_t>(topo_.linkCount()), true);
+}
+
+FlowTable& Network::flowTable(NodeId switchNode) {
+  assert(topo_.isSwitch(switchNode));
+  return tables_[static_cast<std::size_t>(switchNode)];
+}
+
+const FlowTable& Network::flowTable(NodeId switchNode) const {
+  assert(topo_.isSwitch(switchNode));
+  return tables_[static_cast<std::size_t>(switchNode)];
+}
+
+void Network::sendFromHost(NodeId host, Packet packet) {
+  assert(topo_.isHost(host));
+  packet.sentAt = sim_.now();
+  const auto attachment = topo_.hostAttachment(host);
+  transmit(host, attachment.hostPort, std::move(packet));
+}
+
+void Network::injectAtSwitch(NodeId switchNode, PortId inPort, Packet packet) {
+  assert(topo_.isSwitch(switchNode));
+  arriveAtNode(switchNode, inPort, std::move(packet));
+}
+
+void Network::sendOutPort(NodeId switchNode, PortId outPort, Packet packet) {
+  assert(topo_.isSwitch(switchNode));
+  transmit(switchNode, outPort, std::move(packet));
+}
+
+void Network::arriveAtNode(NodeId node, PortId inPort, Packet packet) {
+  if (topo_.isHost(node)) {
+    receiveAtHost(node, std::move(packet));
+  } else {
+    processAtSwitch(node, inPort, std::move(packet));
+  }
+}
+
+void Network::processAtSwitch(NodeId switchNode, PortId inPort, Packet packet) {
+  sim_.schedule(config_.switchProcessingDelay,
+                [this, switchNode, inPort, packet = std::move(packet)]() mutable {
+    // Permanent punt rule for the reserved control address (Sec 2): such
+    // packets go to the controller over the control network, never through
+    // the flow table.
+    if (packet.dst == dz::kControlAddress) {
+      ++counters_.packetsPuntedToController;
+      if (packetIn_) packetIn_(switchNode, inPort, packet);
+      return;
+    }
+    if (--packet.hopLimit < 0) {
+      ++counters_.packetsDroppedHopLimit;
+      return;
+    }
+    const FlowEntry* entry =
+        tables_[static_cast<std::size_t>(switchNode)].lookup(packet.dst);
+    if (entry == nullptr) {
+      ++counters_.packetsDroppedNoMatch;
+      return;
+    }
+    for (const FlowAction& action : entry->actions) {
+      if (action.port == inPort) continue;  // never reflect out the ingress
+      Packet out = packet;
+      if (action.setDestination) out.dst = *action.setDestination;
+      ++counters_.packetsForwarded;
+      transmit(switchNode, action.port, std::move(out));
+    }
+  });
+}
+
+void Network::receiveAtHost(NodeId host, Packet packet) {
+  HostState& state = hostState_[static_cast<std::size_t>(host)];
+  if (config_.hostServiceTime == 0) {
+    ++counters_.packetsDeliveredToHosts;
+    if (deliver_) deliver_(host, packet);
+    return;
+  }
+  if (state.queued >= config_.hostQueueCapacity) {
+    ++counters_.packetsDroppedHostQueue;
+    return;
+  }
+  ++state.queued;
+  const SimTime start = std::max(sim_.now(), state.busyUntil);
+  state.busyUntil = start + config_.hostServiceTime;
+  sim_.scheduleAt(state.busyUntil, [this, host, packet = std::move(packet)]() mutable {
+    --hostState_[static_cast<std::size_t>(host)].queued;
+    ++counters_.packetsDeliveredToHosts;
+    if (deliver_) deliver_(host, packet);
+  });
+}
+
+void Network::setLinkUp(LinkId link, bool up) {
+  linkUp_[static_cast<std::size_t>(link)] = up;
+}
+
+void Network::transmit(NodeId fromNode, PortId outPort, Packet packet) {
+  const LinkId lid = topo_.linkAt(fromNode, outPort);
+  if (lid == kInvalidLink) return;  // dangling port: drop silently
+  if (!linkUp_[static_cast<std::size_t>(lid)]) {
+    ++counters_.packetsDroppedLinkDown;
+    return;
+  }
+  const Link& link = topo_.link(lid);
+  LinkCounters& lc = linkCounters_[static_cast<std::size_t>(lid)];
+  ++lc.packets;
+  lc.bytes += static_cast<std::uint64_t>(packet.sizeBytes);
+  SimTime delay = link.latency;
+  if (link.bandwidthBps > 0.0) {
+    delay += static_cast<SimTime>(
+        std::llround(static_cast<double>(packet.sizeBytes) * 8.0 /
+                     link.bandwidthBps * static_cast<double>(kSecond)));
+  }
+  const LinkEnd to = link.peerOf(fromNode);
+  sim_.schedule(delay, [this, to, packet = std::move(packet)]() mutable {
+    arriveAtNode(to.node, to.port, std::move(packet));
+  });
+}
+
+std::uint64_t Network::totalLinkBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& lc : linkCounters_) total += lc.bytes;
+  return total;
+}
+
+}  // namespace pleroma::net

@@ -1,0 +1,126 @@
+// The data-plane runtime: instantiates a Topology into live switches (each
+// with a TCAM FlowTable) and hosts, and moves packets hop by hop under the
+// discrete-event clock.
+//
+// Semantics modelled after the testbed (Sec 6.1-6.3):
+//  * Switch: per-packet processing delay independent of flow-table size
+//    (the TCAM property Fig 7a demonstrates), then the instruction set of
+//    the highest-priority matching flow is applied. Packets are never sent
+//    back out their ingress port (OpenFlow output semantics), which keeps
+//    forwarding loop-free on the controller's tree-shaped flow sets.
+//  * Packets addressed to the reserved IP_mid are always punted to the
+//    controller (a permanent highest-priority punt rule; "no switch will
+//    install a flow with respect to IP_mid", Sec 2).
+//  * Host: a single-server queue with configurable service time and finite
+//    buffer. This is the end-host processing limitation responsible for the
+//    throughput saturation of Fig 7c.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/flow_table.hpp"
+#include "net/packet.hpp"
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+
+namespace pleroma::net {
+
+struct NetworkConfig {
+  /// Fixed per-packet forwarding latency inside a switch.
+  SimTime switchProcessingDelay = 10 * kMicrosecond;
+  /// Per-packet processing time at a receiving host; 0 = infinitely fast.
+  SimTime hostServiceTime = 0;
+  /// Receive buffer (packets) per host; arrivals beyond it are dropped.
+  std::size_t hostQueueCapacity = 1024;
+  /// TCAM capacity per switch; 0 = unlimited.
+  std::size_t flowTableCapacity = 0;
+};
+
+struct NetworkCounters {
+  std::uint64_t packetsForwarded = 0;   ///< switch output actions executed
+  std::uint64_t packetsPuntedToController = 0;
+  std::uint64_t packetsDroppedNoMatch = 0;
+  std::uint64_t packetsDroppedHostQueue = 0;
+  std::uint64_t packetsDroppedHopLimit = 0;
+  std::uint64_t packetsDroppedLinkDown = 0;
+  std::uint64_t packetsDeliveredToHosts = 0;
+};
+
+struct LinkCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  /// (switch, ingress port, packet): invoked when a switch punts a packet
+  /// to its controller over the control network.
+  using PacketInHandler = std::function<void(NodeId, PortId, const Packet&)>;
+  /// (host, packet): invoked when a host finishes processing a received
+  /// packet (i.e. after its service delay).
+  using DeliverHandler = std::function<void(NodeId, const Packet&)>;
+
+  Network(Topology topology, Simulator& sim, NetworkConfig config = {});
+
+  const Topology& topology() const noexcept { return topo_; }
+  Simulator& simulator() noexcept { return sim_; }
+
+  FlowTable& flowTable(NodeId switchNode);
+  const FlowTable& flowTable(NodeId switchNode) const;
+
+  void setPacketInHandler(PacketInHandler handler) { packetIn_ = std::move(handler); }
+  void setDeliverHandler(DeliverHandler handler) { deliver_ = std::move(handler); }
+
+  /// Sends a packet from a host onto its access link.
+  void sendFromHost(NodeId host, Packet packet);
+
+  /// Controller-initiated packet-out: injects a packet at a switch that
+  /// behaves as if received on `inPort` (kInvalidPort = none, so it may be
+  /// forwarded out any port). Used for inter-controller messages (Sec 4.1).
+  void injectAtSwitch(NodeId switchNode, PortId inPort, Packet packet);
+
+  /// Controller-initiated direct output: pushes the packet out of a
+  /// specific switch port, bypassing the flow table (OpenFlow PacketOut
+  /// with an explicit output action).
+  void sendOutPort(NodeId switchNode, PortId outPort, Packet packet);
+
+  /// Fails / restores a link (fault injection). Packets transmitted onto a
+  /// failed link are dropped; in-flight packets already past the link are
+  /// unaffected. The controller reacts via Controller::onLinkDown/Up.
+  void setLinkUp(LinkId link, bool up);
+  bool linkUp(LinkId link) const {
+    return linkUp_[static_cast<std::size_t>(link)];
+  }
+
+  const NetworkCounters& counters() const noexcept { return counters_; }
+  const LinkCounters& linkCounters(LinkId link) const {
+    return linkCounters_[static_cast<std::size_t>(link)];
+  }
+  std::uint64_t totalLinkBytes() const;
+
+ private:
+  void arriveAtNode(NodeId node, PortId inPort, Packet packet);
+  void processAtSwitch(NodeId switchNode, PortId inPort, Packet packet);
+  void receiveAtHost(NodeId host, Packet packet);
+  void transmit(NodeId fromNode, PortId outPort, Packet packet);
+
+  struct HostState {
+    SimTime busyUntil = 0;
+    std::size_t queued = 0;
+  };
+
+  Topology topo_;
+  Simulator& sim_;
+  NetworkConfig config_;
+  std::vector<FlowTable> tables_;   // indexed by NodeId; hosts have empty tables
+  std::vector<HostState> hostState_;
+  std::vector<bool> linkUp_;
+  std::vector<LinkCounters> linkCounters_;
+  NetworkCounters counters_;
+  PacketInHandler packetIn_;
+  DeliverHandler deliver_;
+};
+
+}  // namespace pleroma::net

@@ -1,0 +1,53 @@
+// The unit of data-plane traffic. An event publication is a small UDP-like
+// packet whose destination address carries the event's dz (Sec 3.3.2);
+// control traffic (advertisements/subscriptions, controller-to-controller
+// messages) is addressed to the reserved IP_mid and punted by switches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dz/event_space.hpp"
+#include "dz/ip_encoding.hpp"
+#include "net/types.hpp"
+
+namespace pleroma::net {
+
+/// Identifies a published event end-to-end for delivery accounting.
+using EventId = std::uint64_t;
+
+struct Packet {
+  dz::Ipv6Address src{};
+  dz::Ipv6Address dst{};
+  /// Wire size in bytes ("up to 64 bytes depending on the length of dz",
+  /// Sec 6.2); used for transmission-delay and bandwidth accounting.
+  int sizeBytes = 64;
+  /// IPv6 hop limit, decremented per switch; expired packets are dropped.
+  /// Guards against forwarding cycles that flow sets on cyclic
+  /// inter-partition graphs can form (the paper's interop design never
+  /// exercises data traffic on a cyclic partition graph).
+  int hopLimit = 64;
+
+  // --- payload (simulation-level metadata, not matched by switches) ---
+  EventId eventId = 0;
+  NodeId publisherHost = kInvalidNode;
+  /// Full attribute values of the event, so receivers can evaluate their
+  /// exact subscription semantics and count false positives.
+  dz::Event event;
+  /// The dz stamped by the publisher (also encoded in dst).
+  dz::DzExpression eventDz;
+  /// Simulated time the packet left the publisher.
+  SimTime sentAt = 0;
+  /// Opaque control payload (present only for control-plane messages).
+  std::shared_ptr<const void> control;
+  int controlKind = 0;
+};
+
+/// Unicast address assigned to host h: fd00::(h+1).
+inline dz::Ipv6Address hostAddress(NodeId host) noexcept {
+  return dz::Ipv6Address{
+      dz::U128{0xfd00000000000000ULL, static_cast<std::uint64_t>(host) + 1}};
+}
+
+}  // namespace pleroma::net

@@ -1,0 +1,42 @@
+#include "net/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pleroma::net {
+
+void Simulator::scheduleAt(SimTime when, std::function<void()> action) {
+  assert(when >= now_);
+  queue_.push(Item{when, nextSeq_++, std::move(action)});
+}
+
+std::size_t Simulator::run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // std::priority_queue::top is const; moving the action out requires the
+    // const_cast idiom (the element is removed immediately after).
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.when;
+    item.action();
+    ++count;
+    ++processed_;
+  }
+  return count;
+}
+
+std::size_t Simulator::runUntil(SimTime until) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.when;
+    item.action();
+    ++count;
+    ++processed_;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+}  // namespace pleroma::net

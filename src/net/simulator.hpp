@@ -1,0 +1,57 @@
+// A minimal discrete-event simulation kernel: a virtual clock and an
+// ordered queue of (time, action) events. Deterministic: ties in time are
+// broken by scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace pleroma::net {
+
+class Simulator {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` to run `delay` from now (delay >= 0).
+  void schedule(SimTime delay, std::function<void()> action) {
+    scheduleAt(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at absolute time `when` (>= now).
+  void scheduleAt(SimTime when, std::function<void()> action);
+
+  /// Runs until the queue is empty. Returns the number of events processed.
+  std::size_t run();
+
+  /// Runs events with time <= until (advancing the clock to `until` even if
+  /// the queue drains earlier). Returns the number of events processed.
+  std::size_t runUntil(SimTime until);
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pendingEvents() const noexcept { return queue_.size(); }
+  std::uint64_t processedEvents() const noexcept { return processed_; }
+
+ private:
+  struct Item {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+};
+
+}  // namespace pleroma::net

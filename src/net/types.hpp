@@ -1,0 +1,26 @@
+// Shared plain types of the network substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace pleroma::net {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * 1000;
+inline constexpr SimTime kSecond = 1000 * 1000 * 1000;
+
+/// Node identifier: index into the topology's node vector. Hosts and
+/// switches share one id space.
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Port identifier, local to a node; assigned densely from 1 upwards (port
+/// numbers in OpenFlow are 1-based; 0 is reserved as "invalid/none").
+using PortId = int;
+inline constexpr PortId kInvalidPort = 0;
+
+}  // namespace pleroma::net

@@ -1,0 +1,50 @@
+#include "openflow/control_channel.hpp"
+
+#include <algorithm>
+
+namespace pleroma::openflow {
+
+bool ControlChannel::applyNow(const FlowMod& mod) {
+  net::FlowTable& table = network_.flowTable(mod.switchNode);
+  switch (mod.type) {
+    case FlowModType::kAdd:
+      return table.insert(mod.entry);
+    case FlowModType::kModify:
+      if (table.find(mod.entry.match) == nullptr) return false;
+      return table.insertOrReplace(mod.entry);
+    case FlowModType::kDelete:
+      return table.remove(mod.entry.match);
+  }
+  return false;
+}
+
+bool ControlChannel::send(const FlowMod& mod) {
+  ++stats_.flowModsSent;
+  modeledInstallTime_ += flowModLatency_;
+  switch (mod.type) {
+    case FlowModType::kAdd:
+      ++stats_.flowAdds;
+      break;
+    case FlowModType::kModify:
+      ++stats_.flowModifies;
+      break;
+    case FlowModType::kDelete:
+      ++stats_.flowDeletes;
+      break;
+  }
+  if (!async_) return applyNow(mod);
+
+  // FIFO application: each mod completes flowModLatency after the later of
+  // "now" and the previous mod's completion.
+  net::Simulator& sim = network_.simulator();
+  lastScheduled_ = std::max(lastScheduled_, sim.now()) + flowModLatency_;
+  sim.scheduleAt(lastScheduled_, [this, mod] { applyNow(mod); });
+  return true;
+}
+
+void ControlChannel::sendPacketOut(const PacketOut& out) {
+  ++stats_.packetOuts;
+  network_.sendOutPort(out.switchNode, out.outPort, out.packet);
+}
+
+}  // namespace pleroma::openflow

@@ -1,0 +1,76 @@
+// The control network between one controller and the switches of its
+// partition.
+//
+// Two modes:
+//  * synchronous (default): flow-mods are applied to the switch TCAMs
+//    immediately; the per-mod latency is only *accounted* (the modelled
+//    reconfiguration delay that Fig 7f reports). The controller processes
+//    requests sequentially (Sec 2), so ordering is trivially consistent.
+//  * asynchronous: each flow-mod is applied `flowModLatency` of simulated
+//    time after it is sent, in send order. Events in flight during a
+//    reconfiguration then observe partially updated flow state — the
+//    transient the paper's sequential-processing rule bounds but cannot
+//    eliminate. Used by the activation-delay bench and consistency tests.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "openflow/messages.hpp"
+
+namespace pleroma::openflow {
+
+class ControlChannel {
+ public:
+  /// `flowModLatency` models the switch-side installation cost of one
+  /// flow-mod (dominated by TCAM write; ~1 ms on 2014 hardware).
+  explicit ControlChannel(net::Network& network,
+                          net::SimTime flowModLatency = net::kMillisecond)
+      : network_(network), flowModLatency_(flowModLatency) {}
+
+  /// Switches to asynchronous application: mods apply `flowModLatency`
+  /// after send, under the network's simulator clock.
+  void enableAsyncInstall() { async_ = true; }
+  bool asyncInstall() const noexcept { return async_; }
+
+  /// Applies (sync) or schedules (async) a flow-mod. Synchronous mode
+  /// returns false when an add is rejected (TCAM full) or a modify/delete
+  /// targets a missing entry; asynchronous mode is fire-and-forget and
+  /// always returns true (failures surface in the table statistics).
+  bool send(const FlowMod& mod);
+
+  /// Controller-initiated transmission out of a specific switch port.
+  void sendPacketOut(const PacketOut& out);
+
+  /// Reads the switch's current flow entries — Algorithm 1's
+  /// getCurrentFlowsFromSwitch. In async mode this is the *actual* switch
+  /// state, which may lag the controller's mirror.
+  const net::FlowTable& flowsOf(net::NodeId switchNode) const {
+    return network_.flowTable(switchNode);
+  }
+
+  const ControlPlaneStats& stats() const noexcept { return stats_; }
+
+  /// Total modelled switch-side installation latency accumulated so far.
+  net::SimTime modeledInstallTime() const noexcept { return modeledInstallTime_; }
+
+  /// Resets the modelled-latency accumulator (benches call this around each
+  /// measured reconfiguration).
+  void resetModeledInstallTime() noexcept { modeledInstallTime_ = 0; }
+
+  net::Network& network() noexcept { return network_; }
+
+ private:
+  bool applyNow(const FlowMod& mod);
+
+  net::Network& network_;
+  net::SimTime flowModLatency_;
+  net::SimTime modeledInstallTime_ = 0;
+  bool async_ = false;
+  /// Completion time of the last scheduled async mod, so installs on the
+  /// same channel never reorder even when sends burst.
+  net::SimTime lastScheduled_ = 0;
+  ControlPlaneStats stats_;
+};
+
+}  // namespace pleroma::openflow

@@ -1,0 +1,44 @@
+// Control-plane message types exchanged between a controller and its
+// switches, modelled on the OpenFlow protocol surface PLEROMA uses:
+// flow-mod (add / modify / delete), packet-in (punt to controller) and
+// packet-out (controller-initiated transmission).
+#pragma once
+
+#include <cstdint>
+
+#include "net/flow_table.hpp"
+#include "net/packet.hpp"
+
+namespace pleroma::openflow {
+
+enum class FlowModType { kAdd, kModify, kDelete };
+
+struct FlowMod {
+  FlowModType type = FlowModType::kAdd;
+  net::NodeId switchNode = net::kInvalidNode;
+  net::FlowEntry entry;  // for kDelete only entry.match is meaningful
+};
+
+struct PacketIn {
+  net::NodeId switchNode = net::kInvalidNode;
+  net::PortId inPort = net::kInvalidPort;
+  net::Packet packet;
+};
+
+struct PacketOut {
+  net::NodeId switchNode = net::kInvalidNode;
+  net::PortId outPort = net::kInvalidPort;  // explicit output action
+  net::Packet packet;
+};
+
+/// Counters of control-network traffic (the quantity Figs 7g/7h report).
+struct ControlPlaneStats {
+  std::uint64_t flowModsSent = 0;
+  std::uint64_t flowAdds = 0;
+  std::uint64_t flowModifies = 0;
+  std::uint64_t flowDeletes = 0;
+  std::uint64_t packetIns = 0;
+  std::uint64_t packetOuts = 0;
+};
+
+}  // namespace pleroma::openflow

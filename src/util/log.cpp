@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace pleroma::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* levelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level = level; }
+LogLevel logLevel() noexcept { return g_level; }
+
+void logLine(LogLevel level, std::string_view message) {
+  if (level < g_level) return;
+  std::string line = std::string("[") + levelName(level) + "] ";
+  line.append(message);
+  line.push_back('\n');
+  std::fputs(line.c_str(), stderr);
+}
+
+}  // namespace pleroma::util

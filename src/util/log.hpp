@@ -1,0 +1,43 @@
+// Minimal leveled logger. The simulator and controller are single-threaded;
+// logging exists for the examples and for debugging test failures, and is
+// silent at the default level so benches stay clean.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace pleroma::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+/// Writes one line "[level] message" to stderr if enabled.
+void logLine(LogLevel level, std::string_view message);
+
+/// printf-style formatting (libstdc++ 12 has no <format> yet).
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < logLevel()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    logLine(level, fmt);
+  } else {
+    char buf[1024];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    logLine(level, buf);
+  }
+}
+
+#define PLEROMA_LOG_DEBUG(...) \
+  ::pleroma::util::logf(::pleroma::util::LogLevel::kDebug, __VA_ARGS__)
+#define PLEROMA_LOG_INFO(...) \
+  ::pleroma::util::logf(::pleroma::util::LogLevel::kInfo, __VA_ARGS__)
+#define PLEROMA_LOG_WARN(...) \
+  ::pleroma::util::logf(::pleroma::util::LogLevel::kWarn, __VA_ARGS__)
+#define PLEROMA_LOG_ERROR(...) \
+  ::pleroma::util::logf(::pleroma::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace pleroma::util

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random utilities used across the PLEROMA
+// reproduction: a xoshiro256** engine, bounded integer / real sampling, and
+// a Zipf sampler for the hotspot-popularity workloads of the paper (Sec 6.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pleroma::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm).
+/// Deterministic given a seed, fast, and good enough statistically for
+/// workload generation; satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  /// Re-initialises the state from a 64-bit seed via splitmix64 so that
+  /// nearby seeds give unrelated streams.
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniformReal() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniformReal(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniformReal() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^alpha.
+/// Used for the paper's zipfian interest-popularity model: rank 0 is the
+/// most popular hotspot. Precomputes the CDF once; sampling is a binary
+/// search (O(log n)).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_ = 1.0;
+};
+
+}  // namespace pleroma::util

@@ -1,0 +1,42 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace pleroma::util {
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  const double newMean = mean_ + delta * static_cast<double>(other.n_) / total;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+  mean_ = newMean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Samples::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[idx];
+}
+
+}  // namespace pleroma::util

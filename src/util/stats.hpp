@@ -1,0 +1,78 @@
+// Small statistics helpers used by the benchmark harnesses: streaming
+// mean/variance (Welford), reservoir-free percentile estimation over stored
+// samples, and simple named counters.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pleroma::util {
+
+/// Streaming accumulator: count, mean, variance, min, max (Welford's
+/// online algorithm; numerically stable).
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples and answers percentile queries. Intended for the modest
+/// sample counts of the reproduction harnesses (<= a few million).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const noexcept { return values_.size(); }
+  double mean() const noexcept;
+  /// q in [0, 1]; nearest-rank percentile. Returns 0 for an empty set.
+  double percentile(double q) const;
+  void clear() noexcept { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Named monotonically increasing counters (control messages, flow-mods,
+/// false positives, ...). Cheap and deterministic; no atomics needed in the
+/// single-threaded simulator.
+class Counters {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) { map_[name] += by; }
+  std::uint64_t get(const std::string& name) const {
+    const auto it = map_.find(name);
+    return it == map_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const noexcept { return map_; }
+  void clear() noexcept { map_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> map_;
+};
+
+}  // namespace pleroma::util

@@ -1,0 +1,77 @@
+#include "workload/parametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pleroma::workload {
+
+MovingWindow::MovingWindow(MovingWindowConfig config, util::Rng& rng)
+    : config_(std::move(config)) {
+  centre_.resize(static_cast<std::size_t>(config_.numAttributes));
+  velocity_.resize(static_cast<std::size_t>(config_.numAttributes));
+  const double dmax = static_cast<double>(config_.domainMax);
+  for (int d = 0; d < config_.numAttributes; ++d) {
+    centre_[static_cast<std::size_t>(d)] = rng.uniformReal(0.0, dmax);
+    const double speed = rng.uniformReal(config_.minSpeed, config_.maxSpeed);
+    velocity_[static_cast<std::size_t>(d)] = rng.chance(0.5) ? speed : -speed;
+  }
+}
+
+bool MovingWindow::constrained(int dim) const {
+  return std::find(config_.unconstrainedDims.begin(),
+                   config_.unconstrainedDims.end(),
+                   dim) == config_.unconstrainedDims.end();
+}
+
+dz::Rectangle MovingWindow::current() const {
+  dz::Rectangle rect;
+  const double dmax = static_cast<double>(config_.domainMax);
+  for (int d = 0; d < config_.numAttributes; ++d) {
+    if (!constrained(d)) {
+      rect.ranges.push_back(dz::Range{0, config_.domainMax});
+      continue;
+    }
+    const double c = centre_[static_cast<std::size_t>(d)];
+    const double lo = std::clamp(c - config_.radius, 0.0, dmax);
+    const double hi = std::clamp(c + config_.radius, 0.0, dmax);
+    rect.ranges.push_back(dz::Range{static_cast<dz::AttributeValue>(lo),
+                                    static_cast<dz::AttributeValue>(hi)});
+  }
+  return rect;
+}
+
+dz::Rectangle MovingWindow::step() {
+  const double dmax = static_cast<double>(config_.domainMax);
+  for (int d = 0; d < config_.numAttributes; ++d) {
+    if (!constrained(d)) continue;
+    auto& c = centre_[static_cast<std::size_t>(d)];
+    auto& v = velocity_[static_cast<std::size_t>(d)];
+    c += v;
+    if (c < 0.0) {
+      c = -c;
+      v = -v;
+    } else if (c > dmax) {
+      c = 2.0 * dmax - c;
+      v = -v;
+    }
+  }
+  return current();
+}
+
+MovingWindowFleet::MovingWindowFleet(MovingWindowConfig config,
+                                     std::size_t count, std::uint64_t seed)
+    : rng_(seed) {
+  windows_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    windows_.emplace_back(config, rng_);
+  }
+}
+
+std::vector<dz::Rectangle> MovingWindowFleet::stepAll() {
+  std::vector<dz::Rectangle> out;
+  out.reserve(windows_.size());
+  for (auto& w : windows_) out.push_back(w.step());
+  return out;
+}
+
+}  // namespace pleroma::workload

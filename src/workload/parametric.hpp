@@ -1,0 +1,68 @@
+// Parametric subscriptions (Sec 1: "subscriptions and advertisements often
+// depend on the context...", citing Jayaram et al.'s parametric
+// subscriptions and the moving range queries of location-based
+// applications). A MovingWindow is a rectangle filter whose centre moves
+// through the event space with bounded velocity, reflecting at the domain
+// boundary; each step() yields the next rectangle the subscriber must
+// re-subscribe with. This produces the sustained reconfiguration churn
+// PLEROMA's requirement 1 targets.
+#pragma once
+
+#include <vector>
+
+#include "dz/event_space.hpp"
+#include "util/rng.hpp"
+
+namespace pleroma::workload {
+
+struct MovingWindowConfig {
+  int numAttributes = 2;
+  dz::AttributeValue domainMax = 1023;
+  /// Half-width of the window along each attribute.
+  dz::AttributeValue radius = 100;
+  /// Per-step displacement magnitude bounds.
+  double minSpeed = 5.0;
+  double maxSpeed = 30.0;
+  /// Dimensions the window does NOT constrain (whole-domain ranges).
+  std::vector<int> unconstrainedDims;
+};
+
+class MovingWindow {
+ public:
+  MovingWindow(MovingWindowConfig config, util::Rng& rng);
+
+  /// The current window rectangle.
+  dz::Rectangle current() const;
+
+  /// Advances the centre one step (reflecting at the boundary) and returns
+  /// the new rectangle.
+  dz::Rectangle step();
+
+  const std::vector<double>& centre() const noexcept { return centre_; }
+
+ private:
+  bool constrained(int dim) const;
+
+  MovingWindowConfig config_;
+  std::vector<double> centre_;
+  std::vector<double> velocity_;
+};
+
+/// A fleet of moving windows, convenient for churn experiments.
+class MovingWindowFleet {
+ public:
+  MovingWindowFleet(MovingWindowConfig config, std::size_t count,
+                    std::uint64_t seed);
+
+  std::size_t size() const noexcept { return windows_.size(); }
+  MovingWindow& window(std::size_t i) { return windows_[i]; }
+
+  /// Steps every window, returning the new rectangles in order.
+  std::vector<dz::Rectangle> stepAll();
+
+ private:
+  util::Rng rng_;
+  std::vector<MovingWindow> windows_;
+};
+
+}  // namespace pleroma::workload

@@ -1,0 +1,85 @@
+// Workload generation per the paper's experimental setup (Sec 6.1):
+// a content-based schema of up to 10 attributes with domain [0, 1023];
+// two interest models —
+//   * uniform: subscriptions and events drawn independently at random;
+//   * interest popularity ("zipfian"): 7 hotspot regions, subscriptions and
+//     events generated around hotspots chosen by a zipf distribution.
+// For the dimension-selection experiment (Fig 7e) the zipfian model can
+// restrict the variance of event values along chosen dimensions and make
+// subscriptions unselective there, producing dimensions that are useless
+// for in-network filtering.
+#pragma once
+
+#include <vector>
+
+#include "dz/event_space.hpp"
+#include "util/rng.hpp"
+
+namespace pleroma::workload {
+
+enum class Model { kUniform, kZipfian };
+
+struct WorkloadConfig {
+  Model model = Model::kUniform;
+  int numAttributes = 2;
+  int bitsPerDim = 10;
+
+  /// Average subscription extent along each attribute, as a fraction of the
+  /// domain (selectivity knob). The actual width is uniform in
+  /// [0.5, 1.5] * selectivity * domain.
+  double subscriptionSelectivity = 0.1;
+  /// Advertisements are wider than subscriptions by this factor.
+  double advertisementWidthFactor = 4.0;
+
+  // --- zipfian model ---
+  int numHotspots = 7;
+  double zipfAlpha = 1.0;
+  /// Extent of a hotspot region as a fraction of the domain.
+  double hotspotRadius = 0.08;
+
+  /// Dimensions along which events barely vary and subscriptions are
+  /// unselective (span the whole domain): useless for filtering. Used by
+  /// the Fig 7e workloads.
+  std::vector<int> uninformativeDims;
+
+  std::uint64_t seed = 42;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  const WorkloadConfig& config() const noexcept { return config_; }
+  dz::AttributeValue domainMax() const noexcept {
+    return (dz::AttributeValue{1} << config_.bitsPerDim) - 1;
+  }
+
+  /// One subscription rectangle.
+  dz::Rectangle makeSubscription();
+  /// One advertisement rectangle (wider than subscriptions).
+  dz::Rectangle makeAdvertisement();
+  /// One event point.
+  dz::Event makeEvent();
+
+  std::vector<dz::Rectangle> makeSubscriptions(std::size_t n);
+  std::vector<dz::Rectangle> makeAdvertisements(std::size_t n);
+  std::vector<dz::Event> makeEvents(std::size_t n);
+
+  /// The hotspot centres (zipfian model; empty for uniform). Exposed so
+  /// tests can verify the clustering.
+  const std::vector<dz::Event>& hotspots() const noexcept { return hotspots_; }
+
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  dz::Rectangle makeRectangle(double widthFraction);
+  bool isUninformative(int dim) const noexcept;
+  dz::AttributeValue clampToDomain(double v) const noexcept;
+
+  WorkloadConfig config_;
+  util::Rng rng_;
+  util::ZipfSampler zipf_;
+  std::vector<dz::Event> hotspots_;
+};
+
+}  // namespace pleroma::workload

@@ -1,0 +1,337 @@
+// Property-based test of the controller's central correctness guarantee
+// (Sec 2-3): after ANY sequence of (un)advertise / (un)subscribe
+// operations, an event e published by p is delivered to host h
+//   * ALWAYS when some subscription at h and p's advertisement both overlap
+//     dz(e)   (no false negatives), and
+//   * ONLY when some subscription at h overlaps dz(e)   (false positives
+//     come solely from dz truncation, never from stale flows), and
+//   * at most once (tree-disjointness + ingress suppression prevent
+//     duplicate delivery).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "workload/workload.hpp"
+
+namespace pleroma::ctrl {
+namespace {
+
+struct LiveSub {
+  SubscriptionId id;
+  net::NodeId host;
+  dz::DzSet dz;
+};
+struct LivePub {
+  PublisherId id;
+  net::NodeId host;
+  dz::DzSet dz;
+};
+
+class ControllerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ControllerPropertyTest, DeliveryInvariantUnderRandomOps) {
+  const std::uint64_t seed = GetParam();
+  net::Topology topo = net::Topology::testbedFatTree();
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  ControllerConfig cfg;
+  cfg.maxDzLength = 8;
+  cfg.maxCellsPerRequest = 6;
+  cfg.maxTrees = 4;  // force merges to happen during the run
+  Controller controller(dz::EventSpace(2, 10), network,
+                        Scope::wholeTopology(topo), cfg);
+
+  std::vector<std::pair<net::NodeId, net::EventId>> deliveries;
+  network.setDeliverHandler([&](net::NodeId host, const net::Packet& pkt) {
+    deliveries.emplace_back(host, pkt.eventId);
+  });
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.25;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+  util::Rng& rng = gen.rng();
+
+  const auto hosts = topo.hosts();
+  std::vector<LiveSub> subs;
+  std::vector<LivePub> pubs;
+
+  auto randomHost = [&] {
+    return hosts[rng.uniformInt(0, hosts.size() - 1)];
+  };
+
+  auto checkPublish = [&](const LivePub& pub) {
+    const dz::Event e = gen.makeEvent();
+    const dz::DzExpression eDz = controller.stampEvent(e);
+    deliveries.clear();
+    network.sendFromHost(pub.host, controller.makeEventPacket(pub.host, e, 7));
+    sim.run();
+
+    std::set<net::NodeId> got;
+    for (const auto& [h, id] : deliveries) {
+      EXPECT_TRUE(got.insert(h).second) << "duplicate delivery to host " << h;
+    }
+
+    const bool pubCovers = pub.dz.overlaps(eDz);
+    for (const LiveSub& s : subs) {
+      const bool subCovers = s.dz.overlaps(eDz);
+      if (subCovers && pubCovers && s.host != pub.host) {
+        EXPECT_TRUE(got.contains(s.host))
+            << "false negative: host " << s.host << " sub " << s.dz.toString()
+            << " pub " << pub.dz.toString() << " event dz " << eDz.toString();
+      }
+    }
+    for (const net::NodeId h : got) {
+      bool anySubCovers = false;
+      for (const LiveSub& s : subs) {
+        if (s.host == h && s.dz.overlaps(eDz)) {
+          anySubCovers = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(anySubCovers)
+          << "spurious delivery to host " << h << " event dz " << eDz.toString();
+    }
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const auto dice = rng.uniformInt(0, 99);
+    if (dice < 30 || pubs.empty()) {
+      const net::NodeId h = randomHost();
+      const PublisherId id = controller.advertise(h, gen.makeAdvertisement());
+      pubs.push_back(LivePub{id, h, controller.advertisementDz(id)});
+    } else if (dice < 65) {
+      const net::NodeId h = randomHost();
+      const SubscriptionId id = controller.subscribe(h, gen.makeSubscription());
+      subs.push_back(LiveSub{id, h, controller.subscriptionDz(id)});
+    } else if (dice < 80 && !subs.empty()) {
+      const std::size_t victim = rng.uniformInt(0, subs.size() - 1);
+      controller.unsubscribe(subs[victim].id);
+      subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else if (!pubs.empty()) {
+      const std::size_t victim = rng.uniformInt(0, pubs.size() - 1);
+      controller.unadvertise(pubs[victim].id);
+      pubs.erase(pubs.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+
+    // Structural invariant: tree DZ sets pairwise disjoint.
+    const auto trees = controller.trees();
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      for (std::size_t j = i + 1; j < trees.size(); ++j) {
+        ASSERT_FALSE(trees[i]->dzSet().overlaps(trees[j]->dzSet()))
+            << "step " << step;
+      }
+    }
+    ASSERT_LE(controller.treeCount(), cfg.maxTrees);
+
+    // Behavioural invariant: a few random publications.
+    if (!pubs.empty() && step % 3 == 0) {
+      for (int k = 0; k < 3; ++k) {
+        checkPublish(pubs[rng.uniformInt(0, pubs.size() - 1)]);
+      }
+    }
+  }
+}
+
+TEST_P(ControllerPropertyTest, FlowCountBoundedByRegistry) {
+  // The number of flows on any switch never exceeds the number of distinct
+  // (dz, switch) contributions — no flow-table leaks across churn.
+  const std::uint64_t seed = GetParam();
+  net::Topology topo = net::Topology::testbedFatTree();
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  ControllerConfig cfg;
+  cfg.maxDzLength = 8;
+  Controller controller(dz::EventSpace(2, 10), network,
+                        Scope::wholeTopology(topo), cfg);
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.seed = seed + 1000;
+  workload::WorkloadGenerator gen(wcfg);
+  util::Rng& rng = gen.rng();
+  const auto hosts = topo.hosts();
+
+  std::vector<SubscriptionId> subs;
+  std::vector<PublisherId> pubs;
+  for (int step = 0; step < 60; ++step) {
+    const auto dice = rng.uniformInt(0, 9);
+    if (dice < 3) {
+      pubs.push_back(controller.advertise(hosts[rng.uniformInt(0, hosts.size() - 1)],
+                                          gen.makeAdvertisement()));
+    } else if (dice < 7) {
+      subs.push_back(controller.subscribe(hosts[rng.uniformInt(0, hosts.size() - 1)],
+                                          gen.makeSubscription()));
+    } else if (dice < 9 && !subs.empty()) {
+      controller.unsubscribe(subs.back());
+      subs.pop_back();
+    } else if (!pubs.empty()) {
+      controller.unadvertise(pubs.back());
+      pubs.pop_back();
+    }
+  }
+  // Drain everything: all switch tables must become empty (no leaks).
+  for (const SubscriptionId s : subs) controller.unsubscribe(s);
+  for (const PublisherId p : pubs) controller.unadvertise(p);
+  for (const net::NodeId sw : topo.switches()) {
+    EXPECT_TRUE(network.flowTable(sw).empty()) << "leaked flows on " << sw;
+  }
+  EXPECT_EQ(controller.registry().size(), 0u);
+  EXPECT_EQ(controller.treeCount(), 0u);
+}
+
+TEST_P(ControllerPropertyTest, TablesSemanticallyMatchRequiredFlows) {
+  // After arbitrary churn, every switch's installed table must route each
+  // relevant destination address to exactly the ports the path registry's
+  // canonical required-flow computation routes it to — i.e. the incremental
+  // Algorithm-1 installation and the reconcile-based removal converge to
+  // the same forwarding function.
+  const std::uint64_t seed = GetParam();
+  net::Topology topo = net::Topology::testbedFatTree();
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  ControllerConfig cfg;
+  cfg.maxDzLength = 8;
+  cfg.maxCellsPerRequest = 6;
+  Controller controller(dz::EventSpace(2, 10), network,
+                        Scope::wholeTopology(topo), cfg);
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.3;
+  wcfg.seed = seed + 5;
+  workload::WorkloadGenerator gen(wcfg);
+  util::Rng& rng = gen.rng();
+  const auto hosts = topo.hosts();
+
+  std::vector<SubscriptionId> subs;
+  std::vector<PublisherId> pubs;
+  for (int step = 0; step < 80; ++step) {
+    const auto dice = rng.uniformInt(0, 9);
+    const net::NodeId h = hosts[rng.uniformInt(0, hosts.size() - 1)];
+    if (dice < 3 || pubs.empty()) {
+      pubs.push_back(controller.advertise(h, gen.makeAdvertisement()));
+    } else if (dice < 7) {
+      subs.push_back(controller.subscribe(h, gen.makeSubscription()));
+    } else if (dice < 9 && !subs.empty()) {
+      const std::size_t v = rng.uniformInt(0, subs.size() - 1);
+      controller.unsubscribe(subs[v]);
+      subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(v));
+    } else if (!pubs.empty()) {
+      const std::size_t v = rng.uniformInt(0, pubs.size() - 1);
+      controller.unadvertise(pubs[v]);
+      pubs.erase(pubs.begin() + static_cast<std::ptrdiff_t>(v));
+    }
+
+    if (step % 10 != 9) continue;
+    for (const net::NodeId sw : topo.switches()) {
+      net::FlowTable expected;
+      for (const auto& e : controller.registry().requiredFlows(sw)) {
+        ASSERT_TRUE(expected.insert(e));
+      }
+      // Probe with the address of every installed entry (the boundaries of
+      // the forwarding function) plus random addresses.
+      std::vector<dz::Ipv6Address> probes;
+      for (const auto& entry : network.flowTable(sw).entries()) {
+        probes.push_back(entry.match.address);
+      }
+      for (int r = 0; r < 20; ++r) {
+        dz::U128 bits;
+        for (int b = 0; b < 8; ++b) bits.setBitFromMsb(b, rng.chance(0.5));
+        probes.push_back(dz::dzToAddress(dz::DzExpression(bits, 8)));
+      }
+      for (const auto probe : probes) {
+        const net::FlowEntry* actual = network.flowTable(sw).lookup(probe);
+        const net::FlowEntry* required = expected.lookup(probe);
+        ASSERT_EQ(actual == nullptr, required == nullptr)
+            << "switch " << sw << " step " << step;
+        if (actual == nullptr) continue;
+        auto pa = actual->outPorts();
+        auto pr = required->outPorts();
+        std::sort(pa.begin(), pa.end());
+        std::sort(pr.begin(), pr.end());
+        ASSERT_EQ(pa, pr) << "switch " << sw << " step " << step;
+      }
+    }
+  }
+}
+
+TEST_P(ControllerPropertyTest, DeliveryInvariantOnRandomTopology) {
+  // Same invariant as above, but on an irregular random topology (random
+  // spanning tree + chords) instead of the symmetric testbed fat-tree.
+  const std::uint64_t seed = GetParam();
+  net::Topology topo = net::Topology::randomConnected(9, 4, seed);
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  ControllerConfig cfg;
+  cfg.maxDzLength = 8;
+  cfg.maxCellsPerRequest = 6;
+  cfg.maxTrees = 5;
+  Controller controller(dz::EventSpace(2, 10), network,
+                        Scope::wholeTopology(topo), cfg);
+
+  std::set<net::NodeId> got;
+  network.setDeliverHandler(
+      [&](net::NodeId host, const net::Packet&) { got.insert(host); });
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.3;
+  wcfg.seed = seed * 31 + 1;
+  workload::WorkloadGenerator gen(wcfg);
+  util::Rng& rng = gen.rng();
+  const auto hosts = topo.hosts();
+
+  std::vector<LiveSub> subs;
+  std::vector<LivePub> pubs;
+  for (int step = 0; step < 60; ++step) {
+    const auto dice = rng.uniformInt(0, 9);
+    const net::NodeId h = hosts[rng.uniformInt(0, hosts.size() - 1)];
+    if (dice < 3 || pubs.empty()) {
+      const PublisherId id = controller.advertise(h, gen.makeAdvertisement());
+      pubs.push_back(LivePub{id, h, controller.advertisementDz(id)});
+    } else if (dice < 7) {
+      const SubscriptionId id = controller.subscribe(h, gen.makeSubscription());
+      subs.push_back(LiveSub{id, h, controller.subscriptionDz(id)});
+    } else if (dice < 9 && !subs.empty()) {
+      controller.unsubscribe(subs.back().id);
+      subs.pop_back();
+    } else if (!pubs.empty()) {
+      controller.unadvertise(pubs.back().id);
+      pubs.pop_back();
+    }
+
+    if (!pubs.empty() && step % 4 == 0) {
+      const LivePub& pub = pubs[rng.uniformInt(0, pubs.size() - 1)];
+      const dz::Event e = gen.makeEvent();
+      const dz::DzExpression eDz = controller.stampEvent(e);
+      got.clear();
+      network.sendFromHost(pub.host, controller.makeEventPacket(pub.host, e, 1));
+      sim.run();
+      const bool pubCovers = pub.dz.overlaps(eDz);
+      for (const LiveSub& s : subs) {
+        if (s.dz.overlaps(eDz) && pubCovers && s.host != pub.host) {
+          EXPECT_TRUE(got.contains(s.host))
+              << "false negative on random topo, step " << step;
+        }
+      }
+      for (const net::NodeId gh : got) {
+        bool anySub = false;
+        for (const LiveSub& s : subs) {
+          if (s.host == gh && s.dz.overlaps(eDz)) anySub = true;
+        }
+        EXPECT_TRUE(anySub) << "spurious delivery on random topo, step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerPropertyTest,
+                         ::testing::Values(7u, 21u, 101u, 2024u));
+
+}  // namespace
+}  // namespace pleroma::ctrl

@@ -1,0 +1,245 @@
+// Failure-injection tests: link failures in the data plane and the
+// controller's repair path (tree rebuild over remaining links, route
+// re-derivation, healing on restore).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "controller/controller.hpp"
+#include "net/packet.hpp"
+#include "workload/workload.hpp"
+
+namespace pleroma::ctrl {
+namespace {
+
+dz::Rectangle rect(dz::AttributeValue aLo, dz::AttributeValue aHi) {
+  return dz::Rectangle{{dz::Range{aLo, aHi}, dz::Range{0, 1023}}};
+}
+
+struct FailureFixture : ::testing::Test {
+  explicit FailureFixture(net::Topology t = net::Topology::ring(6))
+      : topo(std::move(t)),
+        network(topo, sim, {}),
+        controller(dz::EventSpace(2, 10), network, Scope::wholeTopology(topo),
+                   {}) {
+    hosts = topo.hosts();
+    network.setDeliverHandler(
+        [this](net::NodeId h, const net::Packet&) { delivered.insert(h); });
+  }
+
+  std::set<net::NodeId> publish(net::NodeId host, const dz::Event& e) {
+    delivered.clear();
+    network.sendFromHost(host, controller.makeEventPacket(host, e, 1));
+    sim.run();
+    return delivered;
+  }
+
+  /// Fails the link and notifies the controller (as the OpenFlow
+  /// port-status message would).
+  void failLink(net::LinkId l) {
+    network.setLinkUp(l, false);
+    controller.onLinkDown(l);
+  }
+  void restoreLink(net::LinkId l) {
+    network.setLinkUp(l, true);
+    controller.onLinkUp(l);
+  }
+
+  /// A switch-switch link currently used by the first tree.
+  net::LinkId usedTreeLink() {
+    const auto edges = controller.trees()[0]->edges();
+    EXPECT_FALSE(edges.empty());
+    return edges.front();
+  }
+
+  net::Topology topo;
+  net::Simulator sim;
+  net::Network network;
+  Controller controller;
+  std::vector<net::NodeId> hosts;
+  std::set<net::NodeId> delivered;
+};
+
+TEST_F(FailureFixture, DeliveryContinuesAfterRedundantLinkFailure) {
+  // The ring provides an alternate arc for any single link failure.
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  ASSERT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+
+  failLink(usedTreeLink());
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+  EXPECT_EQ(network.counters().packetsDroppedLinkDown, 0u)
+      << "repaired flows must not route into the failed link";
+}
+
+TEST_F(FailureFixture, WithoutRepairPacketsDieAtFailedLink) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  // Fail the link but do NOT notify the controller.
+  network.setLinkUp(usedTreeLink(), false);
+  EXPECT_TRUE(publish(hosts[0], {100, 100}).empty());
+  EXPECT_GT(network.counters().packetsDroppedLinkDown, 0u);
+}
+
+TEST_F(FailureFixture, SequentialFailuresUntilPartition) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+
+  // Fail both arcs adjacent to the publisher's access switch: it becomes
+  // unreachable and delivery must stop (without crashing).
+  const net::NodeId pubSwitch = topo.hostAttachment(hosts[0]).switchNode;
+  std::vector<net::LinkId> adjacent;
+  for (const auto& [port, lid] : topo.portsOf(pubSwitch)) {
+    const net::Link& link = topo.link(lid);
+    if (topo.isSwitch(link.a.node) && topo.isSwitch(link.b.node)) {
+      adjacent.push_back(lid);
+    }
+  }
+  ASSERT_EQ(adjacent.size(), 2u);
+  failLink(adjacent[0]);
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+  failLink(adjacent[1]);
+  EXPECT_TRUE(publish(hosts[0], {100, 100}).empty());
+
+  // Restoration heals the dropped routes.
+  restoreLink(adjacent[0]);
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+TEST_F(FailureFixture, SubscriptionDuringOutageConnectsAfterRestore) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  const net::NodeId pubSwitch = topo.hostAttachment(hosts[0]).switchNode;
+  std::vector<net::LinkId> adjacent;
+  for (const auto& [port, lid] : topo.portsOf(pubSwitch)) {
+    const net::Link& link = topo.link(lid);
+    if (topo.isSwitch(link.a.node) && topo.isSwitch(link.b.node)) {
+      adjacent.push_back(lid);
+    }
+  }
+  for (const net::LinkId l : adjacent) failLink(l);
+
+  // Subscribed while the publisher is unreachable: no route exists yet.
+  controller.subscribe(hosts[3], rect(0, 511));
+  EXPECT_TRUE(publish(hosts[0], {100, 100}).empty());
+
+  restoreLink(adjacent[0]);
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+TEST_F(FailureFixture, UnrelatedTreeUntouchedByFailure) {
+  controller.advertise(hosts[0], rect(0, 511));    // tree A
+  controller.advertise(hosts[3], rect(512, 1023)); // tree B (disjoint DZ)
+  controller.subscribe(hosts[1], rect(0, 1023));
+  ASSERT_EQ(controller.treeCount(), 2u);
+
+  // Fail a link used only by tree A.
+  const auto edgesA = controller.trees()[0]->edges();
+  const auto edgesB = controller.trees()[1]->edges();
+  net::LinkId onlyA = net::kInvalidLink;
+  for (const net::LinkId l : edgesA) {
+    if (std::find(edgesB.begin(), edgesB.end(), l) == edgesB.end()) {
+      onlyA = l;
+      break;
+    }
+  }
+  if (onlyA == net::kInvalidLink) GTEST_SKIP() << "trees share all edges";
+
+  const int idB = controller.trees()[1]->id();
+  failLink(onlyA);
+  // Tree B was not rebuilt (its id survives; the rebuilt tree A got a new
+  // id and moved to the back of the list).
+  bool treeBSurvives = false;
+  for (const SpanningTree* t : controller.trees()) {
+    if (t->id() == idB) treeBSurvives = true;
+  }
+  EXPECT_TRUE(treeBSurvives);
+  // Both publishers still deliver.
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[1]}));
+  EXPECT_EQ(publish(hosts[3], {800, 100}), (std::set<net::NodeId>{hosts[1]}));
+}
+
+TEST_F(FailureFixture, FlowsNeverReferenceFailedLink) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[2], rect(0, 1023));
+  controller.subscribe(hosts[4], rect(0, 1023));
+  const net::LinkId failed = usedTreeLink();
+  failLink(failed);
+
+  // No installed flow forwards out of a port attached to the failed link.
+  for (const net::NodeId sw : topo.switches()) {
+    for (const auto& entry : network.flowTable(sw).entries()) {
+      for (const auto& action : entry.actions) {
+        EXPECT_NE(topo.linkAt(sw, action.port), failed)
+            << "switch " << sw << " flow " << entry.toString();
+      }
+    }
+  }
+}
+
+TEST_F(FailureFixture, RepeatedFailRestoreCycleStable) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 1023));
+  const net::LinkId link = usedTreeLink();
+  for (int round = 0; round < 5; ++round) {
+    failLink(link);
+    EXPECT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[3]}))
+        << "round " << round;
+    restoreLink(link);
+    EXPECT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[3]}))
+        << "round " << round;
+  }
+  // No duplicate or leaked state: one subscription's worth of paths.
+  EXPECT_GT(controller.registry().size(), 0u);
+  EXPECT_LE(controller.registry().size(), 4u);
+}
+
+TEST_F(FailureFixture, DoubleNotificationIdempotent) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 1023));
+  const net::LinkId link = usedTreeLink();
+  failLink(link);
+  const std::size_t trees = controller.treeCount();
+  controller.onLinkDown(link);  // duplicate notification
+  EXPECT_EQ(controller.treeCount(), trees);
+  restoreLink(link);
+  controller.onLinkUp(link);  // duplicate restore
+  EXPECT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+TEST(FailureFatTree, CoreLinkFailureReroutesThroughOtherCore) {
+  // The testbed fat-tree has two cores: failing one core-agg link must
+  // reroute through the redundant core.
+  net::Topology topo = net::Topology::testbedFatTree();
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  Controller controller(dz::EventSpace(2, 10), network,
+                        Scope::wholeTopology(topo), {});
+  const auto hosts = topo.hosts();
+  std::set<net::NodeId> delivered;
+  network.setDeliverHandler(
+      [&](net::NodeId h, const net::Packet&) { delivered.insert(h); });
+
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[7], rect(0, 1023));
+
+  auto publish = [&](const dz::Event& e) {
+    delivered.clear();
+    network.sendFromHost(hosts[0], controller.makeEventPacket(hosts[0], e, 1));
+    sim.run();
+    return delivered;
+  };
+  ASSERT_EQ(publish({1, 1}), (std::set<net::NodeId>{hosts[7]}));
+
+  // Fail every tree edge incident to core switch R1 (node of the first
+  // core): traffic must shift to the other core.
+  const net::NodeId core0 = topo.switches()[0];
+  for (const auto& [port, lid] : topo.portsOf(core0)) {
+    network.setLinkUp(lid, false);
+    controller.onLinkDown(lid);
+  }
+  EXPECT_EQ(publish({1, 1}), (std::set<net::NodeId>{hosts[7]}));
+  EXPECT_EQ(network.counters().packetsDroppedLinkDown, 0u);
+}
+
+}  // namespace
+}  // namespace pleroma::ctrl

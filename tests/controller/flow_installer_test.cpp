@@ -1,0 +1,199 @@
+// Tests of Algorithm 1's flowAddition cases 1-5 (Sec 3.3.2) against the
+// worked example of Fig 4, plus reconcile-based removal.
+#include "controller/flow_installer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+#include <algorithm>
+
+namespace pleroma::ctrl {
+namespace {
+
+dz::DzExpression dz(std::string_view s) { return *dz::DzExpression::fromString(s); }
+dz::DzSet set(std::string_view s) { return *dz::DzSet::fromString(s); }
+
+struct InstallerFixture : ::testing::Test {
+  InstallerFixture()
+      : topo(net::Topology::line(2)),
+        network(topo, sim, {}),
+        channel(network),
+        installer(channel) {
+    sw = topo.switches()[0];
+  }
+
+  std::vector<net::PortId> portsAt(std::string_view dzStr) {
+    const auto* e = network.flowTable(sw).find(dz::dzToPrefix(dz(dzStr)));
+    if (e == nullptr) return {};
+    auto p = e->outPorts();
+    std::sort(p.begin(), p.end());
+    return p;
+  }
+  bool hasFlow(std::string_view dzStr) {
+    return network.flowTable(sw).find(dz::dzToPrefix(dz(dzStr))) != nullptr;
+  }
+
+  net::Topology topo;
+  net::Simulator sim;
+  net::Network network;
+  openflow::ControlChannel channel;
+  FlowInstaller installer;
+  net::NodeId sw;
+};
+
+TEST_F(InstallerFixture, Case1AddToEmptyTable) {
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  EXPECT_EQ(portsAt("10"), std::vector<net::PortId>{2});
+  EXPECT_EQ(channel.stats().flowAdds, 1u);
+}
+
+TEST_F(InstallerFixture, Case2CoveredByExistingDoesNothing) {
+  installer.installPath(set("1"), {RouteHop{sw, 2, std::nullopt}});
+  const auto before = channel.stats().flowModsSent;
+  // New finer flow to the same port is already covered.
+  installer.installPath(set("100"), {RouteHop{sw, 2, std::nullopt}});
+  EXPECT_EQ(channel.stats().flowModsSent, before);
+  EXPECT_FALSE(hasFlow("100"));
+}
+
+TEST_F(InstallerFixture, Case3NewCoarserFlowReplacesFiner) {
+  // Fig 4 at R3/R4: existing dz=100 -> {2,3}; new dz=10 -> same ports
+  // replaces it.
+  installer.installPath(set("100"), {RouteHop{sw, 2, std::nullopt}});
+  installer.installPath(set("100"), {RouteHop{sw, 3, std::nullopt}});
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  installer.installPath(set("10"), {RouteHop{sw, 3, std::nullopt}});
+  EXPECT_FALSE(hasFlow("100"));
+  EXPECT_EQ(portsAt("10"), (std::vector<net::PortId>{2, 3}));
+}
+
+TEST_F(InstallerFixture, Case4NewFinerFlowInheritsCoarserPorts) {
+  // Existing coarser flow 1* -> 2; new finer flow 10 -> 3 must also carry
+  // port 2 and rank higher (Fig 4 at R5's mirror case).
+  installer.installPath(set("1"), {RouteHop{sw, 2, std::nullopt}});
+  installer.installPath(set("10"), {RouteHop{sw, 3, std::nullopt}});
+  EXPECT_EQ(portsAt("10"), (std::vector<net::PortId>{2, 3}));
+  EXPECT_EQ(portsAt("1"), std::vector<net::PortId>{2});
+  // Lookup for a dz=10 event applies the finer flow.
+  const auto* hit = network.flowTable(sw).lookup(dz::dzToAddress(dz("101")));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->match, dz::dzToPrefix(dz("10")));
+}
+
+TEST_F(InstallerFixture, Case5ExistingFinerFlowGainsNewPorts) {
+  // Fig 4 at R5: existing 100 -> 2; adding 10 -> 3 must update the finer
+  // flow to {2,3} and add the new flow.
+  installer.installPath(set("100"), {RouteHop{sw, 2, std::nullopt}});
+  installer.installPath(set("10"), {RouteHop{sw, 3, std::nullopt}});
+  EXPECT_EQ(portsAt("100"), (std::vector<net::PortId>{2, 3}));
+  EXPECT_EQ(portsAt("10"), std::vector<net::PortId>{3});
+  // Events in 100 follow the finer flow and reach both subscribers.
+  const auto* hit = network.flowTable(sw).lookup(dz::dzToAddress(dz("1000")));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->match, dz::dzToPrefix(dz("100")));
+}
+
+TEST_F(InstallerFixture, ExactDzMergesPorts) {
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  installer.installPath(set("10"), {RouteHop{sw, 3, std::nullopt}});
+  EXPECT_EQ(portsAt("10"), (std::vector<net::PortId>{2, 3}));
+  EXPECT_EQ(channel.stats().flowAdds, 1u);
+  EXPECT_EQ(channel.stats().flowModifies, 1u);
+}
+
+TEST_F(InstallerFixture, ExactDzSamePortNoOp) {
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  const auto before = channel.stats().flowModsSent;
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  EXPECT_EQ(channel.stats().flowModsSent, before);
+}
+
+TEST_F(InstallerFixture, TerminalRewritePreserved) {
+  const auto addr = net::hostAddress(9);
+  installer.installPath(set("11"), {RouteHop{sw, 4, addr}});
+  const auto* e = network.flowTable(sw).find(dz::dzToPrefix(dz("11")));
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->actions.size(), 1u);
+  EXPECT_EQ(e->actions[0].setDestination, addr);
+}
+
+TEST_F(InstallerFixture, RewriteDifferenceIsNotCovered) {
+  // Same dz, same port, but one action rewrites: they are distinct actions,
+  // so the install must modify rather than no-op.
+  const auto addr = net::hostAddress(9);
+  installer.installPath(set("11"), {RouteHop{sw, 4, std::nullopt}});
+  installer.installPath(set("11"), {RouteHop{sw, 4, addr}});
+  const auto* e = network.flowTable(sw).find(dz::dzToPrefix(dz("11")));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->actions[0].setDestination, addr);
+}
+
+TEST_F(InstallerFixture, MultiHopInstallsAlongRoute) {
+  const net::NodeId sw2 = topo.switches()[1];
+  installer.installPath(
+      set("01"), {RouteHop{sw, 1, std::nullopt}, RouteHop{sw2, 2, std::nullopt}});
+  EXPECT_TRUE(hasFlow("01"));
+  EXPECT_NE(network.flowTable(sw2).find(dz::dzToPrefix(dz("01"))), nullptr);
+}
+
+TEST_F(InstallerFixture, MultiDzSetInstallsEachMember) {
+  installer.installPath(set("00,11"), {RouteHop{sw, 2, std::nullopt}});
+  EXPECT_TRUE(hasFlow("00"));
+  EXPECT_TRUE(hasFlow("11"));
+}
+
+TEST_F(InstallerFixture, MirrorTracksTable) {
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  installer.installPath(set("1"), {RouteHop{sw, 2, std::nullopt}});
+  const auto& mirror = installer.mirror(sw);
+  EXPECT_EQ(mirror.size(), network.flowTable(sw).size());
+  for (const auto& [d, entry] : mirror) {
+    const auto* actual = network.flowTable(sw).find(entry.match);
+    ASSERT_NE(actual, nullptr);
+    EXPECT_EQ(*actual, entry);
+  }
+}
+
+TEST_F(InstallerFixture, ReconcileAddsModifiesDeletes) {
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  installer.installPath(set("01"), {RouteHop{sw, 3, std::nullopt}});
+
+  // Target: 10 -> {2,4} (modify), 11 -> {5} (add); 01 gone (delete).
+  std::vector<net::FlowEntry> required;
+  net::FlowEntry f1;
+  f1.match = dz::dzToPrefix(dz("10"));
+  f1.priority = 2;
+  f1.actions = {net::FlowAction{2, std::nullopt}, net::FlowAction{4, std::nullopt}};
+  net::FlowEntry f2;
+  f2.match = dz::dzToPrefix(dz("11"));
+  f2.priority = 2;
+  f2.actions = {net::FlowAction{5, std::nullopt}};
+  required.push_back(f1);
+  required.push_back(f2);
+
+  installer.reconcileSwitch(sw, required);
+  EXPECT_EQ(portsAt("10"), (std::vector<net::PortId>{2, 4}));
+  EXPECT_EQ(portsAt("11"), std::vector<net::PortId>{5});
+  EXPECT_FALSE(hasFlow("01"));
+  EXPECT_EQ(network.flowTable(sw).size(), 2u);
+  EXPECT_EQ(installer.mirror(sw).size(), 2u);
+}
+
+TEST_F(InstallerFixture, ReconcileToEmptyClearsSwitch) {
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  installer.reconcileSwitch(sw, {});
+  EXPECT_TRUE(network.flowTable(sw).empty());
+  EXPECT_TRUE(installer.mirror(sw).empty());
+}
+
+TEST_F(InstallerFixture, ReconcileNoChangesSendsNothing) {
+  installer.installPath(set("10"), {RouteHop{sw, 2, std::nullopt}});
+  const auto required = network.flowTable(sw).entries();
+  const auto before = channel.stats().flowModsSent;
+  installer.reconcileSwitch(sw, required);
+  EXPECT_EQ(channel.stats().flowModsSent, before);
+}
+
+}  // namespace
+}  // namespace pleroma::ctrl

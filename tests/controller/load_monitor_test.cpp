@@ -1,0 +1,134 @@
+// Tests for the overload-detection/reaction extension (Sec 8 future work):
+// re-rooting trees and the LoadMonitor sampling + rebalancing loop.
+#include "controller/load_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/packet.hpp"
+
+namespace pleroma::ctrl {
+namespace {
+
+dz::Rectangle rect(dz::AttributeValue aLo, dz::AttributeValue aHi) {
+  return dz::Rectangle{{dz::Range{aLo, aHi}, dz::Range{0, 1023}}};
+}
+
+struct MonitorFixture : ::testing::Test {
+  MonitorFixture()
+      : topo(net::Topology::ring(8)),
+        network(topo, sim, {}),
+        controller(dz::EventSpace(2, 10), network, Scope::wholeTopology(topo), {}) {
+    hosts = topo.hosts();
+    network.setDeliverHandler([this](net::NodeId h, const net::Packet&) {
+      delivered.insert(h);
+    });
+  }
+
+  std::set<net::NodeId> publish(net::NodeId host, const dz::Event& e) {
+    delivered.clear();
+    network.sendFromHost(host, controller.makeEventPacket(host, e, 1));
+    sim.run();
+    return delivered;
+  }
+
+  net::Topology topo;
+  net::Simulator sim;
+  net::Network network;
+  Controller controller;
+  std::vector<net::NodeId> hosts;
+  std::set<net::NodeId> delivered;
+};
+
+TEST_F(MonitorFixture, RerootPreservesDelivery) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  controller.subscribe(hosts[6], rect(0, 511));
+  ASSERT_EQ(publish(hosts[0], {100, 100}),
+            (std::set<net::NodeId>{hosts[3], hosts[6]}));
+
+  const int treeId = controller.trees()[0]->id();
+  const net::NodeId oldRoot = controller.trees()[0]->root();
+  // Re-root at the diametrically opposite switch.
+  net::NodeId newRoot = net::kInvalidNode;
+  for (const net::NodeId sw : topo.switches()) {
+    if (sw != oldRoot) newRoot = sw;
+  }
+  ASSERT_TRUE(controller.rerootTree(treeId, newRoot));
+  EXPECT_EQ(controller.trees()[0]->root(), newRoot);
+  EXPECT_NE(controller.trees()[0]->id(), treeId);  // rebuilt as a new tree
+
+  // Same DZ, same publishers, delivery unchanged.
+  EXPECT_EQ(publish(hosts[0], {100, 100}),
+            (std::set<net::NodeId>{hosts[3], hosts[6]}));
+  EXPECT_TRUE(publish(hosts[0], {900, 100}).empty());
+}
+
+TEST_F(MonitorFixture, RerootRejectsUnknownTreeOrRoot) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  EXPECT_FALSE(controller.rerootTree(9999, topo.switches()[0]));
+  EXPECT_FALSE(controller.rerootTree(controller.trees()[0]->id(), hosts[0]));
+}
+
+TEST_F(MonitorFixture, SampleMeasuresWindowDeltas) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[4], rect(0, 1023));
+
+  LoadMonitor monitor(controller);
+  // Nothing has flowed yet.
+  EXPECT_TRUE(monitor.sample().links.empty());
+
+  for (int i = 0; i < 10; ++i) publish(hosts[0], {10, 10});
+  const LoadReport report = monitor.sample();
+  EXPECT_FALSE(report.links.empty());
+  std::uint64_t total = 0;
+  for (const auto& l : report.links) total += l.packetsInWindow;
+  EXPECT_GE(total, 10u);
+  // Second sample with no traffic: empty window again.
+  EXPECT_TRUE(monitor.sample().links.empty());
+}
+
+TEST_F(MonitorFixture, HotLinkFlagsOverload) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[1], rect(0, 1023));  // adjacent: 1-hop hot arc
+
+  LoadMonitorConfig cfg;
+  cfg.hotLinkThreshold = 0.5;  // any traffic counts as hot
+  LoadMonitor monitor(controller, cfg);
+  for (int i = 0; i < 5; ++i) publish(hosts[0], {10, 10});
+  const LoadReport report = monitor.sample();
+  EXPECT_TRUE(report.overloaded);
+  EXPECT_FALSE(report.links.empty());
+}
+
+TEST_F(MonitorFixture, RebalanceRerootsBusiestTree) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 1023));
+  controller.subscribe(hosts[5], rect(0, 1023));
+
+  LoadMonitorConfig cfg;
+  cfg.hotLinkThreshold = 0.0;  // always consider the top link hot
+  LoadMonitor monitor(controller, cfg);
+  for (int i = 0; i < 20; ++i) publish(hosts[0], {10, 10});
+  const LoadReport report = monitor.sample();
+  ASSERT_TRUE(report.overloaded);
+
+  const int oldTreeId = controller.trees()[0]->id();
+  EXPECT_TRUE(monitor.rebalanceOnce());
+  EXPECT_NE(controller.trees()[0]->id(), oldTreeId);
+
+  // Delivery is intact after rebalancing.
+  EXPECT_EQ(publish(hosts[0], {100, 100}),
+            (std::set<net::NodeId>{hosts[3], hosts[5]}));
+}
+
+TEST_F(MonitorFixture, RebalanceNoOpWithoutOverload) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  LoadMonitor monitor(controller);
+  monitor.sample();  // empty window, not overloaded
+  EXPECT_FALSE(monitor.rebalanceOnce());
+}
+
+}  // namespace
+}  // namespace pleroma::ctrl

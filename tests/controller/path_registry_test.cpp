@@ -1,0 +1,191 @@
+#include "controller/path_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/packet.hpp"
+
+namespace pleroma::ctrl {
+namespace {
+
+dz::DzExpression dz(std::string_view s) { return *dz::DzExpression::fromString(s); }
+dz::DzSet set(std::string_view s) { return *dz::DzSet::fromString(s); }
+
+InstalledPath makePath(PublisherId p, SubscriptionId s, int tree,
+                       std::string_view dzs,
+                       std::vector<std::pair<net::NodeId, net::PortId>> hops,
+                       std::optional<dz::Ipv6Address> terminalRewrite = {}) {
+  InstalledPath path;
+  path.publisher = p;
+  path.subscription = s;
+  path.treeId = tree;
+  path.dz = set(dzs);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    path.hops.push_back(RouteHop{
+        hops[i].first, hops[i].second,
+        i + 1 == hops.size() ? terminalRewrite : std::nullopt});
+  }
+  return path;
+}
+
+/// Finds the required entry whose match equals the dz, or nullptr.
+const net::FlowEntry* findFlow(const std::vector<net::FlowEntry>& flows,
+                               std::string_view dzs) {
+  const auto match = dz::dzToPrefix(dz(dzs));
+  for (const auto& f : flows) {
+    if (f.match == match) return &f;
+  }
+  return nullptr;
+}
+
+TEST(PathRegistry, AddRemoveAndIndexes) {
+  PathRegistry reg;
+  const PathId a = reg.add(makePath(1, 10, 0, "10", {{5, 1}, {6, 2}}));
+  const PathId b = reg.add(makePath(1, 11, 0, "11", {{5, 1}}));
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.contains(a));
+  EXPECT_EQ(reg.pathsOfSubscription(10), std::vector<PathId>{a});
+  EXPECT_EQ(reg.pathsOfPublisher(1), (std::vector<PathId>{a, b}));
+  EXPECT_EQ(reg.pathsOfTree(0), (std::vector<PathId>{a, b}));
+  EXPECT_EQ(reg.switchesOf({a, b}), (std::vector<net::NodeId>{5, 6}));
+
+  reg.remove(a);
+  EXPECT_FALSE(reg.contains(a));
+  EXPECT_TRUE(reg.pathsOfSubscription(10).empty());
+  EXPECT_EQ(reg.allSwitches(), std::vector<net::NodeId>{5});
+}
+
+TEST(PathRegistry, AlreadyCovered) {
+  PathRegistry reg;
+  reg.add(makePath(1, 10, 0, "1", {{5, 1}}));
+  EXPECT_TRUE(reg.alreadyCovered(1, 10, 0, set("10")));
+  EXPECT_TRUE(reg.alreadyCovered(1, 10, 0, set("1")));
+  EXPECT_FALSE(reg.alreadyCovered(1, 10, 0, set("0")));
+  EXPECT_FALSE(reg.alreadyCovered(2, 10, 0, set("10")));  // other publisher
+  EXPECT_FALSE(reg.alreadyCovered(1, 10, 1, set("10")));  // other tree
+}
+
+TEST(PathRegistry, RequiredFlowsSinglePath) {
+  PathRegistry reg;
+  const auto rewrite = net::hostAddress(42);
+  reg.add(makePath(1, 10, 0, "10", {{5, 1}, {6, 2}}, rewrite));
+  const auto flows5 = reg.requiredFlows(5);
+  ASSERT_EQ(flows5.size(), 1u);
+  EXPECT_EQ(flows5[0].match, dz::dzToPrefix(dz("10")));
+  EXPECT_EQ(flows5[0].outPorts(), std::vector<net::PortId>{1});
+  EXPECT_FALSE(flows5[0].actions[0].setDestination.has_value());
+  const auto flows6 = reg.requiredFlows(6);
+  ASSERT_EQ(flows6.size(), 1u);
+  ASSERT_TRUE(flows6[0].actions[0].setDestination.has_value());
+  EXPECT_EQ(*flows6[0].actions[0].setDestination, rewrite);
+  EXPECT_TRUE(reg.requiredFlows(7).empty());
+}
+
+TEST(PathRegistry, FinerFlowInheritsCoarserPorts) {
+  // Fig 4 shape at one switch: dz=100 -> port 2 and dz=10 -> port 3 means
+  // the finer flow is the one that wins for its subspace... here dz=10 is
+  // the coarser one; the finer (100) flow must forward to both ports.
+  PathRegistry reg;
+  reg.add(makePath(1, 10, 0, "10", {{5, 3}}));
+  reg.add(makePath(1, 11, 0, "100", {{5, 2}}));
+  const auto flows = reg.requiredFlows(5);
+  ASSERT_EQ(flows.size(), 2u);
+  const auto* coarse = findFlow(flows, "10");
+  const auto* fine = findFlow(flows, "100");
+  ASSERT_NE(coarse, nullptr);
+  ASSERT_NE(fine, nullptr);
+  EXPECT_EQ(coarse->outPorts(), std::vector<net::PortId>{3});
+  auto finePorts = fine->outPorts();
+  std::sort(finePorts.begin(), finePorts.end());
+  EXPECT_EQ(finePorts, (std::vector<net::PortId>{2, 3}));
+  // Priorities: longer dz ranks higher.
+  EXPECT_GT(fine->priority, coarse->priority);
+}
+
+TEST(PathRegistry, RedundantFinerFlowDropped) {
+  // A finer dz whose port is already served by a covering coarser flow
+  // needs no flow of its own (paper's downgrade scenario, Sec 3.3.3).
+  PathRegistry reg;
+  reg.add(makePath(1, 10, 0, "10", {{5, 2}}));
+  reg.add(makePath(1, 11, 0, "100", {{5, 2}}));
+  const auto flows = reg.requiredFlows(5);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].match, dz::dzToPrefix(dz("10")));
+}
+
+TEST(PathRegistry, UnsubscribeDowngradesFlows) {
+  // Paper Fig 4 / Sec 3.3.3: with s3 (dz=10) and s2 (dz=100) installed,
+  // removing s3's paths leaves the switches needing only dz=100.
+  PathRegistry reg;
+  const PathId s3a = reg.add(makePath(1, 3, 0, "10", {{5, 2}}));
+  reg.add(makePath(1, 2, 0, "100", {{5, 2}}));
+  {
+    const auto flows = reg.requiredFlows(5);
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_EQ(flows[0].match, dz::dzToPrefix(dz("10")));  // coarser covers
+  }
+  reg.remove(s3a);
+  const auto flows = reg.requiredFlows(5);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].match, dz::dzToPrefix(dz("100")));  // downgraded
+}
+
+TEST(PathRegistry, SameDzDifferentPortsUnion) {
+  PathRegistry reg;
+  reg.add(makePath(1, 10, 0, "10", {{5, 1}}));
+  reg.add(makePath(1, 11, 0, "10", {{5, 2}}));
+  const auto flows = reg.requiredFlows(5);
+  ASSERT_EQ(flows.size(), 1u);
+  auto ports = flows[0].outPorts();
+  std::sort(ports.begin(), ports.end());
+  EXPECT_EQ(ports, (std::vector<net::PortId>{1, 2}));
+}
+
+TEST(PathRegistry, MultiLevelInheritanceChain) {
+  PathRegistry reg;
+  reg.add(makePath(1, 10, 0, "1", {{5, 1}}));
+  reg.add(makePath(1, 11, 0, "10", {{5, 2}}));
+  reg.add(makePath(1, 12, 0, "101", {{5, 3}}));
+  const auto flows = reg.requiredFlows(5);
+  ASSERT_EQ(flows.size(), 3u);
+  auto portsOf = [&](std::string_view d) {
+    auto p = findFlow(flows, d)->outPorts();
+    std::sort(p.begin(), p.end());
+    return p;
+  };
+  EXPECT_EQ(portsOf("1"), (std::vector<net::PortId>{1}));
+  EXPECT_EQ(portsOf("10"), (std::vector<net::PortId>{1, 2}));
+  EXPECT_EQ(portsOf("101"), (std::vector<net::PortId>{1, 2, 3}));
+}
+
+TEST(PathRegistry, DisjointSubspacesIndependent) {
+  PathRegistry reg;
+  reg.add(makePath(1, 10, 0, "0", {{5, 1}}));
+  reg.add(makePath(2, 11, 1, "1", {{5, 2}}));
+  const auto flows = reg.requiredFlows(5);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(findFlow(flows, "0")->outPorts(), std::vector<net::PortId>{1});
+  EXPECT_EQ(findFlow(flows, "1")->outPorts(), std::vector<net::PortId>{2});
+}
+
+TEST(PathRegistry, MultiDzPathContributesAllMembers) {
+  PathRegistry reg;
+  reg.add(makePath(1, 10, 0, "00,01", {{5, 1}}));
+  const auto flows = reg.requiredFlows(5);
+  // {00,01} canonicalises to {0} inside a DzSet.
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].match, dz::dzToPrefix(dz("0")));
+}
+
+TEST(PathRegistry, ClearEmptiesEverything) {
+  PathRegistry reg;
+  reg.add(makePath(1, 10, 0, "0", {{5, 1}}));
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_TRUE(reg.allSwitches().empty());
+  EXPECT_TRUE(reg.requiredFlows(5).empty());
+}
+
+}  // namespace
+}  // namespace pleroma::ctrl

@@ -1,0 +1,159 @@
+#include "controller/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+#include <algorithm>
+
+#include "controller/controller.hpp"
+
+namespace pleroma::ctrl {
+namespace {
+
+dz::DzSet set(std::string_view s) { return *dz::DzSet::fromString(s); }
+
+std::vector<net::LinkId> allSwitchLinks(const net::Topology& t) {
+  return Scope::wholeTopology(t).internalLinks;
+}
+
+TEST(SpanningTree, ReachesAllSwitches) {
+  const net::Topology topo = net::Topology::testbedFatTree();
+  const SpanningTree tree(1, set("0"), topo.switches()[0], topo,
+                          allSwitchLinks(topo));
+  for (const net::NodeId sw : topo.switches()) {
+    EXPECT_TRUE(tree.reaches(sw)) << sw;
+  }
+  for (const net::NodeId h : topo.hosts()) {
+    EXPECT_FALSE(tree.reaches(h)) << h;
+  }
+}
+
+TEST(SpanningTree, PathBetweenIsSimpleTreePath) {
+  const net::Topology topo = net::Topology::testbedFatTree();
+  const auto sw = topo.switches();
+  const SpanningTree tree(1, set("0"), sw[0], topo, allSwitchLinks(topo));
+  for (const net::NodeId a : sw) {
+    for (const net::NodeId b : sw) {
+      const auto path = tree.pathBetween(a, b);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      // No node repeats (simple path).
+      auto sorted = path;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+    }
+  }
+}
+
+TEST(SpanningTree, PathBetweenSameNode) {
+  const net::Topology topo = net::Topology::line(3);
+  const SpanningTree tree(1, set("0"), topo.switches()[1], topo,
+                          allSwitchLinks(topo));
+  const auto path = tree.pathBetween(topo.switches()[0], topo.switches()[0]);
+  EXPECT_EQ(path, std::vector<net::NodeId>{topo.switches()[0]});
+}
+
+TEST(SpanningTree, RouteEndsWithTerminalRewrite) {
+  const net::Topology topo = net::Topology::line(3);
+  const auto sw = topo.switches();
+  const auto hosts = topo.hosts();
+  const SpanningTree tree(1, set("0"), sw[0], topo, allSwitchLinks(topo));
+
+  const Endpoint pub{sw[0], topo.hostAttachment(hosts[0]).switchPort,
+                     net::hostAddress(hosts[0]), hosts[0]};
+  const Endpoint sub{sw[2], topo.hostAttachment(hosts[2]).switchPort,
+                     net::hostAddress(hosts[2]), hosts[2]};
+  const auto route = tree.route(pub, sub, topo);
+  ASSERT_EQ(route.size(), 3u);  // R1 -> R2 -> R3 -> host
+  EXPECT_EQ(route[0].switchNode, sw[0]);
+  EXPECT_EQ(route[1].switchNode, sw[1]);
+  EXPECT_EQ(route[2].switchNode, sw[2]);
+  EXPECT_FALSE(route[0].rewrite.has_value());
+  EXPECT_FALSE(route[1].rewrite.has_value());
+  ASSERT_TRUE(route[2].rewrite.has_value());
+  EXPECT_EQ(*route[2].rewrite, net::hostAddress(hosts[2]));
+}
+
+TEST(SpanningTree, RouteOutPortsPointForward) {
+  const net::Topology topo = net::Topology::line(3);
+  const auto sw = topo.switches();
+  const SpanningTree tree(1, set("0"), sw[0], topo, allSwitchLinks(topo));
+  const Endpoint pub{sw[0], 2, std::nullopt, net::kInvalidNode};
+  const Endpoint sub{sw[2], 2, std::nullopt, net::kInvalidNode};
+  const auto route = tree.route(pub, sub, topo);
+  ASSERT_EQ(route.size(), 3u);
+  // Each out-port's link leads to the next switch on the route.
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const net::LinkEnd peer = topo.peer(route[i].switchNode, route[i].outPort);
+    EXPECT_EQ(peer.node, route[i + 1].switchNode);
+  }
+}
+
+TEST(SpanningTree, SameSwitchRouteIsTerminalOnly) {
+  const net::Topology topo = net::Topology::line(2);
+  const auto sw = topo.switches();
+  const SpanningTree tree(1, set("0"), sw[0], topo, allSwitchLinks(topo));
+  const Endpoint pub{sw[0], 5, std::nullopt, net::kInvalidNode};
+  const Endpoint sub{sw[0], 6, std::nullopt, net::kInvalidNode};
+  const auto route = tree.route(pub, sub, topo);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(route[0].outPort, 6);
+}
+
+TEST(SpanningTree, RestrictedLinksRespectPartition) {
+  // 4-switch line split in two halves: a tree of the left partition must
+  // not reach the right one.
+  const net::Topology topo = net::Topology::line(4);
+  const auto sw = topo.switches();
+  std::vector<net::LinkId> leftLinks;
+  for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const net::Link& link = topo.link(l);
+    if ((link.a.node == sw[0] && link.b.node == sw[1]) ||
+        (link.a.node == sw[1] && link.b.node == sw[0])) {
+      leftLinks.push_back(l);
+    }
+  }
+  const SpanningTree tree(1, set("0"), sw[0], topo, leftLinks);
+  EXPECT_TRUE(tree.reaches(sw[0]));
+  EXPECT_TRUE(tree.reaches(sw[1]));
+  EXPECT_FALSE(tree.reaches(sw[2]));
+  EXPECT_FALSE(tree.reaches(sw[3]));
+  // Routes to unreachable endpoints fail cleanly.
+  const Endpoint a{sw[0], 9, std::nullopt, net::kInvalidNode};
+  const Endpoint b{sw[3], 9, std::nullopt, net::kInvalidNode};
+  EXPECT_TRUE(tree.route(a, b, topo).empty());
+}
+
+TEST(SpanningTree, PublisherBookkeeping) {
+  const net::Topology topo = net::Topology::line(2);
+  SpanningTree tree(7, set("01"), topo.switches()[0], topo,
+                    allSwitchLinks(topo));
+  EXPECT_EQ(tree.id(), 7);
+  tree.addPublisher(3, set("010"));
+  tree.addPublisher(3, set("011"));
+  EXPECT_TRUE(tree.hasPublisher(3));
+  EXPECT_EQ(tree.publishers().at(3), set("01"));  // union merged siblings
+  tree.removePublisher(3);
+  EXPECT_FALSE(tree.hasPublisher(3));
+}
+
+TEST(SpanningTree, EdgesFormSpanningTree) {
+  const net::Topology topo = net::Topology::testbedFatTree();
+  const SpanningTree tree(1, set("0"), topo.switches()[0], topo,
+                          allSwitchLinks(topo));
+  // A spanning tree over 10 switches has exactly 9 edges.
+  EXPECT_EQ(tree.edges().size(), 9u);
+}
+
+TEST(SpanningTree, RingTreeAvoidsCycle) {
+  const net::Topology topo = net::Topology::ring(6);
+  const SpanningTree tree(1, set("0"), topo.switches()[0], topo,
+                          allSwitchLinks(topo));
+  EXPECT_EQ(tree.edges().size(), 5u);  // 6 switches, 5 tree edges
+  for (const net::NodeId sw : topo.switches()) EXPECT_TRUE(tree.reaches(sw));
+}
+
+}  // namespace
+}  // namespace pleroma::ctrl

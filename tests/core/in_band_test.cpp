@@ -1,0 +1,131 @@
+// Tests of the in-band registration path (Sec 2): request packets to
+// IP_mid punted to the controller, processed, and acknowledged back to the
+// requesting host through the data plane.
+#include "core/in_band.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/packet.hpp"
+
+namespace pleroma::core {
+namespace {
+
+dz::Rectangle rect(dz::AttributeValue aLo, dz::AttributeValue aHi) {
+  return dz::Rectangle{{dz::Range{aLo, aHi}, dz::Range{0, 1023}}};
+}
+
+struct InBandFixture : ::testing::Test {
+  InBandFixture()
+      : topo(net::Topology::testbedFatTree()),
+        network(topo, sim, {}),
+        controller(dz::EventSpace(2, 10), network,
+                   ctrl::Scope::wholeTopology(topo), {}),
+        signaling(network, controller, nullptr,
+                  [this](net::NodeId h, const net::Packet&) {
+                    delivered.insert(h);
+                  }) {
+    hosts = topo.hosts();
+  }
+
+  std::set<net::NodeId> publish(net::NodeId host, const dz::Event& e) {
+    delivered.clear();
+    network.sendFromHost(host, controller.makeEventPacket(host, e, 1));
+    sim.run();
+    return delivered;
+  }
+
+  net::Topology topo;
+  net::Simulator sim;
+  net::Network network;
+  ctrl::Controller controller;
+  InBandSignaling signaling;
+  std::vector<net::NodeId> hosts;
+  std::set<net::NodeId> delivered;
+};
+
+TEST_F(InBandFixture, AdvertiseOverTheWire) {
+  const auto token = signaling.sendAdvertise(hosts[0], rect(0, 1023));
+  EXPECT_FALSE(signaling.ackFor(token).has_value());  // still in flight
+  sim.run();
+  const auto ack = signaling.ackFor(token);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->ok);
+  EXPECT_EQ(ack->kind, RequestKind::kAdvertise);
+  EXPECT_GE(ack->assignedId, 0);
+  EXPECT_EQ(controller.advertisementCount(), 1u);
+  EXPECT_EQ(network.counters().packetsPuntedToController, 1u);
+}
+
+TEST_F(InBandFixture, FullWireRegistrationEndToEnd) {
+  signaling.sendAdvertise(hosts[0], rect(0, 1023));
+  signaling.sendSubscribe(hosts[5], rect(0, 511));
+  sim.run();
+  EXPECT_EQ(controller.subscriptionCount(), 1u);
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[5]}));
+  EXPECT_TRUE(publish(hosts[0], {900, 100}).empty());
+}
+
+TEST_F(InBandFixture, AckCallbackFiresAtRequestingHost) {
+  std::vector<std::pair<net::NodeId, std::uint64_t>> acks;
+  signaling.setAckCallback([&](net::NodeId host, const Ack& ack) {
+    acks.emplace_back(host, ack.token);
+  });
+  const auto token = signaling.sendSubscribe(hosts[3], rect(0, 511));
+  sim.run();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].first, hosts[3]);
+  EXPECT_EQ(acks[0].second, token);
+}
+
+TEST_F(InBandFixture, UnsubscribeOverTheWire) {
+  signaling.sendAdvertise(hosts[0], rect(0, 1023));
+  const auto subToken = signaling.sendSubscribe(hosts[5], rect(0, 511));
+  sim.run();
+  const auto subId = signaling.ackFor(subToken)->assignedId;
+  signaling.sendUnsubscribe(hosts[5], subId);
+  sim.run();
+  EXPECT_EQ(controller.subscriptionCount(), 0u);
+  EXPECT_TRUE(publish(hosts[0], {100, 100}).empty());
+}
+
+TEST_F(InBandFixture, UnadvertiseOverTheWire) {
+  const auto advToken = signaling.sendAdvertise(hosts[0], rect(0, 1023));
+  sim.run();
+  signaling.sendUnadvertise(hosts[0], signaling.ackFor(advToken)->assignedId);
+  sim.run();
+  EXPECT_EQ(controller.advertisementCount(), 0u);
+  EXPECT_EQ(controller.treeCount(), 0u);
+}
+
+TEST_F(InBandFixture, AcksDoNotLeakIntoEventDelivery) {
+  signaling.sendAdvertise(hosts[0], rect(0, 1023));
+  signaling.sendSubscribe(hosts[5], rect(0, 1023));
+  sim.run();
+  // `delivered` only sees events (controlKind 0), never acks.
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[5]}));
+}
+
+TEST_F(InBandFixture, RequestsProcessedCounter) {
+  signaling.sendAdvertise(hosts[0], rect(0, 1023));
+  signaling.sendSubscribe(hosts[1], rect(0, 511));
+  signaling.sendSubscribe(hosts[2], rect(0, 511));
+  sim.run();
+  EXPECT_EQ(signaling.requestsProcessed(), 3u);
+}
+
+TEST_F(InBandFixture, RegistrationLatencyIsOneRoundTrip) {
+  net::SimTime ackedAt = -1;
+  signaling.setAckCallback(
+      [&](net::NodeId, const Ack&) { ackedAt = sim.now(); });
+  signaling.sendSubscribe(hosts[0], rect(0, 511));
+  sim.run();
+  // Host -> access switch -> punt (processing) -> packet-out -> host:
+  // 2 link traversals + 1 switch processing step.
+  EXPECT_EQ(ackedAt, 2 * 50 * net::kMicrosecond + 10 * net::kMicrosecond);
+}
+
+}  // namespace
+}  // namespace pleroma::core

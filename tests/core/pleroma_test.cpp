@@ -1,0 +1,226 @@
+#include "core/pleroma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pleroma::core {
+namespace {
+
+dz::Rectangle rect(dz::AttributeValue aLo, dz::AttributeValue aHi,
+                   dz::AttributeValue bLo, dz::AttributeValue bHi) {
+  return dz::Rectangle{{dz::Range{aLo, aHi}, dz::Range{bLo, bHi}}};
+}
+
+struct PleromaFixture : ::testing::Test {
+  PleromaFixture() : middleware(net::Topology::testbedFatTree(), options()) {
+    hosts = middleware.topology().hosts();
+  }
+  static PleromaOptions options() {
+    PleromaOptions o;
+    o.numAttributes = 2;
+    return o;
+  }
+  Pleroma middleware;
+  std::vector<net::NodeId> hosts;
+};
+
+TEST_F(PleromaFixture, PublishSubscribeRoundTrip) {
+  middleware.advertise(hosts[0], rect(0, 1023, 0, 1023));
+  middleware.subscribe(hosts[5], rect(0, 511, 0, 1023));
+
+  std::set<net::NodeId> got;
+  middleware.setDeliveryCallback(
+      [&](const DeliveryRecord& r) { got.insert(r.host); });
+  middleware.publish(hosts[0], {100, 100});
+  middleware.settle();
+  EXPECT_EQ(got, (std::set<net::NodeId>{hosts[5]}));
+  EXPECT_EQ(middleware.deliveryStats().delivered, 1u);
+}
+
+TEST_F(PleromaFixture, EventIdsAssigned) {
+  middleware.advertise(hosts[0], rect(0, 1023, 0, 1023));
+  middleware.subscribe(hosts[5], rect(0, 1023, 0, 1023));
+  std::vector<net::EventId> ids;
+  middleware.setDeliveryCallback(
+      [&](const DeliveryRecord& r) { ids.push_back(r.eventId); });
+  const net::EventId a = middleware.publish(hosts[0], {1, 1});
+  const net::EventId b = middleware.publish(hosts[0], {2, 2});
+  middleware.settle();
+  EXPECT_NE(a, b);
+  ASSERT_EQ(ids.size(), 2u);
+}
+
+TEST_F(PleromaFixture, FalsePositiveAccounting) {
+  PleromaOptions o = options();
+  o.controller.maxDzLength = 2;  // coarse filtering -> false positives
+  Pleroma p(net::Topology::testbedFatTree(), o);
+  const auto h = p.topology().hosts();
+  p.advertise(h[0], rect(0, 1023, 0, 1023));
+  p.subscribe(h[5], rect(0, 100, 0, 100));
+
+  p.publish(h[0], {50, 50});    // true positive
+  p.publish(h[0], {400, 400});  // same coarse cell, not matching: FP
+  p.settle();
+  EXPECT_EQ(p.deliveryStats().delivered, 2u);
+  EXPECT_EQ(p.deliveryStats().falsePositives, 1u);
+  EXPECT_NEAR(p.deliveryStats().falsePositiveRate(), 0.5, 1e-9);
+}
+
+TEST_F(PleromaFixture, LatencyRecorded) {
+  middleware.advertise(hosts[0], rect(0, 1023, 0, 1023));
+  middleware.subscribe(hosts[5], rect(0, 1023, 0, 1023));
+  middleware.publish(hosts[0], {1, 1});
+  middleware.settle();
+  ASSERT_EQ(middleware.latencySamples().size(), 1u);
+  EXPECT_GT(middleware.latencySamples()[0], 0);
+  EXPECT_GT(middleware.deliveryStats().meanLatencyUs(), 0.0);
+  middleware.clearLatencySamples();
+  EXPECT_TRUE(middleware.latencySamples().empty());
+}
+
+TEST_F(PleromaFixture, UnsubscribeViaFacade) {
+  middleware.advertise(hosts[0], rect(0, 1023, 0, 1023));
+  const auto s = middleware.subscribe(hosts[5], rect(0, 1023, 0, 1023));
+  middleware.unsubscribe(s);
+  middleware.publish(hosts[0], {1, 1});
+  middleware.settle();
+  EXPECT_EQ(middleware.deliveryStats().delivered, 0u);
+}
+
+TEST_F(PleromaFixture, MultipleSubscriptionsPerHostDeduplicated) {
+  middleware.advertise(hosts[0], rect(0, 1023, 0, 1023));
+  middleware.subscribe(hosts[5], rect(0, 511, 0, 1023));
+  middleware.subscribe(hosts[5], rect(0, 255, 0, 1023));
+  int deliveries = 0;
+  middleware.setDeliveryCallback([&](const DeliveryRecord&) { ++deliveries; });
+  middleware.publish(hosts[0], {10, 10});
+  middleware.settle();
+  EXPECT_EQ(deliveries, 1);  // one packet per host per event
+}
+
+TEST_F(PleromaFixture, DimensionSelectionPicksInformativeDims) {
+  PleromaOptions o;
+  o.numAttributes = 4;
+  o.controller.maxDzLength = 16;
+  Pleroma p(net::Topology::testbedFatTree(), o);
+  const auto h = p.topology().hosts();
+  p.advertise(h[0], dz::Rectangle{{dz::Range{0, 1023}, dz::Range{0, 1023},
+                                   dz::Range{0, 1023}, dz::Range{0, 1023}}});
+  // Subscriptions selective on dims 0 and 2 only.
+  for (int i = 0; i < 6; ++i) {
+    const auto lo = static_cast<dz::AttributeValue>(i * 150);
+    p.subscribe(h[static_cast<std::size_t>(i + 1)],
+                dz::Rectangle{{dz::Range{lo, lo + 120}, dz::Range{0, 1023},
+                               dz::Range{1023 - lo - 120, 1023 - lo},
+                               dz::Range{0, 1023}}});
+  }
+  // Events vary on dims 0 and 2; constant elsewhere.
+  for (int i = 0; i < 128; ++i) {
+    p.publish(h[0], dz::Event{static_cast<dz::AttributeValue>((i * 97) % 1024),
+                              512,
+                              static_cast<dz::AttributeValue>((i * 53) % 1024),
+                              512});
+  }
+  p.settle();
+  const std::vector<int> dims = p.runDimensionSelection(0.8);
+  ASSERT_FALSE(dims.empty());
+  for (const int d : dims) {
+    EXPECT_TRUE(d == 0 || d == 2) << "selected uninformative dim " << d;
+  }
+  // The re-indexed system still delivers.
+  std::set<net::NodeId> got;
+  p.setDeliveryCallback([&](const DeliveryRecord& r) { got.insert(r.host); });
+  p.publish(h[0], dz::Event{10, 512, 1000, 512});
+  p.settle();
+  EXPECT_TRUE(got.contains(h[1]));
+}
+
+TEST_F(PleromaFixture, AsyncInstallDelaysActivation) {
+  PleromaOptions o = options();
+  o.asyncFlowInstall = true;
+  o.controller.flowModLatency = net::kMillisecond;
+  Pleroma p(net::Topology::testbedFatTree(), o);
+  const auto h = p.topology().hosts();
+  p.advertise(h[0], rect(0, 1023, 0, 1023));
+  p.settle();  // let the advertisement's (no-op) work complete
+  p.subscribe(h[5], rect(0, 1023, 0, 1023));
+
+  // Published immediately after subscribing: flows are still installing,
+  // so the event is lost (no false-delivery, no crash).
+  p.publish(h[0], {1, 1});
+  p.settleUntil(p.simulator().now() + 100 * net::kMicrosecond);
+  EXPECT_EQ(p.deliveryStats().delivered, 0u);
+
+  // Once installation completes, delivery works.
+  p.settle();
+  p.publish(h[0], {2, 2});
+  p.settle();
+  EXPECT_EQ(p.deliveryStats().delivered, 1u);
+}
+
+TEST_F(PleromaFixture, AutoDimensionSelectionReindexes) {
+  PleromaOptions o;
+  o.numAttributes = 3;
+  o.controller.maxDzLength = 12;
+  o.dimensionWindow = 64;
+  Pleroma p(net::Topology::testbedFatTree(), o);
+  const auto h = p.topology().hosts();
+  p.advertise(h[0], p.controller().space().wholeSpace());
+  // Selective on dims 0 and 2 only; dim 1 unselective.
+  for (int i = 0; i < 5; ++i) {
+    const auto lo = static_cast<dz::AttributeValue>(i * 180);
+    p.subscribe(h[static_cast<std::size_t>(i + 1)],
+                dz::Rectangle{{dz::Range{lo, lo + 120}, dz::Range{0, 1023},
+                               dz::Range{1023 - lo - 120, 1023 - lo}}});
+  }
+  p.setAutoDimensionSelection(50, 0.85);
+  for (int i = 0; i < 120; ++i) {
+    p.publish(h[0], dz::Event{static_cast<dz::AttributeValue>((i * 97) % 1024),
+                              512,
+                              static_cast<dz::AttributeValue>((i * 53) % 1024)});
+  }
+  p.settle();
+  EXPECT_GE(p.autoReindexCount(), 1u);
+  const auto dims = p.controller().space().indexedDimensions();
+  for (const int d : dims) EXPECT_NE(d, 1);
+  // Once re-indexed on a stable workload, no further churn.
+  const std::size_t after = p.autoReindexCount();
+  for (int i = 0; i < 120; ++i) {
+    p.publish(h[0], dz::Event{static_cast<dz::AttributeValue>((i * 97) % 1024),
+                              512,
+                              static_cast<dz::AttributeValue>((i * 53) % 1024)});
+  }
+  p.settle();
+  EXPECT_EQ(p.autoReindexCount(), after);
+}
+
+TEST_F(PleromaFixture, AutoDimensionSelectionDisabledByDefault) {
+  middleware.advertise(hosts[0], rect(0, 1023, 0, 1023));
+  middleware.subscribe(hosts[5], rect(0, 511, 0, 1023));
+  for (int i = 0; i < 500; ++i) middleware.publish(hosts[0], {1, 1});
+  middleware.settle();
+  EXPECT_EQ(middleware.autoReindexCount(), 0u);
+}
+
+TEST_F(PleromaFixture, ThroughputSaturationWithSlowHosts) {
+  PleromaOptions o = options();
+  o.network.hostServiceTime = 1 * net::kMillisecond;
+  o.network.hostQueueCapacity = 8;
+  Pleroma p(net::Topology::testbedFatTree(), o);
+  const auto h = p.topology().hosts();
+  p.advertise(h[0], rect(0, 1023, 0, 1023));
+  p.subscribe(h[5], rect(0, 1023, 0, 1023));
+  // 200 events in 10 ms >> host capacity (1/ms): drops must occur.
+  for (int i = 0; i < 200; ++i) {
+    p.simulator().schedule(i * 50 * net::kMicrosecond, [&p, &h] {
+      p.publish(h[0], {1, 1});
+    });
+  }
+  p.settle();
+  EXPECT_LT(p.deliveryStats().delivered, 200u);
+  EXPECT_GT(p.network().counters().packetsDroppedHostQueue, 0u);
+}
+
+}  // namespace
+}  // namespace pleroma::core

@@ -1,0 +1,151 @@
+#include "core/script_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pleroma::core {
+namespace {
+
+struct RunnerFixture : ::testing::Test {
+  RunnerFixture()
+      : runner([this](const std::string& line) { output.push_back(line); }) {}
+
+  /// True when some output line contains `needle`.
+  bool outputContains(const std::string& needle) const {
+    for (const auto& line : output) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+  std::string lastLine() const { return output.empty() ? "" : output.back(); }
+
+  std::vector<std::string> output;
+  ScriptRunner runner;
+};
+
+TEST_F(RunnerFixture, AdvertiseSubscribePublishRun) {
+  runner.executeScript(
+      "adv h1 0:1023 0:1023\n"
+      "sub h6 0:511 0:1023\n"
+      "pub h1 100 100\n"
+      "run\n");
+  EXPECT_TRUE(outputContains("publisher 0"));
+  EXPECT_TRUE(outputContains("subscription 0"));
+  EXPECT_TRUE(outputContains("-> h6"));
+  EXPECT_TRUE(outputContains("ok: 1 deliveries"));
+}
+
+TEST_F(RunnerFixture, NonMatchingEventNotDelivered) {
+  runner.executeScript(
+      "adv h1 0:1023 0:1023\n"
+      "sub h6 0:511 0:1023\n"
+      "pub h1 900 100\n"
+      "run\n");
+  EXPECT_TRUE(outputContains("ok: 0 deliveries"));
+}
+
+TEST_F(RunnerFixture, CommentsAndBlankLinesIgnored) {
+  runner.executeScript("# a comment\n\n   \n");
+  EXPECT_TRUE(output.empty());
+}
+
+TEST_F(RunnerFixture, QuitStopsScript) {
+  runner.executeScript("quit\nadv h1 0:1023 0:1023\n");
+  EXPECT_FALSE(outputContains("publisher"));
+}
+
+TEST_F(RunnerFixture, TopologySwitching) {
+  EXPECT_TRUE(runner.executeLine("topo ring 8"));
+  EXPECT_TRUE(outputContains("8 switches, 8 hosts"));
+  EXPECT_TRUE(runner.executeLine("topo random 5 2 9"));
+  EXPECT_TRUE(outputContains("5 switches, 5 hosts"));
+  EXPECT_TRUE(runner.executeLine("topo bogus"));
+  EXPECT_TRUE(outputContains("error: unknown topology"));
+}
+
+TEST_F(RunnerFixture, AttrsChangesSchemaArity) {
+  runner.executeLine("attrs 3");
+  runner.executeLine("adv h1 0:1023 0:1023");  // wrong arity now
+  EXPECT_TRUE(outputContains("error: expected 3 lo:hi ranges"));
+  runner.executeLine("adv h1 0:1023 0:1023 0:1023");
+  EXPECT_TRUE(outputContains("publisher 0"));
+}
+
+TEST_F(RunnerFixture, ErrorsOnUnknownNames) {
+  runner.executeLine("adv nosuch 0:1023 0:1023");
+  EXPECT_TRUE(outputContains("error: unknown host"));
+  runner.executeLine("flows nosuch");
+  EXPECT_TRUE(outputContains("error: unknown switch"));
+  runner.executeLine("frobnicate");
+  EXPECT_TRUE(outputContains("error: unknown command"));
+}
+
+TEST_F(RunnerFixture, UnsubscribeViaScript) {
+  runner.executeScript(
+      "adv h1 0:1023 0:1023\n"
+      "sub h6 0:1023 0:1023\n"
+      "unsub 0\n"
+      "pub h1 1 1\n"
+      "run\n");
+  EXPECT_TRUE(outputContains("ok: 0 deliveries"));
+}
+
+TEST_F(RunnerFixture, TreesAndStats) {
+  runner.executeScript(
+      "adv h1 0:511 0:1023\n"
+      "trees\n"
+      "stats\n");
+  EXPECT_TRUE(outputContains("tree 0"));
+  EXPECT_TRUE(outputContains("DZ=0"));
+  EXPECT_TRUE(outputContains("trees=1"));
+}
+
+TEST_F(RunnerFixture, FlowsDump) {
+  runner.executeScript(
+      "adv h1 0:1023 0:1023\n"
+      "sub h2 0:1023 0:1023\n"
+      "flows R7\n");
+  EXPECT_TRUE(outputContains("ok: "));
+  EXPECT_TRUE(outputContains("ff0e:"));
+}
+
+TEST_F(RunnerFixture, FailureInjectionCommands) {
+  runner.executeScript(
+      "topo ring 6\n"
+      "adv h1 0:1023 0:1023\n"
+      "sub h4 0:1023 0:1023\n");
+  // Find a tree edge to fail.
+  const auto edges = runner.middleware().controller().trees()[0]->edges();
+  ASSERT_FALSE(edges.empty());
+  runner.executeLine("fail " + std::to_string(edges.front()));
+  EXPECT_TRUE(outputContains("failed"));
+  runner.executeScript("pub h1 1 1\nrun\n");
+  EXPECT_TRUE(outputContains("-> h4"));  // repaired route still delivers
+  runner.executeLine("restore " + std::to_string(edges.front()));
+  EXPECT_TRUE(outputContains("restored"));
+  runner.executeLine("fail 99999");
+  EXPECT_TRUE(outputContains("error: expected a valid link id"));
+}
+
+TEST_F(RunnerFixture, DimselCommand) {
+  runner.executeScript(
+      "attrs 3\n"
+      "adv h1 0:1023 0:1023 0:1023\n"
+      "sub h2 0:100 0:1023 0:1023\n"
+      "pub h1 50 1 2\n"
+      "pub h1 60 900 3\n"
+      "run\n"
+      "dimsel 0.8\n");
+  EXPECT_TRUE(outputContains("ok: indexing dimensions"));
+}
+
+TEST_F(RunnerFixture, PublishArityChecked) {
+  runner.executeLine("adv h1 0:1023 0:1023");
+  runner.executeLine("pub h1 1");
+  EXPECT_TRUE(outputContains("error: expected 2 attribute values"));
+}
+
+}  // namespace
+}  // namespace pleroma::core

@@ -1,0 +1,134 @@
+#include "dimsel/dimension_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/workload.hpp"
+
+namespace pleroma::dimsel {
+namespace {
+
+TEST(DimensionSelection, MatchMatrixCounts) {
+  // 2 dims, 2 events, 2 subscriptions: verify w_ij by hand.
+  const std::vector<dz::Event> events = {{10, 10}, {90, 90}};
+  const std::vector<dz::Rectangle> subs = {
+      dz::Rectangle{{dz::Range{0, 50}, dz::Range{0, 100}}},
+      dz::Rectangle{{dz::Range{0, 100}, dz::Range{80, 100}}},
+  };
+  const Matrix w = buildMatchMatrix(events, subs, 2);
+  // dim 0: event0 (10) matched by sub0 ([0,50]) and sub1 ([0,100]) -> 2.
+  EXPECT_EQ(w.at(0, 0), 2.0);
+  // dim 0: event1 (90) matched only by sub1 -> 1.
+  EXPECT_EQ(w.at(0, 1), 1.0);
+  // dim 1: event0 (10) matched by sub0 only -> 1.
+  EXPECT_EQ(w.at(1, 0), 1.0);
+  // dim 1: event1 (90) matched by both -> 2.
+  EXPECT_EQ(w.at(1, 1), 2.0);
+}
+
+TEST(DimensionSelection, InformativeDimensionRankedFirst) {
+  // Dim 0: selective subscriptions + spread events (informative).
+  // Dim 1: everyone subscribes to the whole domain (useless).
+  std::vector<dz::Rectangle> subs;
+  for (int i = 0; i < 8; ++i) {
+    const auto lo = static_cast<dz::AttributeValue>(i * 120);
+    subs.push_back(
+        dz::Rectangle{{dz::Range{lo, lo + 100}, dz::Range{0, 1023}}});
+  }
+  std::vector<dz::Event> events;
+  for (int i = 0; i < 32; ++i) {
+    events.push_back(
+        dz::Event{static_cast<dz::AttributeValue>((i * 97) % 1024),
+                  static_cast<dz::AttributeValue>(512)});
+  }
+  const Matrix w = buildMatchMatrix(events, subs, 2);
+  const DimensionRanking r = rankDimensions(w, 0.9);
+  EXPECT_EQ(r.ranked[0], 0);
+  EXPECT_EQ(r.k, 1);
+}
+
+TEST(DimensionSelection, ThresholdControlsK) {
+  std::vector<dz::Rectangle> subs;
+  for (int i = 0; i < 8; ++i) {
+    const auto lo = static_cast<dz::AttributeValue>(i * 120);
+    subs.push_back(dz::Rectangle{
+        {dz::Range{lo, lo + 80}, dz::Range{1023 - lo - 80, 1023 - lo},
+         dz::Range{0, 1023}}});
+  }
+  std::vector<dz::Event> events;
+  for (int i = 0; i < 64; ++i) {
+    events.push_back(dz::Event{static_cast<dz::AttributeValue>((i * 131) % 1024),
+                               static_cast<dz::AttributeValue>((i * 53) % 1024),
+                               7});
+  }
+  const Matrix w = buildMatchMatrix(events, subs, 3);
+  const DimensionRanking strict = rankDimensions(w, 0.999);
+  const DimensionRanking loose = rankDimensions(w, 0.3);
+  EXPECT_LE(loose.k, strict.k);
+  EXPECT_GE(loose.k, 1);
+}
+
+TEST(DimensionSelection, DegenerateWindowKeepsAll) {
+  const Matrix w(4, 1);
+  const DimensionRanking r = rankDimensions(w, 0.9);
+  EXPECT_EQ(r.k, 4);
+  EXPECT_EQ(r.ranked.size(), 4u);
+}
+
+TEST(DimensionSelection, EndToEndSelectsInformativeDims) {
+  // Fig 7e setup: a zipfian workload where some dimensions are made
+  // uninformative. Selection must prefer the informative ones.
+  workload::WorkloadConfig cfg;
+  cfg.model = workload::Model::kZipfian;
+  cfg.numAttributes = 5;
+  cfg.uninformativeDims = {1, 3};
+  cfg.seed = 4242;
+  workload::WorkloadGenerator gen(cfg);
+  const auto subs = gen.makeSubscriptions(60);
+  const auto events = gen.makeEvents(256);
+  const std::vector<int> dims = selectDimensions(events, subs, 5, 0.8);
+  ASSERT_FALSE(dims.empty());
+  for (const int d : dims) {
+    EXPECT_NE(d, 1) << "selected an uninformative dimension";
+    EXPECT_NE(d, 3) << "selected an uninformative dimension";
+  }
+}
+
+TEST(DimensionSelection, CorrelatedDimensionsShareRank) {
+  // Two perfectly correlated dims: both informative, but the principal
+  // eigenvector splits weight between them, so a mid threshold keeps one.
+  std::vector<dz::Rectangle> subs;
+  for (int i = 0; i < 8; ++i) {
+    const auto lo = static_cast<dz::AttributeValue>(i * 120);
+    subs.push_back(dz::Rectangle{{dz::Range{lo, lo + 100},
+                                  dz::Range{lo, lo + 100},
+                                  dz::Range{0, 1023}}});
+  }
+  std::vector<dz::Event> events;
+  for (int i = 0; i < 64; ++i) {
+    const auto v = static_cast<dz::AttributeValue>((i * 97) % 1024);
+    events.push_back(dz::Event{v, v, 500});
+  }
+  const Matrix w = buildMatchMatrix(events, subs, 3);
+  const DimensionRanking r = rankDimensions(w, 0.6);
+  // The two correlated dims rank above the unselective one...
+  EXPECT_NE(r.ranked[2], 0);
+  EXPECT_NE(r.ranked[2], 1);
+  // ...and the threshold needs at most both of them.
+  EXPECT_LE(r.k, 2);
+}
+
+TEST(DimensionSelection, WeightsSumToOne) {
+  std::vector<dz::Rectangle> subs = {
+      dz::Rectangle{{dz::Range{0, 100}, dz::Range{0, 1023}}}};
+  std::vector<dz::Event> events = {{50, 1}, {900, 2}, {10, 3}};
+  const Matrix w = buildMatchMatrix(events, subs, 2);
+  const DimensionRanking r = rankDimensions(w, 0.9);
+  double sum = 0;
+  for (const double x : r.weight) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pleroma::dimsel

@@ -1,0 +1,117 @@
+#include "dimsel/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dimsel/matrix.hpp"
+
+namespace pleroma::dimsel {
+namespace {
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m.at(0, 0) = 1;
+  m.at(1, 1) = 5;
+  m.at(2, 2) = 3;
+  const EigenDecomposition e = eigenSymmetric(m);
+  ASSERT_EQ(e.values.size(), 3u);
+  EXPECT_NEAR(e.values[0], 5, 1e-10);
+  EXPECT_NEAR(e.values[1], 3, 1e-10);
+  EXPECT_NEAR(e.values[2], 1, 1e-10);
+  // Principal eigenvector is e_1 (up to sign).
+  EXPECT_NEAR(std::fabs(e.vectors.at(1, 0)), 1.0, 1e-10);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/sqrt2, (1,-1)/sqrt2.
+  Matrix m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;
+  const EigenDecomposition e = eigenSymmetric(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::fabs(e.vectors.at(0, 0)), s, 1e-8);
+  EXPECT_NEAR(std::fabs(e.vectors.at(1, 0)), s, 1e-8);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  // C == Q diag(v) Q^T.
+  Matrix m(4, 4);
+  const double vals[4][4] = {{4, 1, 0.5, 0},
+                             {1, 3, 0, 0.2},
+                             {0.5, 0, 2, 0.1},
+                             {0, 0.2, 0.1, 1}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) m.at(i, j) = vals[i][j];
+  }
+  const EigenDecomposition e = eigenSymmetric(m);
+  Matrix diag(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) diag.at(i, i) = e.values[i];
+  const Matrix rebuilt = e.vectors * diag * e.vectors.transposed();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(rebuilt.at(i, j), m.at(i, j), 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(Eigen, VectorsOrthonormal) {
+  Matrix m(3, 3);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = -1;
+  m.at(1, 0) = -1;
+  m.at(1, 1) = 2;
+  m.at(1, 2) = -1;
+  m.at(2, 1) = -1;
+  m.at(2, 2) = 2;
+  const EigenDecomposition e = eigenSymmetric(m);
+  const Matrix qtq = e.vectors.transposed() * e.vectors;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(qtq.at(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Eigen, TridiagonalKnownSpectrum) {
+  // The 3x3 discrete Laplacian [[2,-1,0],[-1,2,-1],[0,-1,2]] has
+  // eigenvalues 2 + sqrt(2), 2, 2 - sqrt(2).
+  Matrix m(3, 3);
+  m.at(0, 0) = m.at(1, 1) = m.at(2, 2) = 2;
+  m.at(0, 1) = m.at(1, 0) = m.at(1, 2) = m.at(2, 1) = -1;
+  const EigenDecomposition e = eigenSymmetric(m);
+  EXPECT_NEAR(e.values[0], 2 + std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-9);
+  EXPECT_NEAR(e.values[2], 2 - std::sqrt(2.0), 1e-9);
+}
+
+TEST(Eigen, ZeroMatrix) {
+  const EigenDecomposition e = eigenSymmetric(Matrix(3, 3));
+  for (const double v : e.values) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Eigen, OneByOne) {
+  Matrix m(1, 1);
+  m.at(0, 0) = 42;
+  const EigenDecomposition e = eigenSymmetric(m);
+  EXPECT_NEAR(e.values[0], 42, 1e-12);
+  EXPECT_NEAR(std::fabs(e.vectors.at(0, 0)), 1.0, 1e-12);
+}
+
+TEST(Eigen, SymmetrisesSlightlyAsymmetricInput) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2.0 + 1e-13;
+  m.at(1, 0) = 2.0 - 1e-13;
+  m.at(1, 1) = 1;
+  const EigenDecomposition e = eigenSymmetric(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(e.values[1], -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pleroma::dimsel

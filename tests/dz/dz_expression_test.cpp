@@ -1,0 +1,140 @@
+#include "dz/dz_expression.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pleroma::dz {
+namespace {
+
+DzExpression dz(std::string_view s) {
+  auto d = DzExpression::fromString(s);
+  EXPECT_TRUE(d.has_value()) << s;
+  return *d;
+}
+
+TEST(DzExpression, EmptyIsWholeSpace) {
+  const DzExpression whole;
+  EXPECT_TRUE(whole.isWholeSpace());
+  EXPECT_EQ(whole.length(), 0);
+  EXPECT_EQ(whole.toString(), "");
+}
+
+TEST(DzExpression, FromStringRoundTrip) {
+  for (const char* s : {"", "0", "1", "101101", "0000", "1111111111"}) {
+    EXPECT_EQ(dz(s).toString(), s);
+  }
+}
+
+TEST(DzExpression, FromStringRejectsBadInput) {
+  EXPECT_FALSE(DzExpression::fromString("10x").has_value());
+  EXPECT_FALSE(DzExpression::fromString("2").has_value());
+  EXPECT_FALSE(DzExpression::fromString(std::string(113, '0')).has_value());
+}
+
+TEST(DzExpression, MaxLengthAccepted) {
+  const std::string s(112, '1');
+  const DzExpression d = dz(s);
+  EXPECT_EQ(d.length(), 112);
+  EXPECT_EQ(d.toString(), s);
+}
+
+TEST(DzExpression, WholeSpaceCoversEverything) {
+  const DzExpression whole;
+  EXPECT_TRUE(whole.covers(dz("0")));
+  EXPECT_TRUE(whole.covers(dz("10110")));
+  EXPECT_TRUE(whole.covers(whole));
+}
+
+TEST(DzExpression, CoversIsPrefixRelation) {
+  // Paper Sec 2 property 2: dz_i covers dz_j iff dz_i is a prefix of dz_j.
+  EXPECT_TRUE(dz("101").covers(dz("101101")));
+  EXPECT_FALSE(dz("101101").covers(dz("101")));
+  EXPECT_TRUE(dz("1").covers(dz("11")));
+  EXPECT_FALSE(dz("0").covers(dz("11")));
+  EXPECT_FALSE(dz("10").covers(dz("01")));
+  EXPECT_TRUE(dz("10").covers(dz("10")));  // reflexive
+}
+
+TEST(DzExpression, OverlapIsSymmetricPrefixRelation) {
+  EXPECT_TRUE(dz("101").overlaps(dz("101101")));
+  EXPECT_TRUE(dz("101101").overlaps(dz("101")));
+  EXPECT_FALSE(dz("100").overlaps(dz("101")));
+  EXPECT_FALSE(dz("00").overlaps(dz("01")));
+}
+
+TEST(DzExpression, Relation) {
+  EXPECT_EQ(dz("10").relation(dz("10")), DzRelation::kEqual);
+  EXPECT_EQ(dz("1").relation(dz("10")), DzRelation::kCovers);
+  EXPECT_EQ(dz("10").relation(dz("1")), DzRelation::kCoveredBy);
+  EXPECT_EQ(dz("10").relation(dz("11")), DzRelation::kDisjoint);
+}
+
+TEST(DzExpression, IntersectIsLongerOfOverlappingPair) {
+  // Paper Sec 2 property 3.
+  EXPECT_EQ(*dz("1").intersect(dz("101")), dz("101"));
+  EXPECT_EQ(*dz("101").intersect(dz("1")), dz("101"));
+  EXPECT_FALSE(dz("0").intersect(dz("1")).has_value());
+}
+
+TEST(DzExpression, ChildParentSibling) {
+  const DzExpression d = dz("10");
+  EXPECT_EQ(d.child(false), dz("100"));
+  EXPECT_EQ(d.child(true), dz("101"));
+  EXPECT_EQ(d.parent(), dz("1"));
+  EXPECT_EQ(d.sibling(), dz("11"));
+  EXPECT_EQ(dz("0").sibling(), dz("1"));
+  EXPECT_EQ(d.child(true).parent(), d);
+}
+
+TEST(DzExpression, Prefix) {
+  const DzExpression d = dz("101101");
+  EXPECT_EQ(d.prefix(0), DzExpression{});
+  EXPECT_EQ(d.prefix(3), dz("101"));
+  EXPECT_EQ(d.prefix(6), d);
+}
+
+TEST(DzExpression, Truncated) {
+  EXPECT_EQ(dz("101101").truncated(3), dz("101"));
+  EXPECT_EQ(dz("10").truncated(5), dz("10"));
+  EXPECT_EQ(dz("10").truncated(0), DzExpression{});
+}
+
+TEST(DzExpression, TrieOrderPrefixesFirst) {
+  // In trie order, a dz sorts immediately before everything it covers.
+  EXPECT_LT(dz("1"), dz("10"));
+  EXPECT_LT(dz("10"), dz("101"));
+  EXPECT_LT(dz("0"), dz("1"));
+  EXPECT_LT(dz("011"), dz("1"));
+  EXPECT_LT(dz("10"), dz("11"));
+  EXPECT_LT(dz("1011"), dz("11"));
+}
+
+TEST(DzExpression, EqualityIncludesLength) {
+  EXPECT_NE(dz("10"), dz("100"));
+  EXPECT_NE(dz("0"), DzExpression{});
+  EXPECT_EQ(dz("0110"), dz("0110"));
+}
+
+TEST(DzExpression, BitAccess) {
+  const DzExpression d = dz("1011");
+  EXPECT_TRUE(d.bit(0));
+  EXPECT_FALSE(d.bit(1));
+  EXPECT_TRUE(d.bit(2));
+  EXPECT_TRUE(d.bit(3));
+}
+
+TEST(DzExpression, HashDistinguishesLengths) {
+  const DzHash h;
+  EXPECT_NE(h(dz("10")), h(dz("100")));
+}
+
+TEST(DzExpression, ConstructorMasksExtraBits) {
+  // Bits beyond `length` must be ignored.
+  U128 bits;
+  bits.setBitFromMsb(0, true);
+  bits.setBitFromMsb(5, true);  // beyond length 3
+  const DzExpression d(bits, 3);
+  EXPECT_EQ(d.toString(), "100");
+}
+
+}  // namespace
+}  // namespace pleroma::dz

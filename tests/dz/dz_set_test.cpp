@@ -1,0 +1,161 @@
+#include "dz/dz_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pleroma::dz {
+namespace {
+
+DzExpression dz(std::string_view s) { return *DzExpression::fromString(s); }
+DzSet set(std::string_view s) {
+  auto v = DzSet::fromString(s);
+  EXPECT_TRUE(v.has_value()) << s;
+  return *v;
+}
+
+TEST(DzSet, ParseAndPrint) {
+  EXPECT_EQ(set("110,100").toString(), "100,110");
+  EXPECT_EQ(set("").size(), 0u);
+  EXPECT_FALSE(DzSet::fromString("10,2x").has_value());
+}
+
+TEST(DzSet, InsertDropsCoveredMembers) {
+  DzSet s;
+  s.insert(dz("100"));
+  s.insert(dz("10"));  // covers 100
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.items()[0], dz("10"));
+}
+
+TEST(DzSet, InsertIgnoredWhenAlreadyCovered) {
+  DzSet s = set("10");
+  s.insert(dz("101"));
+  EXPECT_EQ(s, set("10"));
+}
+
+TEST(DzSet, SiblingsMergeToParent) {
+  DzSet s = set("00,01");
+  EXPECT_EQ(s, set("0"));
+}
+
+TEST(DzSet, SiblingMergeCascades) {
+  // The paper's tree-merge example: {0000,0010} ∪ {0001,0011} = {00}.
+  DzSet s = set("0000,0010");
+  s.unionWith(set("0001,0011"));
+  EXPECT_EQ(s, set("00"));
+}
+
+TEST(DzSet, FullSpaceFromAllSiblings) {
+  DzSet s = set("00,01,10,11");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.items()[0].isWholeSpace());
+}
+
+TEST(DzSet, CoversAndOverlaps) {
+  const DzSet s = set("110,100");  // the advertisement of Fig 2
+  EXPECT_TRUE(s.covers(dz("1101")));
+  EXPECT_FALSE(s.covers(dz("1")));
+  EXPECT_TRUE(s.overlaps(dz("1")));  // 1 covers both members
+  EXPECT_FALSE(s.overlaps(dz("0")));
+  EXPECT_TRUE(s.overlaps(dz("11")));
+}
+
+TEST(DzSet, CoversSet) {
+  EXPECT_TRUE(set("1").coversSet(set("100,111")));
+  EXPECT_FALSE(set("10").coversSet(set("100,111")));
+  EXPECT_TRUE(set("10,01").coversSet(set("011,101")));
+  EXPECT_TRUE(set("0").coversSet(DzSet{}));  // empty set trivially covered
+}
+
+TEST(DzSet, IntersectTakesLongerOfOverlapping) {
+  EXPECT_EQ(set("1").intersect(set("10")), set("10"));
+  EXPECT_EQ(set("10,01").intersect(set("0")), set("01"));
+  EXPECT_TRUE(set("0").intersect(set("1")).empty());
+}
+
+TEST(DzSet, IntersectMultipleMembers) {
+  const DzSet a = set("0,10");
+  const DzSet b = set("00,101,11");
+  EXPECT_EQ(a.intersect(b), set("00,101"));
+}
+
+TEST(DzSet, SubtractProducesSiblingComplement) {
+  // Paper Sec 2 property 4: 0 − 000 = {001, 01}.
+  EXPECT_EQ(set("0").subtract(set("000")), set("001,01"));
+}
+
+TEST(DzSet, SubtractDisjointIsIdentity) {
+  EXPECT_EQ(set("10").subtract(set("0")), set("10"));
+}
+
+TEST(DzSet, SubtractCoveringRemovesAll) {
+  EXPECT_TRUE(set("101").subtract(set("1")).empty());
+  EXPECT_TRUE(set("101").subtract(set("101")).empty());
+}
+
+TEST(DzSet, SubtractThenUnionRestores) {
+  const DzSet a = set("0");
+  const DzSet b = set("0010,011");
+  DzSet diff = a.subtract(b);
+  diff.unionWith(b);
+  EXPECT_EQ(diff, a);
+}
+
+TEST(DzSet, SubtractMixedMembers) {
+  const DzSet a = set("0,11");
+  const DzSet b = set("01");
+  EXPECT_EQ(a.subtract(b), set("00,11"));
+}
+
+TEST(DzSet, TruncatedMergesAtMaxLength) {
+  const DzSet s = set("0000,0011,01");
+  // Truncation to 2 bits: 0000 -> 00, 0011 -> 00, 01 stays: {00,01} -> {0}.
+  EXPECT_EQ(s.truncated(2), set("0"));
+}
+
+TEST(DzSet, TruncatedKeepsShorter) {
+  EXPECT_EQ(set("1,011").truncated(2), set("01,1"));
+}
+
+TEST(DzSet, UnionWithEmpty) {
+  DzSet s = set("10");
+  s.unionWith(DzSet{});
+  EXPECT_EQ(s, set("10"));
+  DzSet e;
+  e.unionWith(set("10"));
+  EXPECT_EQ(e, set("10"));
+}
+
+TEST(DzSet, WholeSpaceAbsorbsEverything) {
+  DzSet s = set("101,0");
+  s.insert(DzExpression{});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.items()[0].isWholeSpace());
+}
+
+TEST(DzSet, VolumeOfCanonicalMembers) {
+  EXPECT_DOUBLE_EQ(DzSet{}.volume(), 0.0);
+  EXPECT_DOUBLE_EQ(set("0").volume(), 0.5);
+  EXPECT_DOUBLE_EQ(set("00,01").volume(), 0.5);  // merged to "0"
+  EXPECT_DOUBLE_EQ(set("0,10").volume(), 0.75);
+  EXPECT_DOUBLE_EQ(set("101").volume(), 0.125);
+  DzSet whole;
+  whole.insert(DzExpression{});
+  EXPECT_DOUBLE_EQ(whole.volume(), 1.0);
+}
+
+TEST(DzSet, VolumeAdditiveUnderDisjointUnion) {
+  DzSet a = set("00");
+  DzSet b = set("11");
+  const double va = a.volume();
+  const double vb = b.volume();
+  a.unionWith(b);
+  EXPECT_DOUBLE_EQ(a.volume(), va + vb);
+}
+
+TEST(DzSet, OverlapsSet) {
+  EXPECT_TRUE(set("00,11").overlaps(set("1")));
+  EXPECT_FALSE(set("00,11").overlaps(set("01,10")));
+}
+
+}  // namespace
+}  // namespace pleroma::dz

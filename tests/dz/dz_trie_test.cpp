@@ -1,0 +1,175 @@
+#include "dz/dz_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pleroma::dz {
+namespace {
+
+DzExpression dz(std::string_view s) { return *DzExpression::fromString(s); }
+
+std::vector<int> collectCovering(const DzTrie<int>& trie, const DzExpression& d) {
+  std::vector<int> out;
+  trie.forEachCovering(d, [&](const DzExpression&, const int& v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+std::vector<int> collectCovered(const DzTrie<int>& trie, const DzExpression& d) {
+  std::vector<int> out;
+  trie.forEachCovered(d, [&](const DzExpression&, const int& v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+std::vector<int> collectOverlapping(const DzTrie<int>& trie, const DzExpression& d) {
+  std::vector<int> out;
+  trie.forEachOverlapping(d,
+                          [&](const DzExpression&, const int& v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DzTrie, InsertAndSize) {
+  DzTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  trie.insert(dz("10"), 1);
+  trie.insert(dz("10"), 2);  // duplicates allowed
+  trie.insert(dz(""), 3);
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(DzTrie, CoveringWalksPrefixes) {
+  DzTrie<int> trie;
+  trie.insert(dz(""), 0);
+  trie.insert(dz("1"), 1);
+  trie.insert(dz("10"), 2);
+  trie.insert(dz("11"), 3);
+  trie.insert(dz("101"), 4);
+  EXPECT_EQ(collectCovering(trie, dz("101")), (std::vector<int>{0, 1, 2, 4}));
+  EXPECT_EQ(collectCovering(trie, dz("1")), (std::vector<int>{0, 1}));
+  EXPECT_EQ(collectCovering(trie, dz("0")), (std::vector<int>{0}));
+}
+
+TEST(DzTrie, CoveredWalksSubtree) {
+  DzTrie<int> trie;
+  trie.insert(dz(""), 0);
+  trie.insert(dz("1"), 1);
+  trie.insert(dz("10"), 2);
+  trie.insert(dz("11"), 3);
+  trie.insert(dz("101"), 4);
+  EXPECT_EQ(collectCovered(trie, dz("1")), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(collectCovered(trie, dz("10")), (std::vector<int>{2, 4}));
+  EXPECT_EQ(collectCovered(trie, dz("0")), std::vector<int>{});
+  EXPECT_EQ(collectCovered(trie, DzExpression{}), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DzTrie, OverlappingIsUnionWithoutDuplicates) {
+  DzTrie<int> trie;
+  trie.insert(dz(""), 0);
+  trie.insert(dz("1"), 1);
+  trie.insert(dz("10"), 2);
+  trie.insert(dz("11"), 3);
+  EXPECT_EQ(collectOverlapping(trie, dz("10")), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(collectOverlapping(trie, dz("1")), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(DzTrie, EraseRemovesOneOccurrence) {
+  DzTrie<int> trie;
+  trie.insert(dz("10"), 7);
+  trie.insert(dz("10"), 7);
+  EXPECT_TRUE(trie.erase(dz("10"), 7));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.erase(dz("10"), 7));
+  EXPECT_FALSE(trie.erase(dz("10"), 7));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(DzTrie, ErasePrunesBranches) {
+  DzTrie<int> trie;
+  trie.insert(dz("10101010"), 1);
+  EXPECT_TRUE(trie.erase(dz("10101010"), 1));
+  // After pruning, the covered query from the root finds nothing.
+  EXPECT_TRUE(collectCovered(trie, DzExpression{}).empty());
+}
+
+TEST(DzTrie, EraseMissingKeyOrValue) {
+  DzTrie<int> trie;
+  trie.insert(dz("10"), 1);
+  EXPECT_FALSE(trie.erase(dz("11"), 1));
+  EXPECT_FALSE(trie.erase(dz("1"), 1));
+  EXPECT_FALSE(trie.erase(dz("10"), 2));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(DzTrie, Clear) {
+  DzTrie<int> trie;
+  trie.insert(dz("0"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_TRUE(collectOverlapping(trie, DzExpression{}).empty());
+}
+
+TEST(DzTrie, CallbackReceivesKeys) {
+  DzTrie<int> trie;
+  trie.insert(dz("10"), 1);
+  trie.insert(dz("101"), 2);
+  std::set<std::string> keys;
+  trie.forEachCovered(dz("10"), [&](const DzExpression& k, const int&) {
+    keys.insert(k.toString());
+  });
+  EXPECT_EQ(keys, (std::set<std::string>{"10", "101"}));
+}
+
+class DzTriePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DzTriePropertyTest, AgreesWithLinearScan) {
+  util::Rng rng(GetParam());
+  auto randomDz = [&](int maxLen) {
+    const int len =
+        static_cast<int>(rng.uniformInt(0, static_cast<std::uint64_t>(maxLen)));
+    U128 bits;
+    for (int i = 0; i < len; ++i) bits.setBitFromMsb(i, rng.chance(0.5));
+    return DzExpression(bits, len);
+  };
+
+  DzTrie<int> trie;
+  std::vector<std::pair<DzExpression, int>> reference;
+  for (int step = 0; step < 500; ++step) {
+    const auto dice = rng.uniformInt(0, 9);
+    if (dice < 5) {
+      const DzExpression d = randomDz(10);
+      const int v = static_cast<int>(rng.uniformInt(0, 1000));
+      trie.insert(d, v);
+      reference.emplace_back(d, v);
+    } else if (dice < 7 && !reference.empty()) {
+      const std::size_t victim = rng.uniformInt(0, reference.size() - 1);
+      EXPECT_TRUE(trie.erase(reference[victim].first, reference[victim].second));
+      reference.erase(reference.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const DzExpression probe = randomDz(12);
+      std::vector<int> expectCovering, expectCovered, expectOverlap;
+      for (const auto& [k, v] : reference) {
+        if (k.covers(probe)) expectCovering.push_back(v);
+        if (probe.covers(k)) expectCovered.push_back(v);
+        if (k.overlaps(probe)) expectOverlap.push_back(v);
+      }
+      std::sort(expectCovering.begin(), expectCovering.end());
+      std::sort(expectCovered.begin(), expectCovered.end());
+      std::sort(expectOverlap.begin(), expectOverlap.end());
+      EXPECT_EQ(collectCovering(trie, probe), expectCovering);
+      EXPECT_EQ(collectCovered(trie, probe), expectCovered);
+      EXPECT_EQ(collectOverlapping(trie, probe), expectOverlap);
+    }
+    ASSERT_EQ(trie.size(), reference.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DzTriePropertyTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace pleroma::dz

@@ -1,0 +1,100 @@
+#include "dz/ip_encoding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pleroma::dz {
+namespace {
+
+DzExpression dz(std::string_view s) { return *DzExpression::fromString(s); }
+
+// The paper's worked examples (Sec 3.3.2):
+//   dz=101    -> ff0e:a000::/19
+//   dz=101101 -> ff0e:b400::/22
+TEST(IpEncoding, PaperExamples) {
+  const Ipv6Prefix p101 = dzToPrefix(dz("101"));
+  EXPECT_EQ(p101.length, 19);
+  EXPECT_EQ(p101.address.toString(),
+            "ff0e:a000:0000:0000:0000:0000:0000:0000");
+
+  const Ipv6Prefix p101101 = dzToPrefix(dz("101101"));
+  EXPECT_EQ(p101101.length, 22);
+  EXPECT_EQ(p101101.address.toString(),
+            "ff0e:b400:0000:0000:0000:0000:0000:0000");
+}
+
+TEST(IpEncoding, Figure3Example) {
+  // Fig 3 flow table: dz=100* -> ff0e:8000::/19.
+  const Ipv6Prefix p = dzToPrefix(dz("100"));
+  EXPECT_EQ(p.length, 19);
+  EXPECT_EQ(p.address.toString(), "ff0e:8000:0000:0000:0000:0000:0000:0000");
+}
+
+TEST(IpEncoding, PrefixMatchEqualsDzCover) {
+  // ff0e:a000::/19 matches ff0e:b400:: — i.e. 101 covers 101101.
+  EXPECT_TRUE(dzToPrefix(dz("101")).matches(dzToAddress(dz("101101"))));
+  EXPECT_FALSE(dzToPrefix(dz("100")).matches(dzToAddress(dz("101101"))));
+  EXPECT_TRUE(dzToPrefix(DzExpression{}).matches(dzToAddress(dz("0011"))));
+}
+
+TEST(IpEncoding, PrefixCoverMirrorsDzCover) {
+  const char* exprs[] = {"", "0", "1", "10", "101", "1010", "0110"};
+  for (const char* a : exprs) {
+    for (const char* b : exprs) {
+      EXPECT_EQ(dzToPrefix(dz(a)).covers(dzToPrefix(dz(b))),
+                dz(a).covers(dz(b)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(IpEncoding, RoundTripPrefix) {
+  for (const char* s : {"", "0", "1", "101101", "111100001111"}) {
+    const auto back = prefixToDz(dzToPrefix(dz(s)));
+    ASSERT_TRUE(back.has_value()) << s;
+    EXPECT_EQ(*back, dz(s));
+  }
+}
+
+TEST(IpEncoding, RoundTripAddress) {
+  const DzExpression d = dz("1100101");
+  const auto back = addressToDz(dzToAddress(d), d.length());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, d);
+}
+
+TEST(IpEncoding, RejectsForeignPrefixes) {
+  Ipv6Prefix foreign;
+  foreign.address.value = U128{0xfe80000000000000ULL, 0};
+  foreign.length = 19;
+  EXPECT_FALSE(prefixToDz(foreign).has_value());
+  EXPECT_FALSE(addressToDz(Ipv6Address{U128{0, 1}}, 3).has_value());
+}
+
+TEST(IpEncoding, IsPleromaAddress) {
+  EXPECT_TRUE(isPleromaAddress(dzToAddress(dz("101"))));
+  EXPECT_TRUE(isPleromaAddress(kControlAddress));
+  EXPECT_FALSE(isPleromaAddress(Ipv6Address{U128{0xfd00ULL << 48, 5}}));
+}
+
+TEST(IpEncoding, ControlAddressNeverEqualsEventAddress) {
+  // No dz of length <= 112 encodes to IP_mid (its bits below the dz range
+  // are non-zero).
+  for (const char* s : {"", "1", std::string(112, '1').c_str()}) {
+    EXPECT_NE(dzToAddress(dz(s)), kControlAddress) << s;
+  }
+}
+
+TEST(IpEncoding, AddressToString) {
+  EXPECT_EQ(Ipv6Address{}.toString(), "0000:0000:0000:0000:0000:0000:0000:0000");
+  EXPECT_EQ((Ipv6Address{U128{0x20010db800000000ULL, 0x1ULL}}).toString(),
+            "2001:0db8:0000:0000:0000:0000:0000:0001");
+}
+
+TEST(IpEncoding, WholeSpacePrefixIsSlash16) {
+  const Ipv6Prefix p = dzToPrefix(DzExpression{});
+  EXPECT_EQ(p.length, 16);
+  EXPECT_EQ(p.toString(), "ff0e:0000:0000:0000:0000:0000:0000:0000/16");
+}
+
+}  // namespace
+}  // namespace pleroma::dz

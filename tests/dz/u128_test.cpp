@@ -1,0 +1,113 @@
+#include "dz/u128.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pleroma::dz {
+namespace {
+
+TEST(U128, DefaultIsZero) {
+  constexpr U128 z;
+  EXPECT_TRUE(z.isZero());
+  EXPECT_EQ(z.hi, 0u);
+  EXPECT_EQ(z.lo, 0u);
+}
+
+TEST(U128, BitwiseOps) {
+  const U128 a{0xff00ff00ff00ff00ULL, 0x0f0f0f0f0f0f0f0fULL};
+  const U128 b{0x00ff00ff00ff00ffULL, 0xf0f0f0f0f0f0f0f0ULL};
+  EXPECT_TRUE((a & b).isZero());
+  EXPECT_EQ((a | b), (U128{~0ULL, ~0ULL}));
+  EXPECT_EQ((a ^ a), U128{});
+  EXPECT_EQ(~U128{}, (U128{~0ULL, ~0ULL}));
+}
+
+TEST(U128, ShiftLeftSmall) {
+  const U128 a{0, 1};
+  EXPECT_EQ(a << 1, (U128{0, 2}));
+  EXPECT_EQ(a << 63, (U128{0, 1ULL << 63}));
+}
+
+TEST(U128, ShiftLeftAcrossWordBoundary) {
+  const U128 a{0, 1};
+  EXPECT_EQ(a << 64, (U128{1, 0}));
+  EXPECT_EQ(a << 127, (U128{1ULL << 63, 0}));
+  EXPECT_TRUE((a << 128).isZero());
+}
+
+TEST(U128, ShiftLeftCarriesHighBits) {
+  const U128 a{0, 0x8000000000000000ULL};
+  EXPECT_EQ(a << 1, (U128{1, 0}));
+}
+
+TEST(U128, ShiftRightSmall) {
+  const U128 a{1, 0};
+  EXPECT_EQ(a >> 1, (U128{0, 1ULL << 63}));
+  EXPECT_EQ(a >> 64, (U128{0, 1}));
+  EXPECT_TRUE((a >> 65).isZero());
+}
+
+TEST(U128, ShiftByZeroIsIdentity) {
+  const U128 a{0x123456789abcdef0ULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(a << 0, a);
+  EXPECT_EQ(a >> 0, a);
+}
+
+TEST(U128, ShiftRoundTrip) {
+  const U128 a{0, 0xdeadbeefULL};
+  for (int n : {1, 7, 31, 64, 90}) {
+    EXPECT_EQ((a << n) >> n, a) << "n=" << n;
+  }
+}
+
+TEST(U128, Ordering) {
+  EXPECT_LT((U128{0, 5}), (U128{1, 0}));
+  EXPECT_LT((U128{1, 0}), (U128{1, 1}));
+  EXPECT_EQ((U128{2, 3} <=> U128{2, 3}), std::strong_ordering::equal);
+}
+
+TEST(U128, BitFromMsb) {
+  U128 a;
+  a.setBitFromMsb(0, true);
+  EXPECT_EQ(a.hi, 1ULL << 63);
+  EXPECT_TRUE(a.bitFromMsb(0));
+  EXPECT_FALSE(a.bitFromMsb(1));
+
+  U128 b;
+  b.setBitFromMsb(127, true);
+  EXPECT_EQ(b.lo, 1u);
+  EXPECT_TRUE(b.bitFromMsb(127));
+
+  U128 c;
+  c.setBitFromMsb(64, true);
+  EXPECT_EQ(c.lo, 1ULL << 63);
+}
+
+TEST(U128, SetBitFromMsbClear) {
+  U128 a{~0ULL, ~0ULL};
+  a.setBitFromMsb(3, false);
+  EXPECT_FALSE(a.bitFromMsb(3));
+  EXPECT_TRUE(a.bitFromMsb(2));
+  EXPECT_TRUE(a.bitFromMsb(4));
+}
+
+TEST(U128, TopMask) {
+  EXPECT_TRUE(U128::topMask(0).isZero());
+  EXPECT_EQ(U128::topMask(1), (U128{1ULL << 63, 0}));
+  EXPECT_EQ(U128::topMask(64), (U128{~0ULL, 0}));
+  EXPECT_EQ(U128::topMask(65), (U128{~0ULL, 1ULL << 63}));
+  EXPECT_EQ(U128::topMask(128), (U128{~0ULL, ~0ULL}));
+}
+
+TEST(U128, TopMaskCoversExactlyNBits) {
+  for (int n = 0; n <= 128; ++n) {
+    const U128 mask = U128::topMask(n);
+    int bits = 0;
+    for (int i = 0; i < 128; ++i) bits += mask.bitFromMsb(i) ? 1 : 0;
+    EXPECT_EQ(bits, n);
+    // Contiguous from the top.
+    for (int i = 0; i < n; ++i) EXPECT_TRUE(mask.bitFromMsb(i));
+  }
+}
+
+}  // namespace
+}  // namespace pleroma::dz

@@ -1,0 +1,131 @@
+// The controller's delivery invariant checked across the whole topology
+// zoo: testbed fat-tree, canonical k-ary fat-trees, rings, lines, and
+// random connected graphs — all parameterized over seeds.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "net/packet.hpp"
+#include "workload/workload.hpp"
+
+namespace pleroma {
+namespace {
+
+using ctrl::Controller;
+using ctrl::ControllerConfig;
+using ctrl::PublisherId;
+using ctrl::Scope;
+using ctrl::SubscriptionId;
+
+/// Runs a short random op sequence on `topo` and checks, for sampled
+/// publications, the no-false-negative / no-spurious-delivery invariant.
+void runDeliveryInvariant(net::Topology topo, std::uint64_t seed, int steps) {
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  ControllerConfig cfg;
+  cfg.maxDzLength = 8;
+  cfg.maxCellsPerRequest = 6;
+  Controller controller(dz::EventSpace(2, 10), network,
+                        Scope::wholeTopology(topo), cfg);
+
+  std::set<net::NodeId> got;
+  network.setDeliverHandler(
+      [&](net::NodeId host, const net::Packet&) { got.insert(host); });
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.3;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+  util::Rng& rng = gen.rng();
+  const auto hosts = topo.hosts();
+
+  struct LiveSub {
+    SubscriptionId id;
+    net::NodeId host;
+    dz::DzSet dz;
+  };
+  struct LivePub {
+    PublisherId id;
+    net::NodeId host;
+    dz::DzSet dz;
+  };
+  std::vector<LiveSub> subs;
+  std::vector<LivePub> pubs;
+
+  for (int step = 0; step < steps; ++step) {
+    const auto dice = rng.uniformInt(0, 9);
+    const net::NodeId h = hosts[rng.uniformInt(0, hosts.size() - 1)];
+    if (dice < 3 || pubs.empty()) {
+      const PublisherId id = controller.advertise(h, gen.makeAdvertisement());
+      pubs.push_back({id, h, controller.advertisementDz(id)});
+    } else if (dice < 7) {
+      const SubscriptionId id = controller.subscribe(h, gen.makeSubscription());
+      subs.push_back({id, h, controller.subscriptionDz(id)});
+    } else if (dice < 9 && !subs.empty()) {
+      controller.unsubscribe(subs.back().id);
+      subs.pop_back();
+    } else {
+      controller.unadvertise(pubs.back().id);
+      pubs.pop_back();
+    }
+
+    if (pubs.empty() || step % 3 != 0) continue;
+    const LivePub& pub = pubs[rng.uniformInt(0, pubs.size() - 1)];
+    const dz::Event e = gen.makeEvent();
+    const dz::DzExpression eDz = controller.stampEvent(e);
+    got.clear();
+    network.sendFromHost(pub.host, controller.makeEventPacket(pub.host, e, 1));
+    sim.run();
+
+    const bool pubCovers = pub.dz.overlaps(eDz);
+    for (const LiveSub& s : subs) {
+      if (s.dz.overlaps(eDz) && pubCovers && s.host != pub.host) {
+        ASSERT_TRUE(got.contains(s.host))
+            << "false negative, step " << step << ", event " << eDz.toString();
+      }
+    }
+    for (const net::NodeId gh : got) {
+      bool anySub = false;
+      for (const LiveSub& s : subs) {
+        if (s.host == gh && s.dz.overlaps(eDz)) anySub = true;
+      }
+      ASSERT_TRUE(anySub) << "spurious delivery, step " << step;
+    }
+  }
+}
+
+class TopologyMatrixTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyMatrixTest, TestbedFatTree) {
+  runDeliveryInvariant(net::Topology::testbedFatTree(), GetParam(), 50);
+}
+
+TEST_P(TopologyMatrixTest, KAry4FatTree) {
+  runDeliveryInvariant(net::Topology::kAryFatTree(4), GetParam() + 1, 50);
+}
+
+TEST_P(TopologyMatrixTest, Ring10) {
+  runDeliveryInvariant(net::Topology::ring(10), GetParam() + 2, 50);
+}
+
+TEST_P(TopologyMatrixTest, Line6) {
+  runDeliveryInvariant(net::Topology::line(6), GetParam() + 3, 50);
+}
+
+TEST_P(TopologyMatrixTest, RandomConnected) {
+  runDeliveryInvariant(
+      net::Topology::randomConnected(10, 5, GetParam() + 4), GetParam() + 5, 50);
+}
+
+TEST_P(TopologyMatrixTest, KAry6FatTree) {
+  runDeliveryInvariant(net::Topology::kAryFatTree(6), GetParam() + 6, 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyMatrixTest,
+                         ::testing::Values(17u, 170u, 1700u));
+
+}  // namespace
+}  // namespace pleroma

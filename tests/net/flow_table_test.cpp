@@ -1,0 +1,199 @@
+#include "net/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace pleroma::net {
+namespace {
+
+dz::DzExpression dz(std::string_view s) { return *dz::DzExpression::fromString(s); }
+
+FlowEntry entry(std::string_view dzStr, std::vector<PortId> ports,
+                int priority = -1) {
+  FlowEntry e;
+  const auto d = dz(dzStr);
+  e.match = dz::dzToPrefix(d);
+  e.priority = priority < 0 ? d.length() : priority;
+  for (const PortId p : ports) e.actions.push_back(FlowAction{p, std::nullopt});
+  return e;
+}
+
+TEST(FlowEntry, AddOutPortDeduplicates) {
+  FlowEntry e = entry("10", {2});
+  e.addOutPort(2);
+  e.addOutPort(3);
+  EXPECT_EQ(e.outPorts(), (std::vector<PortId>{2, 3}));
+  EXPECT_TRUE(e.hasOutPort(2));
+  EXPECT_FALSE(e.hasOutPort(4));
+}
+
+TEST(FlowEntry, AddOutPortUpdatesRewrite) {
+  FlowEntry e = entry("10", {2});
+  const dz::Ipv6Address addr = hostAddress(7);
+  e.addOutPort(2, addr);
+  ASSERT_EQ(e.actions.size(), 1u);
+  EXPECT_EQ(e.actions[0].setDestination, addr);
+}
+
+TEST(FlowEntry, RemoveOutPort) {
+  FlowEntry e = entry("10", {2, 3});
+  EXPECT_TRUE(e.removeOutPort(2));
+  EXPECT_FALSE(e.removeOutPort(2));
+  EXPECT_EQ(e.outPorts(), (std::vector<PortId>{3}));
+}
+
+TEST(FlowTable, InsertAndLookup) {
+  FlowTable t;
+  EXPECT_TRUE(t.insert(entry("1", {2})));
+  const FlowEntry* hit = t.lookup(dz::dzToAddress(dz("101")));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->outPorts(), (std::vector<PortId>{2}));
+  EXPECT_EQ(t.lookup(dz::dzToAddress(dz("0"))), nullptr);
+}
+
+TEST(FlowTable, LongestDzWinsViaPriority) {
+  // Fig 3: an event dz=1001 matches flows dz=1 and dz=100; the longer one
+  // (higher priority) must win.
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("1", {2})));
+  ASSERT_TRUE(t.insert(entry("100", {2, 3})));
+  const FlowEntry* hit = t.lookup(dz::dzToAddress(dz("1001")));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->outPorts(), (std::vector<PortId>{2, 3}));
+  // dz=11 only matches the short flow.
+  const FlowEntry* hit2 = t.lookup(dz::dzToAddress(dz("11")));
+  ASSERT_NE(hit2, nullptr);
+  EXPECT_EQ(hit2->outPorts(), (std::vector<PortId>{2}));
+}
+
+TEST(FlowTable, ExplicitPriorityBeatsLength) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("1", {9}, /*priority=*/100)));
+  ASSERT_TRUE(t.insert(entry("11", {2}, /*priority=*/1)));
+  const FlowEntry* hit = t.lookup(dz::dzToAddress(dz("111")));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->outPorts(), (std::vector<PortId>{9}));
+}
+
+TEST(FlowTable, DuplicateMatchRejected) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("10", {1})));
+  EXPECT_FALSE(t.insert(entry("10", {2})));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.stats().rejectedDuplicate, 1u);
+}
+
+TEST(FlowTable, InsertOrReplace) {
+  FlowTable t;
+  ASSERT_TRUE(t.insertOrReplace(entry("10", {1})));
+  ASSERT_TRUE(t.insertOrReplace(entry("10", {1, 2})));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(dz::dzToPrefix(dz("10")))->outPorts(),
+            (std::vector<PortId>{1, 2}));
+  EXPECT_EQ(t.stats().modifies, 1u);
+}
+
+TEST(FlowTable, Remove) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("10", {1})));
+  EXPECT_TRUE(t.remove(dz::dzToPrefix(dz("10"))));
+  EXPECT_FALSE(t.remove(dz::dzToPrefix(dz("10"))));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.lookup(dz::dzToAddress(dz("10"))), nullptr);
+}
+
+TEST(FlowTable, CapacityModelsTcamLimit) {
+  FlowTable t(2);
+  EXPECT_TRUE(t.insert(entry("00", {1})));
+  EXPECT_TRUE(t.insert(entry("01", {1})));
+  EXPECT_FALSE(t.insert(entry("10", {1})));
+  EXPECT_EQ(t.stats().rejectedCapacity, 1u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(FlowTable, StatsCountLookups) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("1", {1})));
+  t.lookup(dz::dzToAddress(dz("1")));
+  t.lookup(dz::dzToAddress(dz("0")));
+  EXPECT_EQ(t.stats().lookups, 2u);
+  EXPECT_EQ(t.stats().hits, 1u);
+  EXPECT_EQ(t.stats().misses, 1u);
+}
+
+TEST(FlowTable, WholeSpaceFlowMatchesAllPleromaTraffic) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("", {4})));
+  EXPECT_NE(t.lookup(dz::dzToAddress(dz("00000"))), nullptr);
+  EXPECT_NE(t.lookup(dz::dzToAddress(dz("11111"))), nullptr);
+  // But not unicast host addresses.
+  EXPECT_EQ(t.lookup(hostAddress(3)), nullptr);
+}
+
+TEST(FlowTable, ManyPrefixLengthsLookupCorrect) {
+  FlowTable t;
+  // Nested chain 1, 11, 111, ... — deepest matching wins each time.
+  std::string s;
+  for (int i = 0; i < 20; ++i) {
+    s.push_back('1');
+    ASSERT_TRUE(t.insert(entry(s, {i + 1})));
+  }
+  const FlowEntry* hit = t.lookup(dz::dzToAddress(dz(std::string(24, '1'))));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->match.length, 16 + 20);
+  const FlowEntry* mid = t.lookup(dz::dzToAddress(dz("1111100000")));
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->match.length, 16 + 5);
+}
+
+TEST(FlowTable, PerFlowCountersTrackMatches) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("0", {1})));
+  ASSERT_TRUE(t.insert(entry("1", {2})));
+  t.lookup(dz::dzToAddress(dz("01")));
+  t.lookup(dz::dzToAddress(dz("00")));
+  t.lookup(dz::dzToAddress(dz("10")));
+  EXPECT_EQ(t.find(dz::dzToPrefix(dz("0")))->matchedPackets, 2u);
+  EXPECT_EQ(t.find(dz::dzToPrefix(dz("1")))->matchedPackets, 1u);
+}
+
+TEST(FlowTable, ModifyPreservesCounters) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("0", {1})));
+  t.lookup(dz::dzToAddress(dz("01")));
+  FlowEntry updated = entry("0", {1, 5});
+  ASSERT_TRUE(t.insertOrReplace(updated));
+  EXPECT_EQ(t.find(dz::dzToPrefix(dz("0")))->matchedPackets, 1u);
+}
+
+TEST(FlowTable, CountersExcludedFromIdentity) {
+  FlowEntry a = entry("0", {1});
+  FlowEntry b = entry("0", {1});
+  a.matchedPackets = 99;
+  EXPECT_EQ(a, b);
+}
+
+TEST(FlowTable, ClearResets) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("0", {1})));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.lookup(dz::dzToAddress(dz("0"))), nullptr);
+  // Re-insert works after clear (length bookkeeping reset).
+  EXPECT_TRUE(t.insert(entry("0", {1})));
+  EXPECT_NE(t.lookup(dz::dzToAddress(dz("0"))), nullptr);
+}
+
+TEST(FlowTable, EntriesMaterialize) {
+  FlowTable t;
+  ASSERT_TRUE(t.insert(entry("0", {1})));
+  ASSERT_TRUE(t.insert(entry("1", {2})));
+  EXPECT_EQ(t.entries().size(), 2u);
+  int visited = 0;
+  t.forEach([&](const FlowEntry&) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+}  // namespace
+}  // namespace pleroma::net

@@ -1,0 +1,48 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pleroma::net {
+namespace {
+
+TEST(Packet, Defaults) {
+  const Packet p;
+  EXPECT_EQ(p.sizeBytes, 64);
+  EXPECT_EQ(p.hopLimit, 64);
+  EXPECT_EQ(p.eventId, 0u);
+  EXPECT_EQ(p.publisherHost, kInvalidNode);
+  EXPECT_EQ(p.controlKind, 0);
+  EXPECT_EQ(p.control, nullptr);
+}
+
+TEST(Packet, HostAddressesUniquePerHost) {
+  std::set<dz::Ipv6Address> seen;
+  for (NodeId h = 0; h < 100; ++h) {
+    EXPECT_TRUE(seen.insert(hostAddress(h)).second) << h;
+  }
+}
+
+TEST(Packet, HostAddressOutsidePleromaMulticastRange) {
+  for (NodeId h : {0, 5, 999}) {
+    EXPECT_FALSE(dz::isPleromaAddress(hostAddress(h))) << h;
+  }
+}
+
+TEST(Packet, HostAddressFormat) {
+  // fd00::(h+1): unique-local unicast, never colliding with ff0e multicast.
+  EXPECT_EQ(hostAddress(0).toString(),
+            "fd00:0000:0000:0000:0000:0000:0000:0001");
+  EXPECT_EQ(hostAddress(16).toString(),
+            "fd00:0000:0000:0000:0000:0000:0000:0011");
+}
+
+TEST(Packet, HostAddressNeverEqualsControlAddress) {
+  for (NodeId h = 0; h < 64; ++h) {
+    EXPECT_NE(hostAddress(h), dz::kControlAddress);
+  }
+}
+
+}  // namespace
+}  // namespace pleroma::net

@@ -1,0 +1,91 @@
+#include "net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pleroma::net {
+namespace {
+
+TEST(Simulator, StartsAtZeroIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(300, [&] { order.push_back(3); });
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(200, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(100, [&] { order.push_back(2); });
+  sim.schedule(100, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(100, [&] { ++fired; });
+  sim.schedule(200, [&] { ++fired; });
+  sim.schedule(300, [&] { ++fired; });
+  EXPECT_EQ(sim.runUntil(200), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 200);
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator sim;
+  sim.schedule(50, [] {});
+  sim.runUntil(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, ProcessedEventsAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.processedEvents(), 5u);
+  sim.schedule(1, [] {});
+  sim.run();
+  EXPECT_EQ(sim.processedEvents(), 6u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  sim.schedule(100, [] {});
+  sim.run();
+  SimTime seen = -1;
+  sim.scheduleAt(250, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 250);
+}
+
+}  // namespace
+}  // namespace pleroma::net

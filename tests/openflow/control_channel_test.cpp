@@ -1,0 +1,132 @@
+#include "openflow/control_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pleroma::openflow {
+namespace {
+
+dz::DzExpression dz(std::string_view s) { return *dz::DzExpression::fromString(s); }
+
+net::FlowEntry entry(std::string_view dzStr, net::PortId port) {
+  net::FlowEntry e;
+  const auto d = dz(dzStr);
+  e.match = dz::dzToPrefix(d);
+  e.priority = d.length();
+  e.actions.push_back(net::FlowAction{port, std::nullopt});
+  return e;
+}
+
+struct ChannelFixture : ::testing::Test {
+  ChannelFixture()
+      : topo(net::Topology::line(2)),
+        net_(topo, sim, {}),
+        channel(net_, 2 * net::kMillisecond) {
+    sw = topo.switches()[0];
+  }
+  net::Topology topo;
+  net::Simulator sim;
+  net::Network net_;
+  ControlChannel channel;
+  net::NodeId sw;
+};
+
+TEST_F(ChannelFixture, AddInstallsFlow) {
+  EXPECT_TRUE(channel.send({FlowModType::kAdd, sw, entry("10", 2)}));
+  EXPECT_EQ(net_.flowTable(sw).size(), 1u);
+  EXPECT_EQ(channel.stats().flowAdds, 1u);
+  EXPECT_EQ(channel.stats().flowModsSent, 1u);
+}
+
+TEST_F(ChannelFixture, ModifyRequiresExisting) {
+  EXPECT_FALSE(channel.send({FlowModType::kModify, sw, entry("10", 2)}));
+  EXPECT_TRUE(channel.send({FlowModType::kAdd, sw, entry("10", 2)}));
+  net::FlowEntry updated = entry("10", 2);
+  updated.addOutPort(3);
+  EXPECT_TRUE(channel.send({FlowModType::kModify, sw, updated}));
+  EXPECT_EQ(net_.flowTable(sw).find(updated.match)->outPorts(),
+            (std::vector<net::PortId>{2, 3}));
+}
+
+TEST_F(ChannelFixture, DeleteRemoves) {
+  channel.send({FlowModType::kAdd, sw, entry("10", 2)});
+  EXPECT_TRUE(channel.send({FlowModType::kDelete, sw, entry("10", 2)}));
+  EXPECT_FALSE(channel.send({FlowModType::kDelete, sw, entry("10", 2)}));
+  EXPECT_TRUE(net_.flowTable(sw).empty());
+  EXPECT_EQ(channel.stats().flowDeletes, 2u);
+}
+
+TEST_F(ChannelFixture, ModeledInstallTimeAccumulates) {
+  channel.send({FlowModType::kAdd, sw, entry("0", 1)});
+  channel.send({FlowModType::kAdd, sw, entry("1", 1)});
+  EXPECT_EQ(channel.modeledInstallTime(), 4 * net::kMillisecond);
+  channel.resetModeledInstallTime();
+  EXPECT_EQ(channel.modeledInstallTime(), 0);
+}
+
+TEST_F(ChannelFixture, FlowsOfReadsSwitchTable) {
+  channel.send({FlowModType::kAdd, sw, entry("0", 1)});
+  EXPECT_EQ(channel.flowsOf(sw).size(), 1u);
+}
+
+TEST_F(ChannelFixture, PacketOutTransmits) {
+  net::Packet p;
+  p.dst = dz::kControlAddress;
+  int punted = 0;
+  net_.setPacketInHandler([&](net::NodeId, net::PortId, const net::Packet&) {
+    ++punted;
+  });
+  // Push out of sw's port 1 (towards the other switch); the peer punts it.
+  channel.sendPacketOut({sw, 1, p});
+  sim.run();
+  EXPECT_EQ(punted, 1);
+  EXPECT_EQ(channel.stats().packetOuts, 1u);
+}
+
+TEST_F(ChannelFixture, AsyncInstallAppliesAfterLatency) {
+  channel.enableAsyncInstall();
+  EXPECT_TRUE(channel.send({FlowModType::kAdd, sw, entry("10", 2)}));
+  // Not yet applied.
+  EXPECT_TRUE(net_.flowTable(sw).empty());
+  sim.runUntil(1 * net::kMillisecond);
+  EXPECT_TRUE(net_.flowTable(sw).empty());
+  sim.runUntil(2 * net::kMillisecond);  // flowModLatency is 2 ms here
+  EXPECT_EQ(net_.flowTable(sw).size(), 1u);
+}
+
+TEST_F(ChannelFixture, AsyncInstallPreservesSendOrder) {
+  channel.enableAsyncInstall();
+  // Add then delete the same entry in one burst: after settling the entry
+  // must be gone (delete applied last), taking 2 x latency sequentially.
+  channel.send({FlowModType::kAdd, sw, entry("10", 2)});
+  channel.send({FlowModType::kDelete, sw, entry("10", 2)});
+  sim.runUntil(3 * net::kMillisecond);
+  EXPECT_EQ(net_.flowTable(sw).size(), 1u);  // add applied, delete pending
+  sim.run();
+  EXPECT_TRUE(net_.flowTable(sw).empty());
+}
+
+TEST_F(ChannelFixture, AsyncBurstsSerialise) {
+  channel.enableAsyncInstall();
+  for (int i = 0; i < 5; ++i) {
+    channel.send({FlowModType::kAdd, sw,
+                  entry(std::string(static_cast<std::size_t>(i + 1), '1'), 2)});
+  }
+  // Mods apply one per 2 ms, back to back.
+  sim.runUntil(6 * net::kMillisecond);
+  EXPECT_EQ(net_.flowTable(sw).size(), 3u);
+  sim.run();
+  EXPECT_EQ(net_.flowTable(sw).size(), 5u);
+}
+
+TEST_F(ChannelFixture, AddRejectedWhenTableFull) {
+  net::NetworkConfig cfg;
+  cfg.flowTableCapacity = 1;
+  net::Simulator sim2;
+  net::Network small(topo, sim2, cfg);
+  ControlChannel ch(small);
+  EXPECT_TRUE(ch.send({FlowModType::kAdd, sw, entry("0", 1)}));
+  EXPECT_FALSE(ch.send({FlowModType::kAdd, sw, entry("1", 1)}));
+}
+
+}  // namespace
+}  // namespace pleroma::openflow

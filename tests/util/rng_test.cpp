@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pleroma::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(42, 42), 42u);
+}
+
+TEST(Rng, UniformIntHitsAllValues) {
+  Rng rng(3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[rng.uniformInt(0, 9)];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 150) << v;  // roughly uniform (expected 300)
+    EXPECT_LT(c, 450) << v;
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniformReal(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(123);
+  const auto first = rng();
+  rng.reseed(123);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  Rng rng(21);
+  ZipfSampler zipf(7, 1.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[3]);
+  EXPECT_GT(counts[0], counts[6]);
+  // All ranks in range.
+  for (const auto& [rank, c] : counts) EXPECT_LT(rank, 7u);
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  Rng rng(23);
+  ZipfSampler zipf(4, 0.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  for (const auto& [rank, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 5000.0, 500.0) << rank;
+  }
+}
+
+TEST(ZipfSampler, HighAlphaConcentrates) {
+  Rng rng(29);
+  ZipfSampler zipf(10, 3.0);
+  int rankZero = 0;
+  for (int i = 0; i < 1000; ++i) rankZero += zipf.sample(rng) == 0 ? 1 : 0;
+  EXPECT_GT(rankZero, 700);
+}
+
+TEST(ZipfSampler, SingleElement) {
+  Rng rng(31);
+  ZipfSampler zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace pleroma::util

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pleroma::util {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (double v : {1.0, 2.0, 3.0}) {
+    a.add(v);
+    all.add(v);
+  }
+  for (double v : {10.0, 20.0}) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStat b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 5.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.percentile(0.5), 50.0);
+  EXPECT_EQ(s.percentile(0.99), 99.0);
+  EXPECT_EQ(s.percentile(1.0), 100.0);
+  EXPECT_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(Samples, MeanAndClear) {
+  Samples s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(Counters, IncrementAndRead) {
+  Counters c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.inc("x");
+  c.inc("x", 4);
+  c.inc("y");
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("y"), 1u);
+  EXPECT_EQ(c.all().size(), 2u);
+  c.clear();
+  EXPECT_EQ(c.get("x"), 0u);
+}
+
+}  // namespace
+}  // namespace pleroma::util

@@ -1,0 +1,118 @@
+#include "workload/parametric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pleroma::workload {
+namespace {
+
+MovingWindowConfig config() {
+  MovingWindowConfig c;
+  c.numAttributes = 2;
+  c.radius = 100;
+  c.minSpeed = 10;
+  c.maxSpeed = 20;
+  return c;
+}
+
+TEST(MovingWindow, WindowsStayInsideDomain) {
+  util::Rng rng(5);
+  MovingWindow w(config(), rng);
+  for (int i = 0; i < 500; ++i) {
+    const dz::Rectangle r = w.step();
+    ASSERT_EQ(r.ranges.size(), 2u);
+    for (const auto& range : r.ranges) {
+      EXPECT_LE(range.lo, range.hi);
+      EXPECT_LE(range.hi, 1023u);
+    }
+    for (const double c : w.centre()) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1023.0);
+    }
+  }
+}
+
+TEST(MovingWindow, WindowHasConfiguredExtent) {
+  util::Rng rng(6);
+  MovingWindow w(config(), rng);
+  // Away from the boundary the window spans 2*radius.
+  for (int i = 0; i < 200; ++i) {
+    const dz::Rectangle r = w.step();
+    for (std::size_t d = 0; d < 2; ++d) {
+      const double width = static_cast<double>(r.ranges[d].hi) -
+                           static_cast<double>(r.ranges[d].lo);
+      EXPECT_LE(width, 200.0);
+      // Only clipped at boundaries; otherwise exactly 200.
+      if (r.ranges[d].lo > 0 && r.ranges[d].hi < 1023) {
+        EXPECT_EQ(width, 200.0);
+      }
+    }
+  }
+}
+
+TEST(MovingWindow, MovesEveryStep) {
+  util::Rng rng(7);
+  MovingWindow w(config(), rng);
+  const auto before = w.centre();
+  w.step();
+  const auto after = w.centre();
+  double displacement = 0;
+  for (std::size_t d = 0; d < before.size(); ++d) {
+    displacement += std::fabs(after[d] - before[d]);
+  }
+  EXPECT_GE(displacement, 10.0);  // at least minSpeed per dim
+}
+
+TEST(MovingWindow, UnconstrainedDimsSpanDomain) {
+  MovingWindowConfig c = config();
+  c.numAttributes = 3;
+  c.unconstrainedDims = {2};
+  util::Rng rng(8);
+  MovingWindow w(c, rng);
+  for (int i = 0; i < 20; ++i) {
+    const dz::Rectangle r = w.step();
+    EXPECT_EQ(r.ranges[2], (dz::Range{0, 1023}));
+  }
+}
+
+TEST(MovingWindow, ReflectsAtBoundary) {
+  // Drive a window into the wall and verify it comes back.
+  MovingWindowConfig c = config();
+  c.minSpeed = c.maxSpeed = 50;
+  util::Rng rng(9);
+  MovingWindow w(c, rng);
+  double minCentre = 1023, maxCentre = 0;
+  for (int i = 0; i < 200; ++i) {
+    w.step();
+    minCentre = std::min(minCentre, w.centre()[0]);
+    maxCentre = std::max(maxCentre, w.centre()[0]);
+  }
+  // With speed 50 over 200 steps the walk must have toured the domain.
+  EXPECT_LT(minCentre, 200.0);
+  EXPECT_GT(maxCentre, 823.0);
+}
+
+TEST(MovingWindowFleet, IndependentWindows) {
+  MovingWindowFleet fleet(config(), 5, 42);
+  ASSERT_EQ(fleet.size(), 5u);
+  const auto rects = fleet.stepAll();
+  ASSERT_EQ(rects.size(), 5u);
+  // Not all windows at the same position.
+  int distinct = 0;
+  for (std::size_t i = 1; i < rects.size(); ++i) {
+    if (!(rects[i] == rects[0])) ++distinct;
+  }
+  EXPECT_GT(distinct, 0);
+}
+
+TEST(MovingWindowFleet, DeterministicPerSeed) {
+  MovingWindowFleet a(config(), 3, 77);
+  MovingWindowFleet b(config(), 3, 77);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.stepAll(), b.stepAll());
+  }
+}
+
+}  // namespace
+}  // namespace pleroma::workload

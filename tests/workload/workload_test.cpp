@@ -1,0 +1,164 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pleroma::workload {
+namespace {
+
+TEST(Workload, UniformEventsInDomain) {
+  WorkloadConfig cfg;
+  cfg.numAttributes = 5;
+  WorkloadGenerator gen(cfg);
+  for (const auto& e : gen.makeEvents(200)) {
+    ASSERT_EQ(e.size(), 5u);
+    for (const auto v : e) EXPECT_LE(v, gen.domainMax());
+  }
+}
+
+TEST(Workload, UniformSubscriptionsValidRanges) {
+  WorkloadConfig cfg;
+  cfg.numAttributes = 3;
+  cfg.subscriptionSelectivity = 0.2;
+  WorkloadGenerator gen(cfg);
+  for (const auto& r : gen.makeSubscriptions(200)) {
+    ASSERT_EQ(r.ranges.size(), 3u);
+    for (const auto& range : r.ranges) {
+      EXPECT_LE(range.lo, range.hi);
+      EXPECT_LE(range.hi, gen.domainMax());
+    }
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  cfg.seed = 777;
+  WorkloadGenerator a(cfg), b(cfg);
+  EXPECT_EQ(a.makeEvent(), b.makeEvent());
+  EXPECT_EQ(a.makeSubscription(), b.makeSubscription());
+}
+
+TEST(Workload, SelectivityControlsWidth) {
+  WorkloadConfig narrow;
+  narrow.subscriptionSelectivity = 0.05;
+  WorkloadConfig wide = narrow;
+  wide.subscriptionSelectivity = 0.5;
+  WorkloadGenerator ng(narrow), wg(wide);
+  double narrowWidth = 0, wideWidth = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& r : ng.makeSubscription().ranges) {
+      narrowWidth += r.hi - r.lo;
+    }
+    for (const auto& r : wg.makeSubscription().ranges) {
+      wideWidth += r.hi - r.lo;
+    }
+  }
+  EXPECT_LT(narrowWidth * 3, wideWidth);
+}
+
+TEST(Workload, AdvertisementsWiderThanSubscriptions) {
+  WorkloadConfig cfg;
+  cfg.subscriptionSelectivity = 0.05;
+  cfg.advertisementWidthFactor = 4.0;
+  WorkloadGenerator gen(cfg);
+  double subWidth = 0, advWidth = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (const auto& r : gen.makeSubscription().ranges) subWidth += r.hi - r.lo;
+    for (const auto& r : gen.makeAdvertisement().ranges) advWidth += r.hi - r.lo;
+  }
+  EXPECT_LT(subWidth * 2, advWidth);
+}
+
+TEST(Workload, ZipfianHotspotsCreated) {
+  WorkloadConfig cfg;
+  cfg.model = Model::kZipfian;
+  cfg.numHotspots = 7;
+  WorkloadGenerator gen(cfg);
+  EXPECT_EQ(gen.hotspots().size(), 7u);
+}
+
+TEST(Workload, ZipfianEventsClusterAroundHotspots) {
+  WorkloadConfig cfg;
+  cfg.model = Model::kZipfian;
+  cfg.numAttributes = 2;
+  cfg.hotspotRadius = 0.05;
+  WorkloadGenerator gen(cfg);
+  const double maxDist = 0.05 * static_cast<double>(gen.domainMax()) + 1;
+  for (const auto& e : gen.makeEvents(200)) {
+    bool nearSome = false;
+    for (const auto& h : gen.hotspots()) {
+      bool nearThis = true;
+      for (std::size_t d = 0; d < e.size(); ++d) {
+        if (std::fabs(static_cast<double>(e[d]) - static_cast<double>(h[d])) >
+            maxDist) {
+          nearThis = false;
+          break;
+        }
+      }
+      if (nearThis) {
+        nearSome = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(nearSome);
+  }
+}
+
+TEST(Workload, ZipfianSubscriptionsOverlapMoreThanUniform) {
+  // Hotspot concentration should produce far more pairwise subscription
+  // overlap than the uniform model — this drives covering/sharing effects.
+  auto overlapCount = [](Model m) {
+    WorkloadConfig cfg;
+    cfg.model = m;
+    cfg.numAttributes = 2;
+    cfg.subscriptionSelectivity = 0.05;
+    cfg.seed = 99;
+    WorkloadGenerator gen(cfg);
+    const auto subs = gen.makeSubscriptions(80);
+    int overlaps = 0;
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      for (std::size_t j = i + 1; j < subs.size(); ++j) {
+        overlaps += subs[i].intersects(subs[j]) ? 1 : 0;
+      }
+    }
+    return overlaps;
+  };
+  EXPECT_GT(overlapCount(Model::kZipfian), 2 * overlapCount(Model::kUniform));
+}
+
+TEST(Workload, UninformativeDimsUnselective) {
+  WorkloadConfig cfg;
+  cfg.model = Model::kZipfian;
+  cfg.numAttributes = 4;
+  cfg.uninformativeDims = {1, 3};
+  WorkloadGenerator gen(cfg);
+  for (const auto& r : gen.makeSubscriptions(50)) {
+    EXPECT_EQ(r.ranges[1], (dz::Range{0, gen.domainMax()}));
+    EXPECT_EQ(r.ranges[3], (dz::Range{0, gen.domainMax()}));
+  }
+}
+
+TEST(Workload, UninformativeDimsLowEventVariance) {
+  WorkloadConfig cfg;
+  cfg.model = Model::kZipfian;
+  cfg.numAttributes = 2;
+  cfg.uninformativeDims = {0};
+  WorkloadGenerator gen(cfg);
+  const auto events = gen.makeEvents(300);
+  auto variance = [&](int dim) {
+    double mean = 0;
+    for (const auto& e : events) mean += e[static_cast<std::size_t>(dim)];
+    mean /= static_cast<double>(events.size());
+    double var = 0;
+    for (const auto& e : events) {
+      const double d = static_cast<double>(e[static_cast<std::size_t>(dim)]) - mean;
+      var += d * d;
+    }
+    return var / static_cast<double>(events.size());
+  };
+  EXPECT_LT(variance(0) * 10, variance(1));
+}
+
+}  // namespace
+}  // namespace pleroma::workload
