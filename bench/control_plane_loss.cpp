@@ -1,0 +1,161 @@
+// Control-plane loss sweep (robustness extension): deploy a workload over
+// an async, lossy control channel at drop rates 0-20%, then let the
+// periodic reconciler repair the damage. Reports the retry/abandon counts,
+// the reconciliation effort, and the event-loss window — how long after
+// deployment publishes still miss matching subscribers — per drop rate.
+// Emits the usual TSV table plus a trailing machine-readable JSON summary.
+#include "bench_common.hpp"
+
+#include <set>
+#include <vector>
+
+#include "controller/reconciler.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+struct SubRecord {
+  net::NodeId host;
+  dz::DzSet dz;
+};
+
+struct Numbers {
+  double dropPct = 0;
+  std::uint64_t modsSent = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t reconcileRounds = 0;
+  std::uint64_t repairMods = 0;
+  /// Probe rounds that still missed a matching subscriber.
+  int lossyRounds = 0;
+  /// Simulated ms from deployment settle until the first probe round with
+  /// zero false negatives (-1 = never within the budget).
+  double lossWindowMs = -1;
+};
+
+Numbers runOnce(double dropProb, int maxRetries, std::uint64_t seed) {
+  net::Topology topo = net::Topology::testbedFatTree();
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  ctrl::ControllerConfig cfg;
+  cfg.maxDzLength = 10;
+  cfg.maxCellsPerRequest = 6;
+  ctrl::Controller controller(dz::EventSpace(2, 10), network,
+                              ctrl::Scope::wholeTopology(topo), cfg);
+  const auto hosts = topo.hosts();
+
+  openflow::ControlChannel& channel = controller.channel();
+  channel.enableAsyncInstall();
+  openflow::ControlFaultModel faults;
+  faults.dropProbability = dropProb;
+  faults.duplicateProbability = dropProb / 4;
+  faults.maxExtraDelay = net::kMillisecond;
+  channel.setFaultModel(faults);
+  openflow::RetryPolicy retry;
+  retry.maxRetries = maxRetries;
+  retry.initialTimeout = net::kMillisecond;
+  channel.setRetryPolicy(retry);
+  channel.reseedFaults(seed * 6151 + 7);
+
+  std::set<net::NodeId> got;
+  network.setDeliverHandler(
+      [&](net::NodeId h, const net::Packet&) { got.insert(h); });
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.2;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+
+  controller.advertise(hosts[0], controller.space().wholeSpace());
+  std::vector<SubRecord> subs;
+  for (std::size_t i = 0; i < 24; ++i) {
+    const net::NodeId h = hosts[i % hosts.size()];
+    const ctrl::SubscriptionId id = controller.subscribe(h, gen.makeSubscription());
+    subs.push_back({h, controller.subscriptionDz(id)});
+  }
+  sim.run();  // drain installs, retries, and abandonments
+  const net::SimTime settled = sim.now();
+
+  ctrl::Reconciler reconciler(controller);
+  reconciler.enablePeriodic(2 * net::kMillisecond);
+
+  std::vector<dz::Event> probes;
+  for (int i = 0; i < 4; ++i) probes.push_back(gen.makeEvent());
+
+  Numbers n;
+  n.dropPct = dropProb * 100;
+  for (int round = 0; round < 256; ++round) {
+    const net::SimTime roundStart = sim.now();
+    bool anyMiss = false;
+    for (const dz::Event& e : probes) {
+      const dz::DzExpression eDz = controller.stampEvent(e);
+      got.clear();
+      network.sendFromHost(hosts[0], controller.makeEventPacket(hosts[0], e, 1));
+      sim.runUntil(sim.now() + 2 * net::kMillisecond);
+      for (const SubRecord& s : subs) {
+        if (s.host != hosts[0] && s.dz.overlaps(eDz) && !got.contains(s.host)) {
+          anyMiss = true;
+        }
+      }
+    }
+    if (!anyMiss) {
+      n.lossWindowMs =
+          static_cast<double>(roundStart - settled) / net::kMillisecond;
+      break;
+    }
+    ++n.lossyRounds;
+  }
+  reconciler.disablePeriodic();
+  sim.run();
+
+  const openflow::ControlPlaneStats& stats = channel.stats();
+  n.modsSent = stats.flowModsSent;
+  n.dropped = stats.flowModsDropped;
+  n.retried = stats.flowModsRetried;
+  n.abandoned = stats.flowModsAbandoned;
+  n.reconcileRounds = reconciler.roundsRun();
+  n.repairMods = reconciler.totalRepairMods();
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pleroma::bench;
+  printHeader("Control-plane loss",
+              "lossy control channel sweep: retries, reconciliation effort, "
+              "and event-loss window vs drop rate (24 subscriptions, "
+              "testbed fat-tree, retry budget 3 vs fire-and-forget, "
+              "2ms anti-entropy period)");
+  printRow({"retries", "drop_pct", "mods_sent", "dropped", "retried",
+            "abandoned", "reconcile_rounds", "repair_mods", "loss_window_ms"});
+  const double drops[] = {0.0, 0.05, 0.10, 0.15, 0.20};
+  const int retryBudgets[] = {3, 0};  // 0 = fire-and-forget, anti-entropy only
+  std::string json = "{\"bench\":\"control_plane_loss\",\"rows\":[";
+  bool first = true;
+  for (const int retries : retryBudgets) {
+    for (const double d : drops) {
+      const Numbers n = runOnce(d, retries, 101);
+      printRow({fmt(retries), fmt(n.dropPct, 0), fmt(n.modsSent),
+                fmt(n.dropped), fmt(n.retried), fmt(n.abandoned),
+                fmt(n.reconcileRounds), fmt(n.repairMods),
+                fmt(n.lossWindowMs, 1)});
+      json += std::string(first ? "" : ",") + "{\"retries\":" + fmt(retries) +
+              ",\"drop_pct\":" + fmt(n.dropPct, 0) +
+              ",\"mods_sent\":" + fmt(n.modsSent) +
+              ",\"dropped\":" + fmt(n.dropped) +
+              ",\"retried\":" + fmt(n.retried) +
+              ",\"abandoned\":" + fmt(n.abandoned) +
+              ",\"reconcile_rounds\":" + fmt(n.reconcileRounds) +
+              ",\"repair_mods\":" + fmt(n.repairMods) +
+              ",\"loss_window_ms\":" + fmt(n.lossWindowMs, 1) + "}";
+      first = false;
+    }
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
+  return 0;
+}

@@ -307,15 +307,23 @@ bool Controller::rerootTree(int treeId, net::NodeId newRoot) {
 // ---- failure handling (link down/up) ---------------------------------------
 
 std::vector<net::LinkId> Controller::activeInternalLinks() const {
-  if (downLinks_.empty()) return scope_.internalLinks;
+  if (downLinks_.empty() && downSwitches_.empty()) return scope_.internalLinks;
   std::vector<net::LinkId> out;
   out.reserve(scope_.internalLinks.size());
   for (const net::LinkId l : scope_.internalLinks) {
-    if (std::find(downLinks_.begin(), downLinks_.end(), l) == downLinks_.end()) {
-      out.push_back(l);
+    if (std::find(downLinks_.begin(), downLinks_.end(), l) != downLinks_.end()) {
+      continue;
     }
+    const net::Link& link = network_.topology().link(l);
+    if (!switchActive(link.a.node) || !switchActive(link.b.node)) continue;
+    out.push_back(l);
   }
   return out;
+}
+
+bool Controller::switchActive(net::NodeId switchNode) const {
+  return std::find(downSwitches_.begin(), downSwitches_.end(), switchNode) ==
+         downSwitches_.end();
 }
 
 void Controller::onLinkDown(net::LinkId link) {
@@ -344,6 +352,81 @@ void Controller::onLinkUp(net::LinkId link) {
   ids.reserve(trees_.size());
   for (const auto& tree : trees_) ids.push_back(tree->id());
   for (const int id : ids) rebuildTree(id);
+}
+
+// ---- failure handling (switch node down/up) --------------------------------
+
+void Controller::onSwitchDown(net::NodeId switchNode) {
+  if (!switchActive(switchNode)) return;
+  downSwitches_.push_back(switchNode);
+  // The control session is gone and the node's TCAM state with it; keeping
+  // a mirror (or sending mods) for the dead switch would be fiction.
+  channel_.setSwitchConnected(switchNode, false);
+  installer_.forgetSwitch(switchNode);
+
+  // Rebuild every tree rooted at the dead switch or using an incident
+  // link; the rebuild routes over active links only, so the dead switch is
+  // evicted from all forwarding state.
+  std::vector<int> affected;
+  for (const auto& tree : trees_) {
+    bool hit = tree->root() == switchNode;
+    if (!hit) {
+      for (const net::LinkId l : tree->edges()) {
+        const net::Link& link = network_.topology().link(l);
+        if (link.a.node == switchNode || link.b.node == switchNode) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) affected.push_back(tree->id());
+  }
+  for (const int id : affected) {
+    const auto it = findTree(trees_, id);
+    if (it == trees_.end()) continue;
+    rebuildTreeAt(id, pickActiveRoot(**it));
+  }
+}
+
+void Controller::onSwitchUp(net::NodeId switchNode) {
+  const auto it =
+      std::find(downSwitches_.begin(), downSwitches_.end(), switchNode);
+  if (it == downSwitches_.end()) return;
+  downSwitches_.erase(it);
+  channel_.setSwitchConnected(switchNode, true);
+  // The reconnecting switch arrives with an empty TCAM: restart its mirror
+  // empty so the rebuild below re-issues every needed flow as an add.
+  installer_.forgetSwitch(switchNode);
+
+  // Rebuild every tree: routes degraded (or dropped) during the outage
+  // return to shortest paths and endpoints behind the failed switch
+  // reconnect — no re-subscription needed.
+  std::vector<int> ids;
+  ids.reserve(trees_.size());
+  for (const auto& tree : trees_) ids.push_back(tree->id());
+  for (const int id : ids) {
+    const auto t = findTree(trees_, id);
+    if (t == trees_.end()) continue;
+    rebuildTreeAt(id, pickActiveRoot(**t));
+  }
+  // Catch-all resync from registered intent for anything the rebuilds did
+  // not touch on this switch.
+  installer_.reconcileSwitch(switchNode, registry_.requiredFlows(switchNode));
+}
+
+net::NodeId Controller::pickActiveRoot(const SpanningTree& tree) const {
+  if (switchActive(tree.root())) return tree.root();
+  for (const auto& [pub, overlap] : tree.publishers()) {
+    const auto it = advertisements_.find(pub);
+    if (it != advertisements_.end() &&
+        switchActive(it->second.endpoint.attachSwitch)) {
+      return it->second.endpoint.attachSwitch;
+    }
+  }
+  for (const net::NodeId sw : scope_.switches) {
+    if (switchActive(sw)) return sw;
+  }
+  return tree.root();  // no active switch left: keep the old root
 }
 
 void Controller::rebuildTree(int treeId) {

@@ -106,7 +106,28 @@ class Controller {
   /// shortest paths.
   void onLinkUp(net::LinkId link);
 
-  /// Internal links currently usable (scope minus failed links).
+  /// Reacts to a switch *node* failure: the switch's control session is
+  /// disconnected, its mirror discarded (the TCAM state is gone), every
+  /// incident link is treated as failed, and each affected tree is rebuilt
+  /// over the surviving switches (trees rooted at the dead switch are
+  /// re-rooted). Endpoints attached to the dead switch lose their paths for
+  /// the duration of the outage.
+  void onSwitchDown(net::NodeId switchNode);
+
+  /// Reacts to a switch reconnecting after a failure. The switch comes back
+  /// with an *empty* TCAM: the controller reconnects its control session,
+  /// rebuilds all trees over the restored topology, and resyncs the
+  /// switch's flow table in full from the registered intent — no
+  /// re-subscription by the endpoints is needed.
+  void onSwitchUp(net::NodeId switchNode);
+
+  bool switchActive(net::NodeId switchNode) const;
+  const std::vector<net::NodeId>& failedSwitches() const noexcept {
+    return downSwitches_;
+  }
+
+  /// Internal links currently usable (scope minus failed links and links
+  /// incident to failed switches).
   std::vector<net::LinkId> activeInternalLinks() const;
   const std::vector<net::LinkId>& failedLinks() const noexcept { return downLinks_; }
 
@@ -152,8 +173,12 @@ class Controller {
 
   net::Network& network() noexcept { return network_; }
   /// The control channel to this partition's switches (e.g. to enable
-  /// asynchronous flow installation).
+  /// asynchronous flow installation or inject control-plane faults).
   openflow::ControlChannel& channel() noexcept { return channel_; }
+  /// The flow installer, whose per-switch mirror is the controller's
+  /// intended flow state (the reconciler diffs it against the switches).
+  FlowInstaller& installer() noexcept { return installer_; }
+  const FlowInstaller& installer() const noexcept { return installer_; }
 
  private:
   struct AdvRecord {
@@ -183,6 +208,9 @@ class Controller {
   /// subscriptions. Heals paths dropped during outages.
   void rebuildTree(int treeId);
   void rebuildTreeAt(int treeId, net::NodeId root);
+  /// The tree's root if still active, else a live fallback (the attach
+  /// switch of one of its publishers, or any active scope switch).
+  net::NodeId pickActiveRoot(const SpanningTree& tree) const;
   dz::DzSet coarsen(dz::DzSet dzSet, const SpanningTree* exclude) const;
   OpStats beginOp();
   void endOp(OpStats& snapshot);
@@ -197,6 +225,7 @@ class Controller {
 
   std::vector<std::unique_ptr<SpanningTree>> trees_;
   std::vector<net::LinkId> downLinks_;
+  std::vector<net::NodeId> downSwitches_;
   int nextTreeId_ = 0;
   std::map<PublisherId, AdvRecord> advertisements_;
   std::map<SubscriptionId, SubRecord> subscriptions_;

@@ -38,6 +38,10 @@ const std::map<dz::DzExpression, net::FlowEntry>& FlowInstaller::mirror(
 
 void FlowInstaller::apply(openflow::FlowModType type, net::NodeId sw,
                           const dz::DzExpression& d, const net::FlowEntry& entry) {
+  // Callers pass references into the mirror itself (e.g. m.at(key) for a
+  // delete), so the FlowMod must be built before the mirror mutation below
+  // invalidates `entry`.
+  openflow::FlowMod mod{type, sw, entry};
   SwitchMirror& m = mirrors_[sw];
   switch (type) {
     case openflow::FlowModType::kAdd:
@@ -48,7 +52,7 @@ void FlowInstaller::apply(openflow::FlowModType type, net::NodeId sw,
       m.erase(d);
       break;
   }
-  channel_.send({type, sw, entry});
+  channel_.send(mod);
 }
 
 void FlowInstaller::installPath(const dz::DzSet& dzSet,

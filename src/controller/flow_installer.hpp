@@ -40,6 +40,11 @@ class FlowInstaller {
   /// The controller-side view of a switch's flows, keyed by dz.
   const std::map<dz::DzExpression, net::FlowEntry>& mirror(net::NodeId sw) const;
 
+  /// Drops the mirror of a switch whose state is gone (node failure) or
+  /// about to be rebuilt from scratch (reconnect with an empty TCAM).
+  /// Subsequent installs/reconciles re-issue every needed flow as an add.
+  void forgetSwitch(net::NodeId sw) { mirrors_.erase(sw); }
+
   openflow::ControlChannel& channel() noexcept { return channel_; }
 
  private:

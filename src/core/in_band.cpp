@@ -28,6 +28,21 @@ std::uint64_t InBandSignaling::sendRequest(Request request) {
   const std::uint64_t token = nextToken_++;
   request.token = token;
 
+  if (requestTimeout_ > 0) {
+    const net::NodeId host = request.host;
+    const RequestKind kind = request.kind;
+    network_.simulator().schedule(requestTimeout_, [this, token, host, kind] {
+      if (acks_.contains(token)) return;  // acknowledged in time
+      ++timeouts_;
+      Ack expired;
+      expired.token = token;
+      expired.kind = kind;
+      expired.ok = false;
+      acks_.emplace(token, expired);
+      if (ackCallback_) ackCallback_(host, expired);
+    });
+  }
+
   net::Packet pkt;
   pkt.dst = dz::kControlAddress;
   pkt.src = net::hostAddress(request.host);
@@ -103,7 +118,9 @@ void InBandSignaling::onPacketIn(net::NodeId switchNode, net::PortId inPort,
 void InBandSignaling::onAckAtHost(net::NodeId host, const net::Packet& packet) {
   if (packet.control == nullptr) return;
   const Ack& ack = *static_cast<const Ack*>(packet.control.get());
-  acks_[ack.token] = ack;
+  // First outcome wins: a real ack straggling in after the request already
+  // expired is dropped (the host moved on).
+  if (!acks_.emplace(ack.token, ack).second) return;
   if (ackCallback_) ackCallback_(host, ack);
 }
 

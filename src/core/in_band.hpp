@@ -55,6 +55,18 @@ class InBandSignaling {
   /// Called when an acknowledgement reaches the requesting host.
   void setAckCallback(AckCallback cb) { ackCallback_ = std::move(cb); }
 
+  /// Expires a pending request `timeout` of simulated time after it is
+  /// sent: when no acknowledgement has arrived by then (the request or the
+  /// ack was lost — e.g. to a link outage), the host observes Ack{ok=false}
+  /// through the callback / ackFor instead of waiting forever. A late real
+  /// ack arriving after the expiry is ignored (first outcome wins). 0
+  /// disables the timer (seed behaviour).
+  void setRequestTimeout(net::SimTime timeout) { requestTimeout_ = timeout; }
+  net::SimTime requestTimeout() const noexcept { return requestTimeout_; }
+
+  /// Requests that expired without an acknowledgement.
+  std::uint64_t requestTimeouts() const noexcept { return timeouts_; }
+
   // --- host side: craft and send request packets -----------------------
 
   std::uint64_t sendAdvertise(net::NodeId host, const dz::Rectangle& rect);
@@ -88,6 +100,8 @@ class InBandSignaling {
   std::map<std::uint64_t, Ack> acks_;
   std::uint64_t nextToken_ = 1;
   std::uint64_t processed_ = 0;
+  net::SimTime requestTimeout_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 }  // namespace pleroma::core

@@ -14,6 +14,7 @@ Network::Network(Topology topology, Simulator& sim, NetworkConfig config)
   hostState_.resize(static_cast<std::size_t>(topo_.nodeCount()));
   linkCounters_.resize(static_cast<std::size_t>(topo_.linkCount()));
   linkUp_.assign(static_cast<std::size_t>(topo_.linkCount()), true);
+  nodeUp_.assign(static_cast<std::size_t>(topo_.nodeCount()), true);
 }
 
 FlowTable& Network::flowTable(NodeId switchNode) {
@@ -44,6 +45,10 @@ void Network::sendOutPort(NodeId switchNode, PortId outPort, Packet packet) {
 }
 
 void Network::arriveAtNode(NodeId node, PortId inPort, Packet packet) {
+  if (!nodeUp_[static_cast<std::size_t>(node)]) {
+    ++counters_.packetsDroppedNodeDown;
+    return;
+  }
   if (topo_.isHost(node)) {
     receiveAtHost(node, std::move(packet));
   } else {
@@ -54,6 +59,11 @@ void Network::arriveAtNode(NodeId node, PortId inPort, Packet packet) {
 void Network::processAtSwitch(NodeId switchNode, PortId inPort, Packet packet) {
   sim_.schedule(config_.switchProcessingDelay,
                 [this, switchNode, inPort, packet = std::move(packet)]() mutable {
+    // The switch may have failed while the packet sat in its pipeline.
+    if (!nodeUp_[static_cast<std::size_t>(switchNode)]) {
+      ++counters_.packetsDroppedNodeDown;
+      return;
+    }
     // Permanent punt rule for the reserved control address (Sec 2): such
     // packets go to the controller over the control network, never through
     // the flow table.
@@ -107,7 +117,19 @@ void Network::setLinkUp(LinkId link, bool up) {
   linkUp_[static_cast<std::size_t>(link)] = up;
 }
 
+void Network::setNodeUp(NodeId node, bool up) {
+  nodeUp_[static_cast<std::size_t>(node)] = up;
+  // A failed switch loses its TCAM contents; it reboots empty.
+  if (!up && topo_.isSwitch(node)) {
+    tables_[static_cast<std::size_t>(node)].clear();
+  }
+}
+
 void Network::transmit(NodeId fromNode, PortId outPort, Packet packet) {
+  if (!nodeUp_[static_cast<std::size_t>(fromNode)]) {
+    ++counters_.packetsDroppedNodeDown;
+    return;
+  }
   const LinkId lid = topo_.linkAt(fromNode, outPort);
   if (lid == kInvalidLink) return;  // dangling port: drop silently
   if (!linkUp_[static_cast<std::size_t>(lid)]) {

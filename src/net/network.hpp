@@ -45,6 +45,7 @@ struct NetworkCounters {
   std::uint64_t packetsDroppedHostQueue = 0;
   std::uint64_t packetsDroppedHopLimit = 0;
   std::uint64_t packetsDroppedLinkDown = 0;
+  std::uint64_t packetsDroppedNodeDown = 0;
   std::uint64_t packetsDeliveredToHosts = 0;
 };
 
@@ -94,6 +95,16 @@ class Network {
     return linkUp_[static_cast<std::size_t>(link)];
   }
 
+  /// Fails / restores a node (switch or host failure). Packets arriving at
+  /// or originated by a down node are dropped. Taking a *switch* down
+  /// clears its flow table: a rebooted/reconnected switch comes back with
+  /// an empty TCAM and must be resynced by the controller
+  /// (Controller::onSwitchUp).
+  void setNodeUp(NodeId node, bool up);
+  bool nodeUp(NodeId node) const {
+    return nodeUp_[static_cast<std::size_t>(node)];
+  }
+
   const NetworkCounters& counters() const noexcept { return counters_; }
   const LinkCounters& linkCounters(LinkId link) const {
     return linkCounters_[static_cast<std::size_t>(link)];
@@ -117,6 +128,7 @@ class Network {
   std::vector<FlowTable> tables_;   // indexed by NodeId; hosts have empty tables
   std::vector<HostState> hostState_;
   std::vector<bool> linkUp_;
+  std::vector<bool> nodeUp_;
   std::vector<LinkCounters> linkCounters_;
   NetworkCounters counters_;
   PacketInHandler packetIn_;

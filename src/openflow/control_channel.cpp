@@ -1,6 +1,7 @@
 #include "openflow/control_channel.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace pleroma::openflow {
 
@@ -18,6 +19,37 @@ bool ControlChannel::applyNow(const FlowMod& mod) {
   return false;
 }
 
+bool ControlChannel::applyIdempotent(const FlowMod& mod) {
+  net::FlowTable& table = network_.flowTable(mod.switchNode);
+  switch (mod.type) {
+    case FlowModType::kAdd: {
+      // A re-delivered add finds its own entry already installed: success.
+      const net::FlowEntry* existing = table.find(mod.entry.match);
+      if (existing != nullptr) return *existing == mod.entry;
+      return table.insert(mod.entry);
+    }
+    case FlowModType::kModify: {
+      const net::FlowEntry* existing = table.find(mod.entry.match);
+      if (existing == nullptr) return false;
+      if (*existing == mod.entry) return true;
+      return table.insertOrReplace(mod.entry);
+    }
+    case FlowModType::kDelete:
+      // Absent means already deleted (earlier duplicate delivery): success.
+      table.remove(mod.entry.match);
+      return true;
+  }
+  return false;
+}
+
+void ControlChannel::setSwitchConnected(net::NodeId switchNode, bool connected) {
+  if (connected) {
+    disconnected_.erase(switchNode);
+  } else {
+    disconnected_.insert(switchNode);
+  }
+}
+
 bool ControlChannel::send(const FlowMod& mod) {
   ++stats_.flowModsSent;
   modeledInstallTime_ += flowModLatency_;
@@ -32,18 +64,190 @@ bool ControlChannel::send(const FlowMod& mod) {
       ++stats_.flowDeletes;
       break;
   }
-  if (!async_) return applyNow(mod);
 
-  // FIFO application: each mod completes flowModLatency after the later of
-  // "now" and the previous mod's completion.
-  net::Simulator& sim = network_.simulator();
-  lastScheduled_ = std::max(lastScheduled_, sim.now()) + flowModLatency_;
-  sim.scheduleAt(lastScheduled_, [this, mod] { applyNow(mod); });
+  if (!async_) {
+    // Synchronous channel: a dropped mod is lost for good (no retry timer
+    // can fire without the simulator running); the mirror/switch divergence
+    // is the reconciler's to repair.
+    if (!switchConnected(mod.switchNode) || rng_.chance(faults_.dropProbability)) {
+      ++stats_.flowModsDropped;
+      ++stats_.flowModsAbandoned;
+      return false;
+    }
+    const bool ok = applyNow(mod);
+    if (faults_.duplicateProbability > 0.0 &&
+        rng_.chance(faults_.duplicateProbability)) {
+      ++stats_.flowModsDuplicated;
+      applyIdempotent(mod);
+    }
+    return ok;
+  }
+
+  FlowMod tracked = mod;
+  tracked.xid = nextXid_++;
+  Pending p;
+  p.mod = tracked;
+  p.timeout = retry_.initialTimeout;
+  pending_.emplace(tracked.xid, std::move(p));
+  outstanding_[tracked.switchNode].insert(tracked.xid);
+  transmitAttempt(tracked.xid, /*isRetransmit=*/false);
   return true;
+}
+
+void ControlChannel::transmitAttempt(std::uint64_t xid, bool isRetransmit) {
+  const auto it = pending_.find(xid);
+  if (it == pending_.end() || it->second.resolved) return;
+  const FlowMod& mod = it->second.mod;
+
+  const bool lost =
+      !switchConnected(mod.switchNode) || rng_.chance(faults_.dropProbability);
+  net::SimTime deliveryBasis = network_.simulator().now();
+  if (lost) {
+    ++stats_.flowModsDropped;
+  } else {
+    deliveryBasis = scheduleDelivery(xid, mod, /*chained=*/!isRetransmit);
+  }
+
+  if (retry_.maxRetries > 0) {
+    armRetryTimer(xid, deliveryBasis);
+  } else if (lost) {
+    // Fire-and-forget: a lost mod is abandoned immediately.
+    ++stats_.flowModsAbandoned;
+    resolve(xid, false);
+  }
+}
+
+net::SimTime ControlChannel::scheduleDelivery(std::uint64_t xid,
+                                              const FlowMod& mod, bool chained) {
+  net::Simulator& sim = network_.simulator();
+  net::SimTime when;
+  if (chained) {
+    // FIFO application: each mod completes flowModLatency after the later
+    // of "now" and the previous mod's completion.
+    lastScheduled_ = std::max(lastScheduled_, sim.now()) + flowModLatency_;
+    when = lastScheduled_;
+  } else {
+    when = sim.now() + flowModLatency_;
+  }
+  if (faults_.maxExtraDelay > 0) {
+    when += static_cast<net::SimTime>(rng_.uniformInt(
+        0, static_cast<std::uint64_t>(faults_.maxExtraDelay)));
+  }
+  sim.scheduleAt(when, [this, xid, mod] { deliver(xid, mod); });
+  if (faults_.duplicateProbability > 0.0 &&
+      rng_.chance(faults_.duplicateProbability)) {
+    ++stats_.flowModsDuplicated;
+    sim.scheduleAt(when + flowModLatency_, [this, xid, mod] { deliver(xid, mod); });
+  }
+  return when;
+}
+
+void ControlChannel::deliver(std::uint64_t xid, const FlowMod& mod) {
+  // A switch that lost its control session while the mod was in flight
+  // never receives it. With a retry budget the retransmit timer keeps the
+  // mod pending; fire-and-forget mods are abandoned here.
+  if (!switchConnected(mod.switchNode)) {
+    ++stats_.flowModsDropped;
+    const auto lost = pending_.find(xid);
+    if (lost != pending_.end() && !lost->second.resolved &&
+        retry_.maxRetries == 0) {
+      ++stats_.flowModsAbandoned;
+      resolve(xid, false);
+    }
+    return;
+  }
+  const bool ok = applyIdempotent(mod);
+  if (!ok) ++stats_.asyncApplyFailures;
+  // Ack back to the controller side: resolves the pending entry (late or
+  // duplicate deliveries of an already-resolved xid still applied above,
+  // but carry no ack).
+  const auto it = pending_.find(xid);
+  if (it != pending_.end() && !it->second.resolved) resolve(xid, ok);
+}
+
+void ControlChannel::armRetryTimer(std::uint64_t xid, net::SimTime basis) {
+  const auto it = pending_.find(xid);
+  if (it == pending_.end() || it->second.resolved) return;
+  network_.simulator().scheduleAt(basis + it->second.timeout, [this, xid] {
+    const auto p = pending_.find(xid);
+    if (p == pending_.end() || p->second.resolved) return;
+    if (p->second.attempts > retry_.maxRetries) {
+      ++stats_.flowModsAbandoned;
+      resolve(xid, false);
+      return;
+    }
+    ++stats_.flowModsRetried;
+    ++p->second.attempts;
+    p->second.timeout = std::min(p->second.timeout * 2, retry_.maxTimeout);
+    transmitAttempt(xid, /*isRetransmit=*/true);
+  });
+}
+
+void ControlChannel::resolve(std::uint64_t xid, bool ok) {
+  const auto it = pending_.find(xid);
+  if (it == pending_.end() || it->second.resolved) return;
+  it->second.resolved = true;
+  it->second.ok = ok;
+  const net::NodeId sw = it->second.mod.switchNode;
+
+  const auto out = outstanding_.find(sw);
+  if (out != outstanding_.end()) {
+    out->second.erase(xid);
+    if (out->second.empty()) outstanding_.erase(out);
+  }
+
+  std::vector<std::uint64_t> fired;
+  for (auto& [bid, barrier] : barriers_) {
+    if (barrier.switchNode != sw) continue;
+    barrier.waitingOn.erase(xid);
+    barrier.ok = barrier.ok && ok;
+    if (barrier.waitingOn.empty()) fired.push_back(bid);
+  }
+  for (const std::uint64_t bid : fired) {
+    Barrier barrier = std::move(barriers_.at(bid));
+    barriers_.erase(bid);
+    ++stats_.barrierReplies;
+    if (barrier.callback) barrier.callback(barrier.ok);
+  }
+
+  pending_.erase(xid);
+}
+
+std::uint64_t ControlChannel::sendBarrier(net::NodeId switchNode,
+                                          BarrierCallback onReply) {
+  ++stats_.barrierRequests;
+  const std::uint64_t xid = nextXid_++;
+  const auto out = outstanding_.find(switchNode);
+  if (!async_ || out == outstanding_.end() || out->second.empty()) {
+    ++stats_.barrierReplies;
+    if (onReply) onReply(true);
+    return xid;
+  }
+  Barrier barrier;
+  barrier.switchNode = switchNode;
+  barrier.waitingOn = out->second;
+  barrier.callback = std::move(onReply);
+  barriers_.emplace(xid, std::move(barrier));
+  return xid;
+}
+
+std::size_t ControlChannel::outstandingMods(net::NodeId switchNode) const {
+  const auto it = outstanding_.find(switchNode);
+  return it == outstanding_.end() ? 0 : it->second.size();
+}
+
+std::size_t ControlChannel::outstandingMods() const {
+  std::size_t total = 0;
+  for (const auto& [sw, xids] : outstanding_) total += xids.size();
+  return total;
 }
 
 void ControlChannel::sendPacketOut(const PacketOut& out) {
   ++stats_.packetOuts;
+  if (!switchConnected(out.switchNode) || rng_.chance(faults_.dropProbability)) {
+    ++stats_.packetOutsDropped;
+    return;
+  }
   network_.sendOutPort(out.switchNode, out.outPort, out.packet);
 }
 

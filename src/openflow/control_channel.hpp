@@ -11,17 +11,65 @@
 //    reconfiguration then observe partially updated flow state — the
 //    transient the paper's sequential-processing rule bounds but cannot
 //    eliminate. Used by the activation-delay bench and consistency tests.
+//
+// Fault model (control-plane robustness extension): the channel can lose,
+// duplicate, or delay flow-mods and packet-outs — per-attempt faults drawn
+// from the seeded util::Rng — and individual switches can be disconnected
+// (node failure / control-session loss). On top of the lossy channel sits
+// an OpenFlow-style reliability layer: every mod carries an xid, applied
+// mods are acknowledged, unacknowledged mods are retransmitted with capped
+// exponential backoff under the simulator clock, and barrier requests
+// complete once every earlier mod to that switch is resolved. Mods that
+// exhaust the retry budget are *abandoned* (counted in the stats); the
+// controller's anti-entropy pass (ctrl::Reconciler) repairs the resulting
+// mirror/switch divergence.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "net/network.hpp"
 #include "openflow/messages.hpp"
+#include "util/rng.hpp"
 
 namespace pleroma::openflow {
 
+/// Per-attempt fault probabilities of the control channel. All faults are
+/// drawn from the channel's seeded Rng, so runs are reproducible.
+struct ControlFaultModel {
+  /// Probability that one transmission attempt (mod or packet-out) is lost.
+  double dropProbability = 0.0;
+  /// Probability that a delivered mod is applied a second time.
+  double duplicateProbability = 0.0;
+  /// Extra per-delivery delay, uniform in [0, maxExtraDelay] (async only).
+  net::SimTime maxExtraDelay = 0;
+
+  bool any() const noexcept {
+    return dropProbability > 0.0 || duplicateProbability > 0.0 ||
+           maxExtraDelay > 0;
+  }
+};
+
+/// Retransmission policy of the reliability layer (async mode). With
+/// maxRetries == 0 the channel is fire-and-forget: a dropped mod is
+/// immediately abandoned.
+struct RetryPolicy {
+  int maxRetries = 0;
+  /// First retransmission timeout; doubles per attempt up to maxTimeout.
+  net::SimTime initialTimeout = 4 * net::kMillisecond;
+  net::SimTime maxTimeout = 32 * net::kMillisecond;
+};
+
 class ControlChannel {
  public:
+  /// Invoked when a barrier reply arrives: `ok` is false when any mod the
+  /// barrier waited on failed or was abandoned.
+  using BarrierCallback = std::function<void(bool ok)>;
+
   /// `flowModLatency` models the switch-side installation cost of one
   /// flow-mod (dominated by TCAM write; ~1 ms on 2014 hardware).
   explicit ControlChannel(net::Network& network,
@@ -33,14 +81,53 @@ class ControlChannel {
   void enableAsyncInstall() { async_ = true; }
   bool asyncInstall() const noexcept { return async_; }
 
+  // ---- fault injection -------------------------------------------------
+
+  void setFaultModel(const ControlFaultModel& model) { faults_ = model; }
+  const ControlFaultModel& faultModel() const noexcept { return faults_; }
+  void setRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retryPolicy() const noexcept { return retry_; }
+  /// Reseeds the fault Rng (deterministic fault sequences per seed).
+  void reseedFaults(std::uint64_t seed) { rng_.reseed(seed); }
+
+  /// Connects / disconnects a switch's control session. Every transmission
+  /// attempt towards a disconnected switch is lost.
+  void setSwitchConnected(net::NodeId switchNode, bool connected);
+  bool switchConnected(net::NodeId switchNode) const {
+    return !disconnected_.contains(switchNode);
+  }
+
+  // ---- sending ---------------------------------------------------------
+
   /// Applies (sync) or schedules (async) a flow-mod. Synchronous mode
-  /// returns false when an add is rejected (TCAM full) or a modify/delete
-  /// targets a missing entry; asynchronous mode is fire-and-forget and
-  /// always returns true (failures surface in the table statistics).
+  /// returns false when the mod is lost by the fault model, an add is
+  /// rejected (TCAM full), or a modify/delete targets a missing entry;
+  /// asynchronous mode always returns true (failures surface in the stats
+  /// and are resolved through acks/retries).
   bool send(const FlowMod& mod);
 
   /// Controller-initiated transmission out of a specific switch port.
+  /// Subject to the fault model's drop probability.
   void sendPacketOut(const PacketOut& out);
+
+  /// OpenFlow barrier request towards `switchNode`: `onReply` fires once
+  /// every flow-mod sent to that switch before the barrier is resolved
+  /// (acked, failed, or abandoned), with ok = all succeeded. Returns the
+  /// barrier's xid. In synchronous mode (or with nothing outstanding) the
+  /// reply fires immediately.
+  std::uint64_t sendBarrier(net::NodeId switchNode, BarrierCallback onReply);
+
+  // ---- introspection ---------------------------------------------------
+
+  /// Mods sent to `switchNode` not yet resolved (acked or abandoned).
+  std::size_t outstandingMods(net::NodeId switchNode) const;
+  /// Total unresolved mods across all switches.
+  std::size_t outstandingMods() const;
+  /// No mod towards this switch is in flight — its flow table can be
+  /// audited without racing the reliability layer.
+  bool quiescent(net::NodeId switchNode) const {
+    return outstandingMods(switchNode) == 0;
+  }
 
   /// Reads the switch's current flow entries — Algorithm 1's
   /// getCurrentFlowsFromSwitch. In async mode this is the *actual* switch
@@ -50,6 +137,11 @@ class ControlChannel {
   }
 
   const ControlPlaneStats& stats() const noexcept { return stats_; }
+  /// Deferred applies that failed at the switch (satellite of the fault
+  /// model: previously silently discarded).
+  std::uint64_t asyncApplyFailures() const noexcept {
+    return stats_.asyncApplyFailures;
+  }
 
   /// Total modelled switch-side installation latency accumulated so far.
   net::SimTime modeledInstallTime() const noexcept { return modeledInstallTime_; }
@@ -61,7 +153,34 @@ class ControlChannel {
   net::Network& network() noexcept { return network_; }
 
  private:
+  struct Pending {
+    FlowMod mod;
+    int attempts = 1;          // transmission attempts so far
+    net::SimTime timeout = 0;  // current RTO
+    bool resolved = false;
+    bool ok = false;
+  };
+  struct Barrier {
+    net::NodeId switchNode = net::kInvalidNode;
+    std::set<std::uint64_t> waitingOn;
+    BarrierCallback callback;
+    bool ok = true;
+  };
+
   bool applyNow(const FlowMod& mod);
+  /// At-least-once apply: re-delivery of an already-applied mod succeeds
+  /// (add of an identical entry, delete of an absent entry).
+  bool applyIdempotent(const FlowMod& mod);
+  /// One transmission attempt of a pending mod; arms the retry timer.
+  void transmitAttempt(std::uint64_t xid, bool isRetransmit);
+  /// Returns the absolute delivery time of the scheduled attempt.
+  net::SimTime scheduleDelivery(std::uint64_t xid, const FlowMod& mod,
+                                bool chained);
+  void deliver(std::uint64_t xid, const FlowMod& mod);
+  /// Arms the RTO to fire `timeout` after `basis` — the expected delivery
+  /// time of the attempt, so FIFO queueing delay is not mistaken for loss.
+  void armRetryTimer(std::uint64_t xid, net::SimTime basis);
+  void resolve(std::uint64_t xid, bool ok);
 
   net::Network& network_;
   net::SimTime flowModLatency_;
@@ -71,6 +190,15 @@ class ControlChannel {
   /// same channel never reorder even when sends burst.
   net::SimTime lastScheduled_ = 0;
   ControlPlaneStats stats_;
+
+  ControlFaultModel faults_;
+  RetryPolicy retry_;
+  util::Rng rng_{0x5DC0DE5ULL};
+  std::unordered_set<net::NodeId> disconnected_;
+  std::uint64_t nextXid_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<net::NodeId, std::set<std::uint64_t>> outstanding_;
+  std::map<std::uint64_t, Barrier> barriers_;
 };
 
 }  // namespace pleroma::openflow

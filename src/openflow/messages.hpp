@@ -17,6 +17,9 @@ struct FlowMod {
   FlowModType type = FlowModType::kAdd;
   net::NodeId switchNode = net::kInvalidNode;
   net::FlowEntry entry;  // for kDelete only entry.match is meaningful
+  /// Transaction id, assigned by the control channel at send time. Acks,
+  /// retransmissions and barriers are tracked per xid (OpenFlow header.xid).
+  std::uint64_t xid = 0;
 };
 
 struct PacketIn {
@@ -31,7 +34,8 @@ struct PacketOut {
   net::Packet packet;
 };
 
-/// Counters of control-network traffic (the quantity Figs 7g/7h report).
+/// Counters of control-network traffic (the quantity Figs 7g/7h report)
+/// plus the fault/recovery accounting of the control-plane fault model.
 struct ControlPlaneStats {
   std::uint64_t flowModsSent = 0;
   std::uint64_t flowAdds = 0;
@@ -39,6 +43,24 @@ struct ControlPlaneStats {
   std::uint64_t flowDeletes = 0;
   std::uint64_t packetIns = 0;
   std::uint64_t packetOuts = 0;
+  // ---- fault model / reliability layer ---------------------------------
+  /// Flow-mod transmission attempts lost (random drop or disconnected
+  /// switch); retransmissions count again.
+  std::uint64_t flowModsDropped = 0;
+  /// Extra deliveries caused by duplication faults.
+  std::uint64_t flowModsDuplicated = 0;
+  /// Retransmission attempts issued by the reliability layer.
+  std::uint64_t flowModsRetried = 0;
+  /// Mods given up on after the retry budget was exhausted (or dropped with
+  /// retries disabled). These are exactly what reconciliation must repair.
+  std::uint64_t flowModsAbandoned = 0;
+  /// Deferred (async) applies that failed at the switch — e.g. a modify of
+  /// a missing entry or an add rejected by a full TCAM. Idempotent
+  /// re-deliveries of an already-applied mod are not failures.
+  std::uint64_t asyncApplyFailures = 0;
+  std::uint64_t packetOutsDropped = 0;
+  std::uint64_t barrierRequests = 0;
+  std::uint64_t barrierReplies = 0;
 };
 
 }  // namespace pleroma::openflow

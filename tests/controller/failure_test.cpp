@@ -34,6 +34,13 @@ struct FailureFixture : ::testing::Test {
     return delivered;
   }
 
+  void TearDown() override {
+    // No test here performs an async flow mod that genuinely fails at the
+    // switch; the seed silently discarded such deferred results, so guard
+    // against regressions everywhere failures are exercised.
+    EXPECT_EQ(controller.channel().asyncApplyFailures(), 0u);
+  }
+
   /// Fails the link and notifies the controller (as the OpenFlow
   /// port-status message would).
   void failLink(net::LinkId l) {
@@ -43,6 +50,43 @@ struct FailureFixture : ::testing::Test {
   void restoreLink(net::LinkId l) {
     network.setLinkUp(l, true);
     controller.onLinkUp(l);
+  }
+
+  /// Fails the switch node and notifies the controller (as loss of the
+  /// OpenFlow control session would). The node reboots with an empty TCAM.
+  void failSwitch(net::NodeId sw) {
+    network.setNodeUp(sw, false);
+    controller.onSwitchDown(sw);
+  }
+  void restoreSwitch(net::NodeId sw) {
+    network.setNodeUp(sw, true);
+    controller.onSwitchUp(sw);
+  }
+
+  /// Asserts the switch's actual flow table equals the controller mirror.
+  void expectSynced(net::NodeId sw) {
+    const auto& mirror = controller.installer().mirror(sw);
+    const net::FlowTable& actual = network.flowTable(sw);
+    EXPECT_EQ(actual.size(), mirror.size()) << "switch " << sw;
+    for (const auto& [d, entry] : mirror) {
+      const net::FlowEntry* installed = actual.find(entry.match);
+      ASSERT_NE(installed, nullptr)
+          << "switch " << sw << " missing " << entry.toString();
+      EXPECT_EQ(*installed, entry) << "switch " << sw;
+    }
+  }
+
+  /// A tree switch that attaches neither the publisher nor the subscriber.
+  net::NodeId transitTreeSwitch(net::NodeId pubHost, net::NodeId subHost) {
+    const net::NodeId pubSw = topo.hostAttachment(pubHost).switchNode;
+    const net::NodeId subSw = topo.hostAttachment(subHost).switchNode;
+    for (const net::LinkId l : controller.trees()[0]->edges()) {
+      const net::Link& link = topo.link(l);
+      for (const net::NodeId n : {link.a.node, link.b.node}) {
+        if (topo.isSwitch(n) && n != pubSw && n != subSw) return n;
+      }
+    }
+    return net::kInvalidNode;
   }
 
   /// A switch-switch link currently used by the first tree.
@@ -204,6 +248,127 @@ TEST_F(FailureFixture, DoubleNotificationIdempotent) {
   restoreLink(link);
   controller.onLinkUp(link);  // duplicate restore
   EXPECT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+// ---- switch node failures ----------------------------------------------
+
+TEST_F(FailureFixture, DeliveryContinuesAfterTransitSwitchFailure) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  ASSERT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+
+  // A ring minus one switch is a line: publisher and subscriber stay
+  // connected the long way round.
+  const net::NodeId transit = transitTreeSwitch(hosts[0], hosts[3]);
+  ASSERT_NE(transit, net::kInvalidNode);
+  failSwitch(transit);
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+  EXPECT_EQ(network.counters().packetsDroppedNodeDown, 0u)
+      << "repaired flows must not route into the failed switch";
+  EXPECT_EQ(network.counters().packetsDroppedLinkDown, 0u);
+}
+
+TEST_F(FailureFixture, FlowsNeverReferenceFailedSwitch) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[2], rect(0, 1023));
+  controller.subscribe(hosts[4], rect(0, 1023));
+  const net::NodeId dead = transitTreeSwitch(hosts[0], hosts[2]);
+  ASSERT_NE(dead, net::kInvalidNode);
+  failSwitch(dead);
+
+  // The dead switch rebooted blank and nothing was reinstalled onto it.
+  EXPECT_TRUE(network.flowTable(dead).empty());
+  // No surviving switch forwards towards the dead one.
+  for (const net::NodeId sw : topo.switches()) {
+    if (sw == dead) continue;
+    for (const auto& entry : network.flowTable(sw).entries()) {
+      for (const auto& action : entry.actions) {
+        const net::LinkId l = topo.linkAt(sw, action.port);
+        if (l == net::kInvalidLink) continue;
+        const net::Link& link = topo.link(l);
+        EXPECT_NE(link.a.node, dead)
+            << "switch " << sw << " flow " << entry.toString();
+        EXPECT_NE(link.b.node, dead)
+            << "switch " << sw << " flow " << entry.toString();
+      }
+    }
+  }
+}
+
+TEST_F(FailureFixture, SwitchRestoreResyncsEmptyTcamWithoutReregistration) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  const net::NodeId transit = transitTreeSwitch(hosts[0], hosts[3]);
+  ASSERT_NE(transit, net::kInvalidNode);
+  const std::size_t subs = controller.subscriptionCount();
+
+  failSwitch(transit);
+  ASSERT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+
+  // The switch comes back with a blank TCAM; onSwitchUp alone (no renewed
+  // advertise/subscribe) must resynchronise it from the controller mirror.
+  network.setNodeUp(transit, true);
+  EXPECT_TRUE(network.flowTable(transit).empty()) << "TCAM survived reboot?";
+  controller.onSwitchUp(transit);
+  for (const net::NodeId sw : topo.switches()) expectSynced(sw);
+  EXPECT_EQ(controller.subscriptionCount(), subs);
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+TEST_F(FailureFixture, PublisherAccessSwitchFailurePartitionsUntilRestore) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  const net::NodeId pubSw = topo.hostAttachment(hosts[0]).switchNode;
+
+  // The publisher's only attachment is gone: no delivery, but no crash,
+  // and the tree re-roots away from the dead switch.
+  failSwitch(pubSw);
+  EXPECT_TRUE(publish(hosts[0], {100, 100}).empty());
+
+  restoreSwitch(pubSw);
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+TEST_F(FailureFixture, DoubleSwitchNotificationIdempotent) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  const net::NodeId transit = transitTreeSwitch(hosts[0], hosts[3]);
+  ASSERT_NE(transit, net::kInvalidNode);
+
+  failSwitch(transit);
+  const std::size_t trees = controller.treeCount();
+  controller.onSwitchDown(transit);  // duplicate notification
+  EXPECT_EQ(controller.treeCount(), trees);
+  EXPECT_FALSE(controller.switchActive(transit));
+
+  restoreSwitch(transit);
+  controller.onSwitchUp(transit);  // duplicate restore
+  EXPECT_TRUE(controller.switchActive(transit));
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+struct FatTreeFailureFixture : FailureFixture {
+  FatTreeFailureFixture() : FailureFixture(net::Topology::testbedFatTree()) {}
+};
+
+TEST_F(FatTreeFailureFixture, CoreSwitchFailureReroutesThroughOtherCore) {
+  // The testbed fat-tree has two cores: losing one entire core switch must
+  // shift inter-pod traffic to the redundant core.
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[7], rect(0, 1023));
+  ASSERT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[7]}));
+
+  const net::NodeId core0 = topo.switches()[0];
+  failSwitch(core0);
+  EXPECT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[7]}));
+  EXPECT_EQ(network.counters().packetsDroppedNodeDown, 0u);
+  EXPECT_EQ(network.counters().packetsDroppedLinkDown, 0u);
+
+  // Reconnect: blank TCAM, full resync from the mirror, traffic may use
+  // either core again.
+  restoreSwitch(core0);
+  for (const net::NodeId sw : topo.switches()) expectSynced(sw);
+  EXPECT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[7]}));
 }
 
 TEST(FailureFatTree, CoreLinkFailureReroutesThroughOtherCore) {

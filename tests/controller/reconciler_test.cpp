@@ -1,0 +1,454 @@
+// Anti-entropy reconciliation tests: the controller mirror is the intended
+// state; the reconciler must converge every switch's actual FlowTable to it
+// despite a lossy/duplicating control channel, and the system as a whole
+// must keep the delivery invariant once converged — including across
+// randomized churn with link AND switch failures.
+#include "controller/reconciler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "workload/workload.hpp"
+
+namespace pleroma::ctrl {
+namespace {
+
+dz::Rectangle rect(dz::AttributeValue aLo, dz::AttributeValue aHi) {
+  return dz::Rectangle{{dz::Range{aLo, aHi}, dz::Range{0, 1023}}};
+}
+
+net::FlowEntry rawEntry(std::string_view dzStr, net::PortId port) {
+  const auto d = *dz::DzExpression::fromString(dzStr);
+  net::FlowEntry e;
+  e.match = dz::dzToPrefix(d);
+  e.priority = d.length();
+  e.actions.push_back(net::FlowAction{port, std::nullopt});
+  return e;
+}
+
+/// Asserts a switch's actual flow table equals the controller mirror.
+void expectSynced(Controller& controller, net::Network& network,
+                  net::NodeId sw) {
+  const auto& mirror = controller.installer().mirror(sw);
+  const net::FlowTable& actual = network.flowTable(sw);
+  EXPECT_EQ(actual.size(), mirror.size()) << "switch " << sw;
+  for (const auto& [d, entry] : mirror) {
+    const net::FlowEntry* installed = actual.find(entry.match);
+    ASSERT_NE(installed, nullptr)
+        << "switch " << sw << " missing " << entry.toString();
+    EXPECT_EQ(*installed, entry) << "switch " << sw;
+  }
+}
+
+struct ReconcilerFixture : ::testing::Test {
+  ReconcilerFixture()
+      : topo(net::Topology::ring(6)),
+        network(topo, sim, {}),
+        controller(dz::EventSpace(2, 10), network, Scope::wholeTopology(topo),
+                   {}),
+        reconciler(controller) {
+    hosts = topo.hosts();
+    network.setDeliverHandler(
+        [this](net::NodeId h, const net::Packet&) { delivered.insert(h); });
+  }
+
+  std::set<net::NodeId> publish(net::NodeId host, const dz::Event& e) {
+    delivered.clear();
+    network.sendFromHost(host, controller.makeEventPacket(host, e, 1));
+    sim.run();
+    return delivered;
+  }
+
+  net::Topology topo;
+  net::Simulator sim;
+  net::Network network;
+  Controller controller;
+  Reconciler reconciler;
+  std::vector<net::NodeId> hosts;
+  std::set<net::NodeId> delivered;
+};
+
+TEST_F(ReconcilerFixture, RepairsModsLostOnSyncChannel) {
+  // Every mod of the registration is dropped: mirrors fill, switches stay
+  // blank, delivery is broken.
+  openflow::ControlFaultModel faults;
+  faults.dropProbability = 1.0;
+  controller.channel().setFaultModel(faults);
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  for (const net::NodeId sw : topo.switches()) {
+    EXPECT_TRUE(network.flowTable(sw).empty());
+  }
+  EXPECT_TRUE(publish(hosts[0], {100, 100}).empty());
+  EXPECT_GT(controller.channel().stats().flowModsAbandoned, 0u);
+
+  // Heal the channel; one audit round repairs every divergence.
+  controller.channel().setFaultModel({});
+  const ReconcileReport r = reconciler.reconcileAll();
+  EXPECT_GT(r.repairAdds, 0u);
+  EXPECT_EQ(r.repairDeletes, 0u);
+  EXPECT_TRUE(reconciler.reconcileAll().clean());
+  for (const net::NodeId sw : topo.switches()) {
+    expectSynced(controller, network, sw);
+  }
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+TEST_F(ReconcilerFixture, DeletesOrphanFlows) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  ASSERT_TRUE(reconciler.reconcileAll().clean());
+
+  // Plant a flow behind the installer's back (models a lost delete or a
+  // duplicated add landing after its delete): the mirror knows nothing of
+  // it, so the audit must remove it.
+  const net::NodeId sw = topo.switches()[0];
+  const net::FlowEntry orphan = rawEntry("10101010", 1);
+  ASSERT_FALSE(
+      controller.installer().mirror(sw).contains(*dz::prefixToDz(orphan.match)));
+  ASSERT_TRUE(controller.channel().send({openflow::FlowModType::kAdd, sw, orphan}));
+
+  const ReconcileReport r = reconciler.reconcileSwitch(sw);
+  EXPECT_EQ(r.repairDeletes, 1u);
+  EXPECT_EQ(network.flowTable(sw).find(orphan.match), nullptr);
+  expectSynced(controller, network, sw);
+}
+
+TEST_F(ReconcilerFixture, AuditDefersUntilSwitchQuiescent) {
+  controller.channel().enableAsyncInstall();
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+
+  // Mods are still in flight: auditing now would misread them as missing.
+  net::NodeId busy = net::kInvalidNode;
+  for (const net::NodeId sw : topo.switches()) {
+    if (controller.channel().outstandingMods(sw) > 0) busy = sw;
+  }
+  ASSERT_NE(busy, net::kInvalidNode);
+  ReconcileReport r = reconciler.reconcileSwitch(busy);
+  EXPECT_EQ(r.switchesSkipped, 1u);
+  EXPECT_EQ(r.switchesAudited, 0u);
+  EXPECT_EQ(r.repairMods(), 0u);
+
+  sim.run();
+  r = reconciler.reconcileSwitch(busy);
+  EXPECT_EQ(r.switchesAudited, 1u);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST_F(ReconcilerFixture, FailedSwitchIsVacuouslyConverged) {
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  const net::NodeId dead = topo.switches()[1];
+  network.setNodeUp(dead, false);
+  controller.onSwitchDown(dead);
+  // A permanent outage must not block convergence: table cleared + mirror
+  // forgotten means there is nothing left to reconcile.
+  const ReconcileReport r = reconciler.reconcileAll();
+  EXPECT_TRUE(r.clean()) << "dead switch counted as skipped";
+  EXPECT_EQ(r.switchesAudited, topo.switches().size() - 1);
+}
+
+TEST_F(ReconcilerFixture, PeriodicAuditHealsDivergence) {
+  controller.channel().enableAsyncInstall();
+  openflow::ControlFaultModel faults;
+  faults.dropProbability = 1.0;
+  controller.channel().setFaultModel(faults);
+  controller.advertise(hosts[0], rect(0, 1023));
+  controller.subscribe(hosts[3], rect(0, 511));
+  sim.run();
+  EXPECT_GT(controller.channel().stats().flowModsAbandoned, 0u);
+
+  // Channel heals; the periodic pass (driven with runUntil — the tick
+  // re-arms itself) repairs the divergence without an explicit call.
+  controller.channel().setFaultModel({});
+  reconciler.enablePeriodic(5 * net::kMillisecond);
+  sim.runUntil(sim.now() + 60 * net::kMillisecond);
+  reconciler.disablePeriodic();
+  sim.run();
+
+  EXPECT_GT(reconciler.roundsRun(), 0u);
+  EXPECT_GT(reconciler.totalRepairMods(), 0u);
+  for (const net::NodeId sw : topo.switches()) {
+    expectSynced(controller, network, sw);
+  }
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+// ---- randomized property tests -----------------------------------------
+
+struct LiveSub {
+  SubscriptionId id;
+  net::NodeId host;
+  dz::DzSet dz;
+};
+struct LivePub {
+  PublisherId id;
+  net::NodeId host;
+  dz::DzSet dz;
+};
+
+class ReconcilerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+/// Satellite: random drops/duplications over a random workload; after
+/// reconciliation every mirror equals its switch table and delivery is
+/// correct.
+TEST_P(ReconcilerPropertyTest, RandomDropsAndDuplicationsRepaired) {
+  const std::uint64_t seed = GetParam();
+  net::Topology topo = net::Topology::testbedFatTree();
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  ControllerConfig cfg;
+  cfg.maxDzLength = 8;
+  cfg.maxCellsPerRequest = 6;
+  cfg.maxTrees = 4;
+  Controller controller(dz::EventSpace(2, 10), network,
+                        Scope::wholeTopology(topo), cfg);
+  Reconciler reconciler(controller);
+
+  openflow::ControlChannel& channel = controller.channel();
+  channel.enableAsyncInstall();
+  openflow::ControlFaultModel faults;
+  faults.dropProbability = 0.15;
+  faults.duplicateProbability = 0.1;
+  faults.maxExtraDelay = net::kMillisecond;
+  channel.setFaultModel(faults);
+  channel.reseedFaults(seed * 7919 + 3);
+  // Fire-and-forget (no retries): drops become real divergence that only
+  // the reconciler can repair.
+
+  std::set<net::NodeId> got;
+  network.setDeliverHandler(
+      [&](net::NodeId h, const net::Packet&) { got.insert(h); });
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.3;
+  wcfg.seed = seed;
+  workload::WorkloadGenerator gen(wcfg);
+  util::Rng& rng = gen.rng();
+  const auto hosts = topo.hosts();
+
+  std::vector<LiveSub> subs;
+  std::vector<LivePub> pubs;
+  for (int step = 0; step < 60; ++step) {
+    const auto dice = rng.uniformInt(0, 9);
+    const net::NodeId h = hosts[rng.uniformInt(0, hosts.size() - 1)];
+    if (dice < 3 || pubs.empty()) {
+      const PublisherId id = controller.advertise(h, gen.makeAdvertisement());
+      pubs.push_back(LivePub{id, h, controller.advertisementDz(id)});
+    } else if (dice < 7) {
+      const SubscriptionId id = controller.subscribe(h, gen.makeSubscription());
+      subs.push_back(LiveSub{id, h, controller.subscriptionDz(id)});
+    } else if (dice < 9 && !subs.empty()) {
+      const std::size_t v = rng.uniformInt(0, subs.size() - 1);
+      controller.unsubscribe(subs[v].id);
+      subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(v));
+    } else if (!pubs.empty()) {
+      const std::size_t v = rng.uniformInt(0, pubs.size() - 1);
+      controller.unadvertise(pubs[v].id);
+      pubs.erase(pubs.begin() + static_cast<std::ptrdiff_t>(v));
+    }
+  }
+
+  const std::size_t rounds = reconciler.runToConvergence(40);
+  EXPECT_LT(rounds, 40u) << "reconciliation did not converge";
+  EXPECT_TRUE(reconciler.lastReport().clean());
+  EXPECT_GT(reconciler.totalRepairMods(), 0u)
+      << "channel faults produced no divergence to repair — test is vacuous";
+  for (const net::NodeId sw : topo.switches()) {
+    expectSynced(controller, network, sw);
+  }
+
+  // Delivery invariant on the converged tables.
+  for (int k = 0; k < 8 && !pubs.empty(); ++k) {
+    const LivePub& pub = pubs[rng.uniformInt(0, pubs.size() - 1)];
+    const dz::Event e = gen.makeEvent();
+    const dz::DzExpression eDz = controller.stampEvent(e);
+    got.clear();
+    network.sendFromHost(pub.host, controller.makeEventPacket(pub.host, e, 1));
+    sim.run();
+    const bool pubCovers = pub.dz.overlaps(eDz);
+    for (const LiveSub& s : subs) {
+      if (s.dz.overlaps(eDz) && pubCovers && s.host != pub.host) {
+        EXPECT_TRUE(got.contains(s.host))
+            << "false negative after reconciliation, host " << s.host;
+      }
+    }
+    for (const net::NodeId gh : got) {
+      bool anySub = false;
+      for (const LiveSub& s : subs) {
+        if (s.host == gh && s.dz.overlaps(eDz)) anySub = true;
+      }
+      EXPECT_TRUE(anySub) << "spurious delivery after reconciliation";
+    }
+  }
+}
+
+/// Acceptance criterion: randomized churn with 20% control-channel drop
+/// plus link AND switch failures converges after reconciliation — mirrors
+/// equal switch tables, no flow references a dead element, and publishes
+/// reach exactly the matching subscribers.
+TEST_P(ReconcilerPropertyTest, ChurnWithFailuresAndLossyChannelConverges) {
+  const std::uint64_t seed = GetParam();
+  net::Topology topo = net::Topology::testbedFatTree();
+  net::Simulator sim;
+  net::Network network(topo, sim, {});
+  ControllerConfig cfg;
+  cfg.maxDzLength = 8;
+  cfg.maxCellsPerRequest = 6;
+  cfg.maxTrees = 4;
+  Controller controller(dz::EventSpace(2, 10), network,
+                        Scope::wholeTopology(topo), cfg);
+  Reconciler reconciler(controller);
+
+  openflow::ControlChannel& channel = controller.channel();
+  channel.enableAsyncInstall();
+  openflow::ControlFaultModel faults;
+  faults.dropProbability = 0.2;
+  faults.duplicateProbability = 0.05;
+  faults.maxExtraDelay = net::kMillisecond;
+  channel.setFaultModel(faults);
+  openflow::RetryPolicy retry;
+  retry.maxRetries = 3;
+  retry.initialTimeout = net::kMillisecond;
+  channel.setRetryPolicy(retry);
+  channel.reseedFaults(seed * 104729 + 1);
+
+  std::set<net::NodeId> got;
+  network.setDeliverHandler(
+      [&](net::NodeId h, const net::Packet&) { got.insert(h); });
+
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.3;
+  wcfg.seed = seed + 17;
+  workload::WorkloadGenerator gen(wcfg);
+  util::Rng& rng = gen.rng();
+  const auto hosts = topo.hosts();
+
+  // Only the core layer is redundant in the testbed fat-tree (each edge
+  // switch has a single agg uplink), so infrastructure faults are drawn
+  // from the cores and their links, one fault at a time — the delivery
+  // invariant requires the topology to stay connected.
+  const std::vector<net::NodeId> cores = {topo.switches()[0],
+                                          topo.switches()[1]};
+  std::vector<net::LinkId> coreLinks;
+  for (const net::NodeId c : cores) {
+    for (const auto& [port, lid] : topo.portsOf(c)) coreLinks.push_back(lid);
+  }
+  std::optional<net::LinkId> downLink;
+  std::optional<net::NodeId> downSwitch;
+
+  std::vector<LiveSub> subs;
+  std::vector<LivePub> pubs;
+  for (int step = 0; step < 60; ++step) {
+    const auto dice = rng.uniformInt(0, 9);
+    const net::NodeId h = hosts[rng.uniformInt(0, hosts.size() - 1)];
+    if (dice < 3 || pubs.empty()) {
+      const PublisherId id = controller.advertise(h, gen.makeAdvertisement());
+      pubs.push_back(LivePub{id, h, controller.advertisementDz(id)});
+    } else if (dice < 6) {
+      const SubscriptionId id = controller.subscribe(h, gen.makeSubscription());
+      subs.push_back(LiveSub{id, h, controller.subscriptionDz(id)});
+    } else if (dice < 8 && !subs.empty()) {
+      const std::size_t v = rng.uniformInt(0, subs.size() - 1);
+      controller.unsubscribe(subs[v].id);
+      subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(v));
+    } else if (!pubs.empty()) {
+      const std::size_t v = rng.uniformInt(0, pubs.size() - 1);
+      controller.unadvertise(pubs[v].id);
+      pubs.erase(pubs.begin() + static_cast<std::ptrdiff_t>(v));
+    }
+
+    if (step % 8 != 7) continue;
+    // Toggle one infrastructure fault.
+    if (downLink.has_value()) {
+      network.setLinkUp(*downLink, true);
+      controller.onLinkUp(*downLink);
+      downLink.reset();
+    } else if (downSwitch.has_value()) {
+      network.setNodeUp(*downSwitch, true);
+      controller.onSwitchUp(*downSwitch);
+      downSwitch.reset();
+    } else if (rng.chance(0.5)) {
+      downLink = coreLinks[rng.uniformInt(0, coreLinks.size() - 1)];
+      network.setLinkUp(*downLink, false);
+      controller.onLinkDown(*downLink);
+    } else {
+      downSwitch = cores[rng.uniformInt(0, cores.size() - 1)];
+      network.setNodeUp(*downSwitch, false);
+      controller.onSwitchDown(*downSwitch);
+    }
+  }
+
+  const std::size_t rounds = reconciler.runToConvergence(40);
+  EXPECT_LT(rounds, 40u) << "reconciliation did not converge";
+  EXPECT_TRUE(reconciler.lastReport().clean());
+
+  // Every switch's table equals the controller mirror (a dead switch is
+  // blank on both sides).
+  for (const net::NodeId sw : topo.switches()) {
+    if (!controller.switchActive(sw)) {
+      EXPECT_TRUE(network.flowTable(sw).empty()) << "dead switch " << sw;
+      EXPECT_TRUE(controller.installer().mirror(sw).empty());
+      continue;
+    }
+    expectSynced(controller, network, sw);
+  }
+
+  // No flow forwards into the dead link or towards the dead switch.
+  for (const net::NodeId sw : topo.switches()) {
+    for (const auto& entry : network.flowTable(sw).entries()) {
+      for (const auto& action : entry.actions) {
+        const net::LinkId l = topo.linkAt(sw, action.port);
+        if (l == net::kInvalidLink) continue;
+        if (downLink.has_value()) {
+          EXPECT_NE(l, *downLink)
+              << "switch " << sw << " routes into the failed link";
+        }
+        if (downSwitch.has_value()) {
+          const net::Link& link = topo.link(l);
+          EXPECT_NE(link.a.node, *downSwitch) << "switch " << sw;
+          EXPECT_NE(link.b.node, *downSwitch) << "switch " << sw;
+        }
+      }
+    }
+  }
+
+  // Publishes reach exactly the matching subscribers.
+  for (int k = 0; k < 8 && !pubs.empty(); ++k) {
+    const LivePub& pub = pubs[rng.uniformInt(0, pubs.size() - 1)];
+    const dz::Event e = gen.makeEvent();
+    const dz::DzExpression eDz = controller.stampEvent(e);
+    got.clear();
+    network.sendFromHost(pub.host, controller.makeEventPacket(pub.host, e, 1));
+    sim.run();
+    const bool pubCovers = pub.dz.overlaps(eDz);
+    for (const LiveSub& s : subs) {
+      if (s.dz.overlaps(eDz) && pubCovers && s.host != pub.host) {
+        EXPECT_TRUE(got.contains(s.host))
+            << "false negative after churn, host " << s.host << " seed "
+            << seed;
+      }
+    }
+    for (const net::NodeId gh : got) {
+      bool anySub = false;
+      for (const LiveSub& s : subs) {
+        if (s.host == gh && s.dz.overlaps(eDz)) anySub = true;
+      }
+      EXPECT_TRUE(anySub) << "spurious delivery after churn, seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconcilerPropertyTest,
+                         ::testing::Values(7u, 21u, 101u, 2024u));
+
+}  // namespace
+}  // namespace pleroma::ctrl

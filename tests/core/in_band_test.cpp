@@ -116,6 +116,63 @@ TEST_F(InBandFixture, RequestsProcessedCounter) {
   EXPECT_EQ(signaling.requestsProcessed(), 3u);
 }
 
+TEST_F(InBandFixture, TimeoutExpiresRequestLostToLinkFailure) {
+  signaling.setRequestTimeout(5 * net::kMillisecond);
+  std::vector<Ack> acks;
+  signaling.setAckCallback(
+      [&](net::NodeId, const Ack& a) { acks.push_back(a); });
+
+  // Fail the requesting host's access link mid-registration: the request
+  // dies on the wire and no acknowledgement can ever come back.
+  const auto token = signaling.sendSubscribe(hosts[0], rect(0, 511));
+  const net::NodeId sw = topo.hostAttachment(hosts[0]).switchNode;
+  for (const auto& [port, lid] : topo.portsOf(sw)) {
+    const net::Link& link = topo.link(lid);
+    if (link.a.node == hosts[0] || link.b.node == hosts[0]) {
+      network.setLinkUp(lid, false);
+    }
+  }
+  sim.run();
+
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_FALSE(acks[0].ok);
+  EXPECT_EQ(acks[0].token, token);
+  EXPECT_EQ(signaling.requestTimeouts(), 1u);
+  const auto ack = signaling.ackFor(token);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(ack->ok);
+  // The request itself crossed before the link died; the *acknowledgement*
+  // was lost. The host must conservatively observe failure even though the
+  // controller registered the subscription (the classic lost-ack
+  // ambiguity — resolvable only by an idempotent re-request).
+  EXPECT_EQ(controller.subscriptionCount(), 1u);
+}
+
+TEST_F(InBandFixture, TimeoutDoesNotFireWhenAckArrivesInTime) {
+  signaling.setRequestTimeout(50 * net::kMillisecond);
+  const auto token = signaling.sendSubscribe(hosts[0], rect(0, 511));
+  sim.run();
+  EXPECT_EQ(signaling.requestTimeouts(), 0u);
+  ASSERT_TRUE(signaling.ackFor(token).has_value());
+  EXPECT_TRUE(signaling.ackFor(token)->ok);
+}
+
+TEST_F(InBandFixture, FirstOutcomeWinsOverLateAck) {
+  // Timeout shorter than the registration round trip (~110us): the request
+  // expires first, then the real ack straggles in and must be ignored.
+  signaling.setRequestTimeout(60 * net::kMicrosecond);
+  int callbacks = 0;
+  signaling.setAckCallback([&](net::NodeId, const Ack&) { ++callbacks; });
+  const auto token = signaling.sendSubscribe(hosts[0], rect(0, 511));
+  sim.run();
+  EXPECT_EQ(callbacks, 1) << "late real ack must not fire a second outcome";
+  EXPECT_FALSE(signaling.ackFor(token)->ok);
+  EXPECT_EQ(signaling.requestTimeouts(), 1u);
+  // The request packet itself was not lost: the controller processed it,
+  // the host merely gave up waiting.
+  EXPECT_EQ(controller.subscriptionCount(), 1u);
+}
+
 TEST_F(InBandFixture, RegistrationLatencyIsOneRoundTrip) {
   net::SimTime ackedAt = -1;
   signaling.setAckCallback(

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace pleroma::dz {
 namespace {
 
@@ -79,7 +81,8 @@ TEST(IpEncoding, IsPleromaAddress) {
 TEST(IpEncoding, ControlAddressNeverEqualsEventAddress) {
   // No dz of length <= 112 encodes to IP_mid (its bits below the dz range
   // are non-zero).
-  for (const char* s : {"", "1", std::string(112, '1').c_str()}) {
+  for (const std::string& s : {std::string(), std::string("1"),
+                               std::string(112, '1')}) {
     EXPECT_NE(dzToAddress(dz(s)), kControlAddress) << s;
   }
 }

@@ -62,6 +62,27 @@ TEST_F(LineFixture, ForwardsAlongInstalledFlows) {
   EXPECT_EQ(net.counters().packetsDeliveredToHosts, 1u);
 }
 
+TEST_F(LineFixture, DownNodeDropsTrafficAndClearsTable) {
+  Network net(topo, sim, {});
+  net.flowTable(r1).insert(entry("1", {{topo.link(topo.linkAt(r1, 1)).endOf(r1).port, std::nullopt}}));
+  const auto attH2 = topo.hostAttachment(h2);
+  net.flowTable(r2).insert(entry("1", {{attH2.switchPort, hostAddress(h2)}}));
+
+  // R2 fails: its TCAM is lost and packets die at the dead node.
+  net.setNodeUp(r2, false);
+  EXPECT_FALSE(net.nodeUp(r2));
+  EXPECT_TRUE(net.flowTable(r2).empty());
+  net.sendFromHost(h1, eventPacket("101", h1));
+  sim.run();
+  EXPECT_EQ(net.counters().packetsDeliveredToHosts, 0u);
+  EXPECT_GT(net.counters().packetsDroppedNodeDown, 0u);
+
+  // Reboot: node is up again but the table stays blank until resynced.
+  net.setNodeUp(r2, true);
+  EXPECT_TRUE(net.nodeUp(r2));
+  EXPECT_TRUE(net.flowTable(r2).empty());
+}
+
 TEST_F(LineFixture, DropsOnNoMatch) {
   Network net(topo, sim, {});
   net.sendFromHost(h1, eventPacket("101", h1));

@@ -118,6 +118,147 @@ TEST_F(ChannelFixture, AsyncBurstsSerialise) {
   EXPECT_EQ(net_.flowTable(sw).size(), 5u);
 }
 
+// ---- fault model / reliability layer -----------------------------------
+
+TEST_F(ChannelFixture, SyncDropLosesModAndCounts) {
+  ControlFaultModel faults;
+  faults.dropProbability = 1.0;
+  channel.setFaultModel(faults);
+  EXPECT_FALSE(channel.send({FlowModType::kAdd, sw, entry("10", 2)}));
+  EXPECT_TRUE(net_.flowTable(sw).empty());
+  EXPECT_EQ(channel.stats().flowModsDropped, 1u);
+  EXPECT_EQ(channel.stats().flowModsAbandoned, 1u);
+  EXPECT_EQ(channel.stats().flowModsSent, 1u);  // attempts still accounted
+}
+
+TEST_F(ChannelFixture, AsyncDropWithoutRetryIsAbandoned) {
+  channel.enableAsyncInstall();
+  ControlFaultModel faults;
+  faults.dropProbability = 1.0;
+  channel.setFaultModel(faults);
+  EXPECT_TRUE(channel.send({FlowModType::kAdd, sw, entry("10", 2)}));
+  sim.run();
+  EXPECT_TRUE(net_.flowTable(sw).empty());
+  EXPECT_EQ(channel.stats().flowModsAbandoned, 1u);
+  EXPECT_EQ(channel.outstandingMods(sw), 0u);  // resolved, not leaked
+}
+
+TEST_F(ChannelFixture, RetryRecoversFromLossyChannel) {
+  channel.enableAsyncInstall();
+  ControlFaultModel faults;
+  faults.dropProbability = 0.5;
+  channel.setFaultModel(faults);
+  RetryPolicy retry;
+  retry.maxRetries = 16;
+  channel.setRetryPolicy(retry);
+  channel.reseedFaults(42);
+  for (int i = 0; i < 8; ++i) {
+    channel.send({FlowModType::kAdd, sw,
+                  entry(std::string(static_cast<std::size_t>(i + 1), '1'), 2)});
+  }
+  sim.run();
+  EXPECT_EQ(net_.flowTable(sw).size(), 8u) << "retries must deliver every mod";
+  EXPECT_GT(channel.stats().flowModsDropped, 0u) << "channel was not lossy";
+  EXPECT_GT(channel.stats().flowModsRetried, 0u);
+  EXPECT_EQ(channel.stats().flowModsAbandoned, 0u);
+  EXPECT_EQ(channel.outstandingMods(), 0u);
+}
+
+TEST_F(ChannelFixture, DuplicateDeliveryIsIdempotent) {
+  channel.enableAsyncInstall();
+  ControlFaultModel faults;
+  faults.duplicateProbability = 1.0;
+  channel.setFaultModel(faults);
+  channel.send({FlowModType::kAdd, sw, entry("10", 2)});
+  channel.send({FlowModType::kDelete, sw, entry("10", 2)});
+  sim.run();
+  EXPECT_TRUE(net_.flowTable(sw).empty());
+  EXPECT_EQ(channel.stats().flowModsDuplicated, 2u);
+  // Re-applying an identical add / already-done delete is not a failure.
+  EXPECT_EQ(channel.asyncApplyFailures(), 0u);
+}
+
+TEST_F(ChannelFixture, AsyncApplyFailureIsCounted) {
+  channel.enableAsyncInstall();
+  // Modify of a missing entry fails at the switch; the seed silently
+  // discarded the deferred result.
+  channel.send({FlowModType::kModify, sw, entry("10", 2)});
+  sim.run();
+  EXPECT_EQ(channel.asyncApplyFailures(), 1u);
+}
+
+TEST_F(ChannelFixture, BarrierImmediateWhenQuiescent) {
+  int replies = 0;
+  bool okSeen = false;
+  channel.sendBarrier(sw, [&](bool ok) {
+    ++replies;
+    okSeen = ok;
+  });
+  EXPECT_EQ(replies, 1);
+  EXPECT_TRUE(okSeen);
+  EXPECT_EQ(channel.stats().barrierRequests, 1u);
+  EXPECT_EQ(channel.stats().barrierReplies, 1u);
+}
+
+TEST_F(ChannelFixture, BarrierWaitsForOutstandingMods) {
+  channel.enableAsyncInstall();
+  channel.send({FlowModType::kAdd, sw, entry("10", 2)});
+  channel.send({FlowModType::kAdd, sw, entry("11", 2)});
+  int replies = 0;
+  bool okSeen = false;
+  channel.sendBarrier(sw, [&](bool ok) {
+    ++replies;
+    okSeen = ok;
+  });
+  EXPECT_EQ(replies, 0) << "barrier must not fire before the mods land";
+  EXPECT_EQ(channel.outstandingMods(sw), 2u);
+  sim.run();
+  EXPECT_EQ(replies, 1);
+  EXPECT_TRUE(okSeen);
+  EXPECT_TRUE(channel.quiescent(sw));
+}
+
+TEST_F(ChannelFixture, BarrierReportsAbandonedMods) {
+  channel.enableAsyncInstall();
+  ControlFaultModel faults;
+  faults.dropProbability = 1.0;
+  channel.setFaultModel(faults);
+  RetryPolicy retry;
+  retry.maxRetries = 2;
+  retry.initialTimeout = net::kMillisecond;
+  channel.setRetryPolicy(retry);
+  channel.send({FlowModType::kAdd, sw, entry("10", 2)});
+  bool okSeen = true;
+  channel.sendBarrier(sw, [&](bool ok) { okSeen = ok; });
+  sim.run();
+  EXPECT_FALSE(okSeen) << "barrier must report the abandoned mod";
+  EXPECT_EQ(channel.stats().flowModsAbandoned, 1u);
+  EXPECT_EQ(channel.stats().flowModsRetried, 2u);
+}
+
+TEST_F(ChannelFixture, DisconnectedSwitchDropsEverything) {
+  channel.setSwitchConnected(sw, false);
+  EXPECT_FALSE(channel.switchConnected(sw));
+  EXPECT_FALSE(channel.send({FlowModType::kAdd, sw, entry("10", 2)}));
+  channel.sendPacketOut({sw, 1, net::Packet{}});
+  EXPECT_EQ(channel.stats().flowModsDropped, 1u);
+  EXPECT_EQ(channel.stats().packetOutsDropped, 1u);
+  channel.setSwitchConnected(sw, true);
+  EXPECT_TRUE(channel.send({FlowModType::kAdd, sw, entry("10", 2)}));
+  EXPECT_EQ(net_.flowTable(sw).size(), 1u);
+}
+
+TEST_F(ChannelFixture, ExtraDelayDefersAsyncApply) {
+  channel.enableAsyncInstall();
+  ControlFaultModel faults;
+  faults.maxExtraDelay = 10 * net::kMillisecond;
+  channel.setFaultModel(faults);
+  channel.send({FlowModType::kAdd, sw, entry("10", 2)});
+  sim.run();
+  EXPECT_EQ(net_.flowTable(sw).size(), 1u);
+  EXPECT_GE(sim.now(), 2 * net::kMillisecond);  // at least the base latency
+}
+
 TEST_F(ChannelFixture, AddRejectedWhenTableFull) {
   net::NetworkConfig cfg;
   cfg.flowTableCapacity = 1;
