@@ -36,7 +36,7 @@ Numbers runPleroma(std::size_t numSubs, std::uint64_t seed) {
   bench::deploySubscriptions(
       p, std::vector<net::NodeId>(hosts.begin() + 1, hosts.end()), gen, numSubs);
 
-  const auto events = gen.makeEvents(500);
+  const auto events = gen.makeEvents(bench::scaled(500, 100));
   for (const auto& e : events) p.publish(hosts[0], e);
   p.settle();
 
@@ -70,7 +70,7 @@ Numbers runBaseline(std::size_t numSubs, std::uint64_t seed) {
 
   util::RunningStat delay;
   std::uint64_t bytes = 0, matches = 0;
-  const auto events = gen.makeEvents(500);
+  const auto events = gen.makeEvents(bench::scaled(500, 100));
   for (const auto& e : events) {
     const auto r = overlay.publish(hosts[0], e);
     for (const auto& d : r.deliveries) delay.add(static_cast<double>(d.delay));
@@ -93,18 +93,28 @@ Numbers runBaseline(std::size_t numSubs, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Ablation",
-              "PLEROMA vs. broker-overlay baseline (testbed fat-tree, "
-              "zipfian workload)");
-  printRow({"system", "subs", "delay_ms", "bytes_per_event", "routing_entries",
-            "sw_match_ops_per_event"});
-  for (const std::size_t subs : {50u, 200u, 800u}) {
+  BenchTable bench("ablate_baseline_vs_pleroma", "Ablation",
+                   "PLEROMA vs. broker-overlay baseline (testbed fat-tree, "
+                   "zipfian workload)");
+  bench.meta("seed", 71);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "zipfian_subscriptions");
+  bench.beginSeries("baseline_comparison", {{"system", ""},
+                                            {"subs", "count"},
+                                            {"delay_ms", "ms"},
+                                            {"bytes_per_event", "bytes"},
+                                            {"routing_entries", "entries"},
+                                            {"sw_match_ops_per_event", "ops"}});
+  const std::vector<std::size_t> subCounts =
+      smokeMode() ? std::vector<std::size_t>{50}
+                  : std::vector<std::size_t>{50, 200, 800};
+  for (const std::size_t subs : subCounts) {
     const Numbers p = runPleroma(subs, 71);
-    printRow({"pleroma", fmt(subs), fmt(p.delayMs, 3), fmt(p.bytesPerEvent, 0),
-              fmt(p.routingEntries, 0), fmt(p.matchOpsPerEvent, 1)});
+    bench.row({"pleroma", subs, cell(p.delayMs, 3), cell(p.bytesPerEvent, 0),
+               cell(p.routingEntries, 0), cell(p.matchOpsPerEvent, 1)});
     const Numbers b = runBaseline(subs, 71);
-    printRow({"broker", fmt(subs), fmt(b.delayMs, 3), fmt(b.bytesPerEvent, 0),
-              fmt(b.routingEntries, 0), fmt(b.matchOpsPerEvent, 1)});
+    bench.row({"broker", subs, cell(b.delayMs, 3), cell(b.bytesPerEvent, 0),
+               cell(b.routingEntries, 0), cell(b.matchOpsPerEvent, 1)});
   }
   return 0;
 }

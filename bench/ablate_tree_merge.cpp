@@ -47,7 +47,7 @@ Numbers runOnce(std::size_t maxTrees, std::uint64_t seed) {
   }
   bench::deploySubscriptions(p, hosts, gen, 120);
 
-  for (const auto& e : gen.makeEvents(1000)) {
+  for (const auto& e : gen.makeEvents(bench::scaled(1000, 200))) {
     p.publish(advertisers[gen.rng().uniformInt(0, advertisers.size() - 1)], e);
   }
   p.settle();
@@ -84,15 +84,25 @@ Numbers runOnce(std::size_t maxTrees, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Ablation",
-              "tree-merge threshold sweep (24 advertisements, 120 subs, 1000 "
-              "events)");
-  printRow({"max_trees", "trees", "total_flows", "flow_mods", "link_imbalance",
-            "mean_delay_ms"});
-  for (const std::size_t maxTrees : {1u, 2u, 4u, 8u, 16u, 64u}) {
+  BenchTable bench("ablate_tree_merge", "Ablation",
+                   "tree-merge threshold sweep (24 advertisements, 120 subs, 1000 "
+                   "events)");
+  bench.meta("seed", 81);
+  bench.meta("topology", "ring_12");
+  bench.meta("workload", "uniform_24_ads_120_subs");
+  bench.beginSeries("tree_merge_sweep", {{"max_trees", "count"},
+                                         {"trees", "count"},
+                                         {"total_flows", "entries"},
+                                         {"flow_mods", "mods"},
+                                         {"link_imbalance", "ratio"},
+                                         {"mean_delay_ms", "ms"}});
+  const std::vector<std::size_t> sweep =
+      smokeMode() ? std::vector<std::size_t>{1, 64}
+                  : std::vector<std::size_t>{1, 2, 4, 8, 16, 64};
+  for (const std::size_t maxTrees : sweep) {
     const Numbers n = runOnce(maxTrees, 81);
-    printRow({fmt(maxTrees), fmt(n.trees), fmt(n.totalFlows), fmt(n.flowMods),
-              fmt(n.loadImbalance, 2), fmt(n.meanDelayMs, 3)});
+    bench.row({maxTrees, n.trees, n.totalFlows, n.flowMods,
+               cell(n.loadImbalance, 2), cell(n.meanDelayMs, 3)});
   }
   return 0;
 }

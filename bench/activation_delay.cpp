@@ -37,7 +37,8 @@ double measureActivationMs(std::size_t deployed, std::uint64_t seed) {
   p.settle();  // drain the install pipeline
 
   util::RunningStat activation;
-  for (int probe = 0; probe < 20; ++probe) {
+  const int kProbes = bench::scaled(20, 5);
+  for (int probe = 0; probe < kProbes; ++probe) {
     // A fresh subscriber with a known matching event.
     const dz::Rectangle rect = gen.makeSubscription();
     dz::Event inside;
@@ -72,12 +73,19 @@ double measureActivationMs(std::size_t deployed, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Requirement 1",
-              "subscription activation delay (async 1 ms/flow-mod installs) "
-              "vs. deployed subscriptions");
-  printRow({"deployed_subs", "activation_ms"});
-  for (const std::size_t n : {0u, 100u, 1000u, 5000u}) {
-    printRow({fmt(n), fmt(measureActivationMs(n, 13), 2)});
+  BenchTable bench("activation_delay", "Requirement 1",
+                   "subscription activation delay (async 1 ms/flow-mod installs) "
+                   "vs. deployed subscriptions");
+  bench.meta("seed", 13);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "uniform_subscriptions_async_install");
+  bench.beginSeries("activation_delay", {{"deployed_subs", "count"},
+                                         {"activation_ms", "ms"}});
+  const std::vector<std::size_t> sweep =
+      smokeMode() ? std::vector<std::size_t>{0, 100}
+                  : std::vector<std::size_t>{0, 100, 1000, 5000};
+  for (const std::size_t n : sweep) {
+    bench.row({n, cell(measureActivationMs(n, 13), 2)});
   }
   return 0;
 }

@@ -1,14 +1,20 @@
 // Shared helpers for the figure-reproduction harnesses. Every bench binary
 // prints a TSV table (comment lines start with '#') with the same series
-// the corresponding sub-figure of the paper reports.
+// the corresponding sub-figure of the paper reports, and mirrors the table
+// into a machine-readable BENCH_<name>.json through obs::BenchReporter
+// (see src/obs/report.hpp for the schema). The TSV stays byte-identical to
+// the historical output; the JSON is the authoritative artifact.
 #pragma once
 
 #include <concepts>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pleroma.hpp"
+#include "obs/report.hpp"
 #include "workload/workload.hpp"
 
 namespace pleroma::bench {
@@ -34,6 +40,68 @@ template <std::integral T>
 inline std::string fmt(T v) {
   return std::to_string(v);
 }
+
+/// A double cell rendered with fixed precision, matching the fmt() text
+/// the TSV always printed while keeping the full value in the JSON.
+inline obs::Cell cell(double v, int precision = 2) {
+  return obs::Cell(obs::JsonValue(v), fmt(v, precision));
+}
+
+/// True when PLEROMA_BENCH_SMOKE is set (non-empty, not "0"): benches
+/// shrink their sweeps so CI can execute every binary in seconds. Smoke
+/// runs exercise the code paths and the report schema; they do not
+/// reproduce the figures.
+inline bool smokeMode() {
+  const char* v = std::getenv("PLEROMA_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+}
+
+/// `full` normally, `smoke` under PLEROMA_BENCH_SMOKE.
+template <typename T>
+inline T scaled(T full, T smoke) {
+  return smokeMode() ? smoke : full;
+}
+
+/// Routes one bench's output to both sinks: the historical TSV on stdout
+/// and a BENCH_<name>.json written on destruction. Benches set the
+/// required metadata (seed/topology/workload) right after construction.
+class BenchTable {
+ public:
+  BenchTable(std::string name, const char* figure, const char* description)
+      : reporter_(std::move(name)) {
+    printHeader(figure, description);
+    reporter_.meta("figure", figure);
+    reporter_.meta("description", description);
+    reporter_.meta("smoke", smokeMode());
+  }
+
+  void meta(const std::string& key, obs::JsonValue v) {
+    reporter_.meta(key, std::move(v));
+  }
+
+  /// Starts a series and prints its column names as the TSV header row.
+  void beginSeries(std::string name, std::vector<obs::Column> columns) {
+    std::vector<std::string> header;
+    header.reserve(columns.size());
+    for (const obs::Column& c : columns) header.push_back(c.name);
+    printRow(header);
+    reporter_.beginSeries(std::move(name), std::move(columns));
+  }
+
+  /// Appends a row to both the TSV and the current JSON series.
+  void row(std::vector<obs::Cell> cells) {
+    std::vector<std::string> texts;
+    texts.reserve(cells.size());
+    for (const obs::Cell& c : cells) texts.push_back(c.text);
+    printRow(texts);
+    reporter_.row(std::move(cells));
+  }
+
+  obs::BenchReporter& reporter() noexcept { return reporter_; }
+
+ private:
+  obs::BenchReporter reporter_;
+};
 
 /// Splits `n` subscriptions among `hosts` round-robin, as the testbed
 /// experiments do ("divided among different end hosts", Sec 6.2).

@@ -45,7 +45,8 @@ Numbers runOnce(std::size_t fleetSize, std::uint64_t seed) {
   }
 
   util::RunningStat mods;
-  for (int tick = 0; tick < 20; ++tick) {
+  const int kTicks = bench::scaled(20, 5);
+  for (int tick = 0; tick < kTicks; ++tick) {
     // Traffic between updates.
     for (int e = 0; e < 20; ++e) p.publish(hosts[0], gen.makeEvent());
     p.settle();
@@ -72,15 +73,23 @@ Numbers runOnce(std::size_t fleetSize, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Churn",
-              "parametric-subscription churn: moving windows re-subscribing "
-              "each tick (20 ticks, 20 events/tick)");
-  printRow({"moving_subscribers", "mean_mods_per_update", "updates_per_sec",
-            "fpr_percent"});
-  for (const std::size_t fleet : {1u, 4u, 16u, 64u}) {
+  BenchTable bench("churn_reconfig", "Churn",
+                   "parametric-subscription churn: moving windows re-subscribing "
+                   "each tick (20 ticks, 20 events/tick)");
+  bench.meta("seed", 61);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "moving_window_fleet");
+  bench.beginSeries("churn", {{"moving_subscribers", "count"},
+                              {"mean_mods_per_update", "mods"},
+                              {"updates_per_sec", "1/s"},
+                              {"fpr_percent", "%"}});
+  const std::vector<std::size_t> fleets =
+      smokeMode() ? std::vector<std::size_t>{1, 4}
+                  : std::vector<std::size_t>{1, 4, 16, 64};
+  for (const std::size_t fleet : fleets) {
     const Numbers n = runOnce(fleet, 61);
-    printRow({fmt(fleet), fmt(n.meanModsPerUpdate, 1),
-              fmt(n.updatesPerSecond, 1), fmt(n.fprPercent, 1)});
+    bench.row({fleet, cell(n.meanModsPerUpdate, 1), cell(n.updatesPerSecond, 1),
+               cell(n.fprPercent, 1)});
   }
   return 0;
 }

@@ -3,7 +3,8 @@
 // periodic reconciler repair the damage. Reports the retry/abandon counts,
 // the reconciliation effort, and the event-loss window — how long after
 // deployment publishes still miss matching subscribers — per drop rate.
-// Emits the usual TSV table plus a trailing machine-readable JSON summary.
+// The machine-readable summary lands in BENCH_control_plane_loss.json via
+// the shared reporter, like every other bench.
 #include "bench_common.hpp"
 
 #include <set>
@@ -87,7 +88,8 @@ Numbers runOnce(double dropProb, int maxRetries, std::uint64_t seed) {
 
   Numbers n;
   n.dropPct = dropProb * 100;
-  for (int round = 0; round < 256; ++round) {
+  const int kMaxRounds = bench::scaled(256, 32);
+  for (int round = 0; round < kMaxRounds; ++round) {
     const net::SimTime roundStart = sim.now();
     bool anyMiss = false;
     for (const dz::Event& e : probes) {
@@ -125,37 +127,34 @@ Numbers runOnce(double dropProb, int maxRetries, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Control-plane loss",
-              "lossy control channel sweep: retries, reconciliation effort, "
-              "and event-loss window vs drop rate (24 subscriptions, "
-              "testbed fat-tree, retry budget 3 vs fire-and-forget, "
-              "2ms anti-entropy period)");
-  printRow({"retries", "drop_pct", "mods_sent", "dropped", "retried",
-            "abandoned", "reconcile_rounds", "repair_mods", "loss_window_ms"});
-  const double drops[] = {0.0, 0.05, 0.10, 0.15, 0.20};
+  BenchTable bench("control_plane_loss", "Control-plane loss",
+                   "lossy control channel sweep: retries, reconciliation effort, "
+                   "and event-loss window vs drop rate (24 subscriptions, "
+                   "testbed fat-tree, retry budget 3 vs fire-and-forget, "
+                   "2ms anti-entropy period)");
+  bench.meta("seed", 101);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "uniform_24_subscriptions_lossy_channel");
+  bench.beginSeries("loss_sweep", {{"retries", "count"},
+                                   {"drop_pct", "%"},
+                                   {"mods_sent", "mods"},
+                                   {"dropped", "mods"},
+                                   {"retried", "mods"},
+                                   {"abandoned", "mods"},
+                                   {"reconcile_rounds", "rounds"},
+                                   {"repair_mods", "mods"},
+                                   {"loss_window_ms", "ms"}});
+  const std::vector<double> drops =
+      smokeMode() ? std::vector<double>{0.0, 0.10}
+                  : std::vector<double>{0.0, 0.05, 0.10, 0.15, 0.20};
   const int retryBudgets[] = {3, 0};  // 0 = fire-and-forget, anti-entropy only
-  std::string json = "{\"bench\":\"control_plane_loss\",\"rows\":[";
-  bool first = true;
   for (const int retries : retryBudgets) {
     for (const double d : drops) {
       const Numbers n = runOnce(d, retries, 101);
-      printRow({fmt(retries), fmt(n.dropPct, 0), fmt(n.modsSent),
-                fmt(n.dropped), fmt(n.retried), fmt(n.abandoned),
-                fmt(n.reconcileRounds), fmt(n.repairMods),
-                fmt(n.lossWindowMs, 1)});
-      json += std::string(first ? "" : ",") + "{\"retries\":" + fmt(retries) +
-              ",\"drop_pct\":" + fmt(n.dropPct, 0) +
-              ",\"mods_sent\":" + fmt(n.modsSent) +
-              ",\"dropped\":" + fmt(n.dropped) +
-              ",\"retried\":" + fmt(n.retried) +
-              ",\"abandoned\":" + fmt(n.abandoned) +
-              ",\"reconcile_rounds\":" + fmt(n.reconcileRounds) +
-              ",\"repair_mods\":" + fmt(n.repairMods) +
-              ",\"loss_window_ms\":" + fmt(n.lossWindowMs, 1) + "}";
-      first = false;
+      bench.row({retries, cell(n.dropPct, 0), n.modsSent, n.dropped, n.retried,
+                 n.abandoned, n.reconcileRounds, n.repairMods,
+                 cell(n.lossWindowMs, 1)});
     }
   }
-  json += "]}";
-  std::printf("%s\n", json.c_str());
   return 0;
 }

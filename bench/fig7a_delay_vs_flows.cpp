@@ -103,7 +103,7 @@ double runOnce(int nFlows, bool zipfian, std::uint64_t seed) {
 
   util::Rng rng(seed);
   util::ZipfSampler zipf(dzs.size(), 1.0);
-  const int kEvents = 10000;
+  const int kEvents = bench::scaled(10000, 500);
   const net::SimTime interval = 100 * net::kMicrosecond;  // constant rate
   for (int i = 0; i < kEvents; ++i) {
     sim.schedule(i * interval, [&network, &dzs, &rng, &zipf, zipfian, pub] {
@@ -126,11 +126,21 @@ double runOnce(int nFlows, bool zipfian, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Fig 7(a)",
-              "end-to-end delay vs. flow table size, longest path, 10k events");
-  printRow({"flows", "delay_ms_uniform", "delay_ms_zipfian"});
-  for (const int n : {5000, 10000, 20000, 40000, 80000}) {
-    printRow({fmt(n), fmt(runOnce(n, false, 1), 3), fmt(runOnce(n, true, 2), 3)});
+  BenchTable bench("fig7a",
+                   "Fig 7(a)",
+                   "end-to-end delay vs. flow table size, longest path, 10k events");
+  bench.meta("seed", 1);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "synthetic_flow_fill_uniform_and_zipfian");
+  bench.beginSeries("delay_vs_flows", {{"flows", "entries"},
+                                       {"delay_ms_uniform", "ms"},
+                                       {"delay_ms_zipfian", "ms"}});
+  const std::vector<int> sweep = smokeMode()
+                                     ? std::vector<int>{2000}
+                                     : std::vector<int>{5000, 10000, 20000,
+                                                        40000, 80000};
+  for (const int n : sweep) {
+    bench.row({n, cell(runOnce(n, false, 1), 3), cell(runOnce(n, true, 2), 3)});
   }
   return 0;
 }

@@ -57,7 +57,7 @@ double runOnce(std::size_t numSubs, workload::Model model, std::uint64_t seed) {
     delay.add(static_cast<double>(r.latency));
   });
 
-  const int kEvents = 2000;
+  const int kEvents = bench::scaled(2000, 200);
   for (int i = 0; i < kEvents; ++i) {
     p.simulator().schedule(i * 200 * net::kMicrosecond, [&p, &gen, &hosts] {
       p.publish(hosts[0], gen.makeEvent());
@@ -72,11 +72,20 @@ double runOnce(std::size_t numSubs, workload::Model model, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Fig 7(b)", "end-to-end delay vs. number of subscriptions");
-  printRow({"subscriptions", "delay_ms_uniform", "delay_ms_zipfian"});
-  for (const std::size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
-    printRow({fmt(n), fmt(runOnce(n, workload::Model::kUniform, 11), 3),
-              fmt(runOnce(n, workload::Model::kZipfian, 12), 3)});
+  BenchTable bench("fig7b", "Fig 7(b)",
+                   "end-to-end delay vs. number of subscriptions");
+  bench.meta("seed", 11);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "uniform_and_zipfian_subscriptions");
+  bench.beginSeries("delay_vs_subs", {{"subscriptions", "count"},
+                                      {"delay_ms_uniform", "ms"},
+                                      {"delay_ms_zipfian", "ms"}});
+  const std::vector<std::size_t> sweep =
+      smokeMode() ? std::vector<std::size_t>{500}
+                  : std::vector<std::size_t>{1000, 2000, 4000, 8000, 16000};
+  for (const std::size_t n : sweep) {
+    bench.row({n, cell(runOnce(n, workload::Model::kUniform, 11), 3),
+               cell(runOnce(n, workload::Model::kZipfian, 12), 3)});
   }
   return 0;
 }

@@ -31,7 +31,9 @@ double runOnce(int dzLen, std::size_t numSubs, workload::Model model,
   bench::deploySubscriptions(
       p, std::vector<net::NodeId>(hosts.begin() + 1, hosts.end()), gen, numSubs);
 
-  for (const auto& e : gen.makeEvents(2000)) p.publish(hosts[0], e);
+  for (const auto& e : gen.makeEvents(bench::scaled(2000, 200))) {
+    p.publish(hosts[0], e);
+  }
   p.settle();
   return 100.0 * p.deliveryStats().falsePositiveRate();
 }
@@ -40,17 +42,28 @@ double runOnce(int dzLen, std::size_t numSubs, workload::Model model,
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Fig 7(d)", "false positive rate (%) vs. dz length");
-  printRow({"dz_length", "uniform_100sub", "uniform_400sub", "uniform_1600sub",
-            "zipfian_100sub", "zipfian_400sub", "zipfian_1600sub"});
-  for (const int len : {2, 4, 6, 8, 12, 16, 20, 24}) {
-    std::vector<std::string> row{fmt(len)};
+  BenchTable bench("fig7d", "Fig 7(d)", "false positive rate (%) vs. dz length");
+  bench.meta("seed", 21);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "uniform_and_zipfian_100_400_1600_subs");
+  bench.beginSeries("fpr_vs_dzlen", {{"dz_length", "bits"},
+                                     {"uniform_100sub", "%"},
+                                     {"uniform_400sub", "%"},
+                                     {"uniform_1600sub", "%"},
+                                     {"zipfian_100sub", "%"},
+                                     {"zipfian_400sub", "%"},
+                                     {"zipfian_1600sub", "%"}});
+  const std::vector<int> lens = smokeMode()
+                                    ? std::vector<int>{4, 12}
+                                    : std::vector<int>{2, 4, 6, 8, 12, 16, 20, 24};
+  for (const int len : lens) {
+    std::vector<obs::Cell> row{len};
     for (const auto model : {workload::Model::kUniform, workload::Model::kZipfian}) {
       for (const std::size_t subs : {100u, 400u, 1600u}) {
-        row.push_back(fmt(runOnce(len, subs, model, 21), 1));
+        row.push_back(cell(runOnce(len, subs, model, 21), 1));
       }
     }
-    printRow(row);
+    bench.row(std::move(row));
   }
   return 0;
 }

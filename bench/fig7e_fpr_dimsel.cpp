@@ -56,7 +56,9 @@ double runOnce(int k, const std::vector<int>& uninformative, std::uint64_t seed)
   bench::deploySubscriptions(
       p, std::vector<net::NodeId>(hosts.begin() + 1, hosts.end()), gen, 200);
 
-  for (const auto& e : gen.makeEvents(1500)) p.publish(hosts[0], e);
+  for (const auto& e : gen.makeEvents(bench::scaled(1500, 200))) {
+    p.publish(hosts[0], e);
+  }
   p.settle();
   return 100.0 * p.deliveryStats().falsePositiveRate();
 }
@@ -65,22 +67,28 @@ double runOnce(int k, const std::vector<int>& uninformative, std::uint64_t seed)
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Fig 7(e)",
-              "false positive rate (%) vs. number of selected dimensions "
-              "(7-dim space, three variance-restricted zipfian workloads)");
-  printRow({"selected_dims", "zipfian1_5informative", "zipfian2_3informative",
-            "zipfian3_1informative"});
+  BenchTable bench("fig7e", "Fig 7(e)",
+                   "false positive rate (%) vs. number of selected dimensions "
+                   "(7-dim space, three variance-restricted zipfian workloads)");
+  bench.meta("seed", 31);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "zipfian_variance_restricted_7dim");
+  bench.beginSeries("fpr_vs_selected_dims", {{"selected_dims", "count"},
+                                             {"zipfian1_5informative", "%"},
+                                             {"zipfian2_3informative", "%"},
+                                             {"zipfian3_1informative", "%"}});
   const std::vector<std::vector<int>> workloads = {
       {5, 6},           // 5 informative dims
       {3, 4, 5, 6},     // 3 informative dims
       {1, 2, 3, 4, 5, 6}  // 1 informative dim
   };
-  for (int k = 1; k <= kAttrs; ++k) {
-    std::vector<std::string> row{fmt(k)};
+  const int kMax = smokeMode() ? 2 : kAttrs;
+  for (int k = 1; k <= kMax; ++k) {
+    std::vector<obs::Cell> row{k};
     for (std::size_t wl = 0; wl < workloads.size(); ++wl) {
-      row.push_back(fmt(runOnce(k, workloads[wl], 31 + wl), 1));
+      row.push_back(cell(runOnce(k, workloads[wl], 31 + wl), 1));
     }
-    printRow(row);
+    bench.row(std::move(row));
   }
   return 0;
 }

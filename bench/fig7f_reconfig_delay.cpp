@@ -50,7 +50,7 @@ Row runOnce(std::size_t deployed, std::uint64_t seed) {
       p, std::vector<net::NodeId>(hosts.begin() + 1, hosts.end()), gen, deployed);
 
   util::RunningStat flowMods, wallUs, modeledMs;
-  const int kProbes = 100;
+  const int kProbes = bench::scaled(100, 10);
   for (int i = 0; i < kProbes; ++i) {
     const auto host = hosts[1 + static_cast<std::size_t>(i) % (hosts.size() - 1)];
     const dz::Rectangle rect = gen.makeSubscription();
@@ -73,15 +73,24 @@ Row runOnce(std::size_t deployed, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Fig 7(f)",
-              "reconfiguration delay per new subscription vs. subscriptions "
-              "already deployed");
-  printRow({"deployed_subs", "mean_flow_mods", "controller_wall_us",
-            "switch_install_ms", "subs_per_sec"});
-  for (const std::size_t n : {100u, 1000u, 5000u, 10000u, 25000u}) {
+  BenchTable bench("fig7f", "Fig 7(f)",
+                   "reconfiguration delay per new subscription vs. subscriptions "
+                   "already deployed");
+  bench.meta("seed", 41);
+  bench.meta("topology", "testbed_fat_tree");
+  bench.meta("workload", "uniform_6dim_narrow_subscriptions");
+  bench.beginSeries("reconfig_delay", {{"deployed_subs", "count"},
+                                       {"mean_flow_mods", "mods"},
+                                       {"controller_wall_us", "us"},
+                                       {"switch_install_ms", "ms"},
+                                       {"subs_per_sec", "1/s"}});
+  const std::vector<std::size_t> sweep =
+      smokeMode() ? std::vector<std::size_t>{100}
+                  : std::vector<std::size_t>{100, 1000, 5000, 10000, 25000};
+  for (const std::size_t n : sweep) {
     const Row r = runOnce(n, 41);
-    printRow({fmt(n), fmt(r.meanFlowMods, 1), fmt(r.meanWallUs, 1),
-              fmt(r.meanModeledMs, 2), fmt(r.subsPerSec, 1)});
+    bench.row({n, cell(r.meanFlowMods, 1), cell(r.meanWallUs, 1),
+               cell(r.meanModeledMs, 2), cell(r.subsPerSec, 1)});
   }
   return 0;
 }

@@ -78,22 +78,28 @@ Measured runOnce(int controllers, std::size_t numSubs, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Fig 7(g)",
-              "normalized avg controller overhead vs. number of controllers "
-              "(ring of 20 switches, uniform subscriptions)");
-  printRow({"controllers", "norm_overhead_100sub", "norm_overhead_200sub",
-            "norm_overhead_400sub"});
+  BenchTable bench("fig7g", "Fig 7(g)",
+                   "normalized avg controller overhead vs. number of controllers "
+                   "(ring of 20 switches, uniform subscriptions)");
+  bench.meta("seed", 51);
+  bench.meta("topology", "ring_20");
+  bench.meta("workload", "uniform_subscriptions_100_200_400");
+  bench.beginSeries("controller_overhead", {{"controllers", "count"},
+                                            {"norm_overhead_100sub", "%"},
+                                            {"norm_overhead_200sub", "%"},
+                                            {"norm_overhead_400sub", "%"}});
   const std::vector<std::size_t> subCounts = {100, 200, 400};
   std::vector<double> baselineOverhead(subCounts.size(), 1.0);
-  for (int k = 1; k <= 10; ++k) {
-    std::vector<std::string> row{fmt(k)};
+  const int kMax = smokeMode() ? 3 : 10;
+  for (int k = 1; k <= kMax; ++k) {
+    std::vector<obs::Cell> row{k};
     for (std::size_t si = 0; si < subCounts.size(); ++si) {
       const Measured m = runOnce(k, subCounts[si], 51 + si);
       if (k == 1) baselineOverhead[si] = m.avgOverheadPerController;
       row.push_back(
-          fmt(100.0 * m.avgOverheadPerController / baselineOverhead[si], 1));
+          cell(100.0 * m.avgOverheadPerController / baselineOverhead[si], 1));
     }
-    printRow(row);
+    bench.row(std::move(row));
   }
   return 0;
 }

@@ -68,26 +68,34 @@ Measured runOnce(int controllers, std::size_t numSubs, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Fig 7(g)+(h), fat-tree variant",
-              "k=6 fat-tree (45 switches) partitioned by pods; normalized "
-              "per-controller overhead and total control traffic");
-  printRow({"controllers", "norm_overhead_200sub", "norm_traffic_200sub",
-            "norm_overhead_400sub", "norm_traffic_400sub"});
+  BenchTable bench("fig7gh_fattree", "Fig 7(g)+(h), fat-tree variant",
+                   "k=6 fat-tree (45 switches) partitioned by pods; normalized "
+                   "per-controller overhead and total control traffic");
+  bench.meta("seed", 91);
+  bench.meta("topology", "kary_6_fat_tree");
+  bench.meta("workload", "uniform_subscriptions_200_400");
+  bench.beginSeries("fattree_overhead_and_traffic",
+                    {{"controllers", "count"},
+                     {"norm_overhead_200sub", "%"},
+                     {"norm_traffic_200sub", "%"},
+                     {"norm_overhead_400sub", "%"},
+                     {"norm_traffic_400sub", "%"}});
   const std::vector<std::size_t> subCounts = {200, 400};
   std::vector<double> baseOverhead(subCounts.size(), 1.0);
   std::vector<double> baseTraffic(subCounts.size(), 1.0);
-  for (int k = 1; k <= 6; ++k) {
-    std::vector<std::string> row{fmt(k)};
+  const int kMax = smokeMode() ? 2 : 6;
+  for (int k = 1; k <= kMax; ++k) {
+    std::vector<obs::Cell> row{k};
     for (std::size_t si = 0; si < subCounts.size(); ++si) {
       const Measured m = runOnce(k, subCounts[si], 91 + si);
       if (k == 1) {
         baseOverhead[si] = m.avgOverheadPerController;
         baseTraffic[si] = m.totalControlTraffic;
       }
-      row.push_back(fmt(100.0 * m.avgOverheadPerController / baseOverhead[si], 1));
-      row.push_back(fmt(100.0 * m.totalControlTraffic / baseTraffic[si], 1));
+      row.push_back(cell(100.0 * m.avgOverheadPerController / baseOverhead[si], 1));
+      row.push_back(cell(100.0 * m.totalControlTraffic / baseTraffic[si], 1));
     }
-    printRow(row);
+    bench.row(std::move(row));
   }
   return 0;
 }

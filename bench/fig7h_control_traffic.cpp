@@ -55,20 +55,26 @@ double runOnce(int controllers, std::size_t numSubs, std::uint64_t seed) {
 
 int main() {
   using namespace pleroma::bench;
-  printHeader("Fig 7(h)",
-              "normalized total control traffic vs. number of controllers");
-  printRow({"controllers", "norm_traffic_100sub", "norm_traffic_200sub",
-            "norm_traffic_400sub"});
+  BenchTable bench("fig7h", "Fig 7(h)",
+                   "normalized total control traffic vs. number of controllers");
+  bench.meta("seed", 61);
+  bench.meta("topology", "ring_20");
+  bench.meta("workload", "uniform_subscriptions_100_200_400");
+  bench.beginSeries("control_traffic", {{"controllers", "count"},
+                                        {"norm_traffic_100sub", "%"},
+                                        {"norm_traffic_200sub", "%"},
+                                        {"norm_traffic_400sub", "%"}});
   const std::vector<std::size_t> subCounts = {100, 200, 400};
   std::vector<double> baseline(subCounts.size(), 1.0);
-  for (int k = 1; k <= 10; ++k) {
-    std::vector<std::string> row{fmt(k)};
+  const int kMax = smokeMode() ? 3 : 10;
+  for (int k = 1; k <= kMax; ++k) {
+    std::vector<obs::Cell> row{k};
     for (std::size_t si = 0; si < subCounts.size(); ++si) {
       const double total = runOnce(k, subCounts[si], 61 + si);
       if (k == 1) baseline[si] = total;
-      row.push_back(fmt(100.0 * total / baseline[si], 1));
+      row.push_back(cell(100.0 * total / baseline[si], 1));
     }
-    printRow(row);
+    bench.row(std::move(row));
   }
   return 0;
 }

@@ -1,0 +1,60 @@
+// Bridges the google-benchmark micro-benchmarks onto the shared
+// BENCH_<name>.json reporter. The ConsoleReporter subclass keeps the usual
+// console table while mirroring every run into one "benchmarks" series
+// (per-iteration real/cpu time in ns); runMicroBench() is the drop-in
+// replacement for BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace pleroma::bench {
+
+class JsonBridgeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBridgeReporter(obs::BenchReporter& out) : out_(out) {
+    out_.beginSeries("benchmarks", {{"name", ""},
+                                    {"iterations", "count"},
+                                    {"real_ns_per_iter", "ns"},
+                                    {"cpu_ns_per_iter", "ns"},
+                                    {"label", ""}});
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.iterations == 0) continue;
+      const double iters = static_cast<double>(run.iterations);
+      out_.row({run.benchmark_name(),
+                static_cast<unsigned long long>(run.iterations),
+                run.real_accumulated_time / iters * 1e9,
+                run.cpu_accumulated_time / iters * 1e9, run.report_label});
+    }
+  }
+
+ private:
+  obs::BenchReporter& out_;
+};
+
+/// BENCHMARK_MAIN() with JSON reporting: runs the registered benchmarks
+/// through the bridge and writes BENCH_<name>.json alongside the console
+/// output. Micro-benchmarks have no topology/workload; the metadata says
+/// so explicitly rather than omitting the required keys.
+inline int runMicroBench(const char* name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  obs::BenchReporter reporter(name);
+  reporter.meta("seed", 0);
+  reporter.meta("topology", "none");
+  reporter.meta("workload", "micro");
+  JsonBridgeReporter bridge(reporter);
+  benchmark::RunSpecifiedBenchmarks(&bridge);
+  benchmark::Shutdown();
+  return reporter.finish() ? 0 : 1;
+}
+
+}  // namespace pleroma::bench

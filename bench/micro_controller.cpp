@@ -3,6 +3,8 @@
 // sizes, advertisement processing, and the dz-trie subscription index.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "controller/controller.hpp"
 #include "dz/dz_trie.hpp"
 #include "workload/workload.hpp"
@@ -120,4 +122,6 @@ BENCHMARK(BM_DzTrieOverlapQuery)->Arg(100)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pleroma::bench::runMicroBench("micro_controller", argc, argv);
+}

@@ -3,6 +3,8 @@
 // subscription and flow decision.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "dz/dz_set.hpp"
 #include "dz/event_space.hpp"
 #include "dz/ip_encoding.hpp"
@@ -94,4 +96,6 @@ BENCHMARK(BM_DzToPrefixEncode);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pleroma::bench::runMicroBench("micro_dz", argc, argv);
+}

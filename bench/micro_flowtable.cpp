@@ -3,7 +3,10 @@
 // flat curve of Fig 7(a).
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "net/flow_table.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -63,6 +66,45 @@ void BM_FlowTableLookupNestedPriorities(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowTableLookupNestedPriorities);
 
+/// The observability acceptance gate: lookup cost with metrics never
+/// attached vs. attached-but-disabled vs. enabled. The disabled variant
+/// must stay within 2% of the detached baseline (the per-family enable
+/// flag is one relaxed atomic load behind a null check).
+void BM_FlowTableLookupObs(benchmark::State& state) {
+  enum Mode { kDetached = 0, kDisabled = 1, kEnabled = 2 };
+  const auto mode = static_cast<Mode>(state.range(0));
+  const int n = 10000;
+  net::FlowTable table;
+  for (int i = 0; i < n; ++i) {
+    net::FlowEntry e;
+    e.match = dz::dzToPrefix(nthDz(i, 17));
+    e.priority = 17;
+    e.actions.push_back(net::FlowAction{2, std::nullopt});
+    table.insert(e);
+  }
+  obs::MetricsRegistry reg;
+  if (mode != kDetached) {
+    table.attachMetrics(reg);
+    reg.setFamilyEnabled("flow_table", mode == kEnabled);
+  }
+  util::Rng rng(9);
+  std::vector<dz::Ipv6Address> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(dz::dzToAddress(
+        nthDz(static_cast<int>(rng.uniformInt(0, static_cast<std::uint64_t>(n - 1))),
+              17)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probes[i % 1024]));
+    ++i;
+  }
+  state.SetLabel(mode == kDetached ? "metrics detached"
+                 : mode == kDisabled ? "metrics attached, family disabled"
+                                     : "metrics enabled");
+}
+BENCHMARK(BM_FlowTableLookupObs)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_FlowTableInsert(benchmark::State& state) {
   std::size_t round = 0;
   for (auto _ : state) {
@@ -84,4 +126,6 @@ BENCHMARK(BM_FlowTableInsert);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pleroma::bench::runMicroBench("micro_flowtable", argc, argv);
+}

@@ -1,0 +1,38 @@
+// Validates BENCH_*.json reports against the pleroma-bench-v1 schema
+// (obs::BenchReporter::validate). CI runs the smoke benches and feeds the
+// resulting files through this; exit status is non-zero on the first
+// unparsable or non-conforming file.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_<name>.json...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    const auto doc = pleroma::obs::JsonValue::parse(buf.str(), &error);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "%s: parse error: %s\n", argv[i], error.c_str());
+      return 1;
+    }
+    if (!pleroma::obs::BenchReporter::validate(*doc, &error)) {
+      std::fprintf(stderr, "%s: schema violation: %s\n", argv[i], error.c_str());
+      return 1;
+    }
+    std::printf("%s: ok\n", argv[i]);
+  }
+  return 0;
+}

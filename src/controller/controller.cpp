@@ -52,7 +52,7 @@ PublisherId Controller::advertise(net::NodeId host, const dz::Rectangle& rect) {
 PublisherId Controller::advertiseEndpoint(const Endpoint& endpoint,
                                           const dz::DzSet& dzSet,
                                           std::optional<dz::Rectangle> rect) {
-  OpStats snapshot = beginOp();
+  OpStats snapshot = beginOp("op.advertise");
   const PublisherId id = nextPublisher_++;
   advertisements_.emplace(id, AdvRecord{endpoint, dzSet, std::move(rect)});
   runAdvertise(id);
@@ -68,7 +68,7 @@ SubscriptionId Controller::subscribe(net::NodeId host, const dz::Rectangle& rect
 SubscriptionId Controller::subscribeEndpoint(const Endpoint& endpoint,
                                              const dz::DzSet& dzSet,
                                              std::optional<dz::Rectangle> rect) {
-  OpStats snapshot = beginOp();
+  OpStats snapshot = beginOp("op.subscribe");
   const SubscriptionId id = nextSubscription_++;
   subscriptions_.emplace(id, SubRecord{endpoint, dzSet, std::move(rect)});
   for (const dz::DzExpression& d : dzSet) subscriptionIndex_.insert(d, id);
@@ -80,7 +80,7 @@ SubscriptionId Controller::subscribeEndpoint(const Endpoint& endpoint,
 void Controller::unsubscribe(SubscriptionId id) {
   const auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return;
-  OpStats snapshot = beginOp();
+  OpStats snapshot = beginOp("op.unsubscribe");
   removePaths(registry_.pathsOfSubscription(id));
   for (const dz::DzExpression& d : it->second.dzSet) {
     subscriptionIndex_.erase(d, id);
@@ -92,7 +92,7 @@ void Controller::unsubscribe(SubscriptionId id) {
 void Controller::unadvertise(PublisherId id) {
   const auto it = advertisements_.find(id);
   if (it == advertisements_.end()) return;
-  OpStats snapshot = beginOp();
+  OpStats snapshot = beginOp("op.unadvertise");
   removePaths(registry_.pathsOfPublisher(id));
   for (auto& tree : trees_) tree->removePublisher(id);
   // Trees left without any publisher carry no traffic; retire them so their
@@ -117,6 +117,7 @@ void Controller::runAdvertise(PublisherId id) {
       if (overlap.empty()) continue;
       tree->addPublisher(id, overlap);
       ++lastOp_.treesJoined;
+      if (obsTreesJoined_ != nullptr) obsTreesJoined_->inc();
       addFlowMultSub(id, overlap, *tree);
       covered.unionWith(overlap);
     }
@@ -128,6 +129,7 @@ void Controller::runAdvertise(PublisherId id) {
           nextTreeId_++, uncovered, adv.endpoint.attachSwitch,
           network_.topology(), activeInternalLinks()));
       ++lastOp_.treesCreated;
+      if (obsTreesCreated_ != nullptr) obsTreesCreated_->inc();
       SpanningTree& tn = *trees_.back();
       tn.addPublisher(id, uncovered);
       addFlowMultSub(id, uncovered, tn);
@@ -221,6 +223,7 @@ void Controller::mergeTreesIfNeeded() {
 
 void Controller::mergeTreePair(std::size_t idxA, std::size_t idxB) {
   assert(idxA != idxB);
+  if (obsTreeMerges_ != nullptr) obsTreeMerges_->inc();
   SpanningTree& ta = *trees_[idxA];
   SpanningTree& tb = *trees_[idxB];
 
@@ -300,6 +303,7 @@ bool Controller::rerootTree(int treeId, net::NodeId newRoot) {
       scope_.switches.end()) {
     return false;
   }
+  if (obsReroots_ != nullptr) obsReroots_->inc();
   rebuildTreeAt(treeId, newRoot);
   return true;
 }
@@ -436,6 +440,7 @@ void Controller::rebuildTree(int treeId) {
 }
 
 void Controller::rebuildTreeAt(int treeId, net::NodeId root) {
+  if (obsTreeRebuilds_ != nullptr) obsTreeRebuilds_->inc();
   const auto it = findTree(trees_, treeId);
   assert(it != trees_.end());
   SpanningTree& old = **it;
@@ -515,6 +520,7 @@ net::Packet Controller::makeEventPacket(net::NodeId publisherHost,
 // ---- re-indexing (Sec 5) --------------------------------------------------
 
 void Controller::reindex(const std::vector<int>& dims) {
+  if (obsReindexes_ != nullptr) obsReindexes_->inc();
   space_.setIndexedDimensions(dims);
 
   // Regenerate DZ for every rectangle-based registration; raw-DZ
@@ -561,7 +567,7 @@ dz::DzSet Controller::subscriptionUnion() const {
   return out;
 }
 
-OpStats Controller::beginOp() {
+OpStats Controller::beginOp(const char* opName) {
   OpStats snapshot;
   const auto& s = channel_.stats();
   snapshot.flowAdds = s.flowAdds;
@@ -569,6 +575,14 @@ OpStats Controller::beginOp() {
   snapshot.flowDeletes = s.flowDeletes;
   snapshot.modeledInstallTime = channel_.modeledInstallTime();
   lastOp_ = OpStats{};
+  if (obsOps_ != nullptr) obsOps_->inc();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The op span is the ambient context for every flow-mod record the
+    // control channel emits until endOp.
+    opSpan_ = tracer_->begin(tracer_->newTraceId(), obs::kNoSpan, opName,
+                             network_.simulator().now());
+    tracer_->pushContext(opSpan_);
+  }
   return snapshot;
 }
 
@@ -579,6 +593,37 @@ void Controller::endOp(OpStats& snapshot) {
   lastOp_.flowDeletes = s.flowDeletes - snapshot.flowDeletes;
   lastOp_.modeledInstallTime =
       channel_.modeledInstallTime() - snapshot.modeledInstallTime;
+  if (obsOpFlowMods_ != nullptr) {
+    obsOpFlowMods_->record(static_cast<double>(lastOp_.totalFlowMods()));
+    obsOpInstallTime_->record(static_cast<double>(lastOp_.modeledInstallTime));
+  }
+  if (opSpan_ != obs::kNoSpan && tracer_ != nullptr) {
+    tracer_->annotate(opSpan_, "flow_mods",
+                      std::to_string(lastOp_.totalFlowMods()));
+    tracer_->annotate(opSpan_, "trees_created",
+                      std::to_string(lastOp_.treesCreated));
+    tracer_->annotate(opSpan_, "trees_joined",
+                      std::to_string(lastOp_.treesJoined));
+    tracer_->popContext();
+    tracer_->end(opSpan_, network_.simulator().now());
+    opSpan_ = obs::kNoSpan;
+  }
+}
+
+void Controller::attachObservability(obs::MetricsRegistry& reg,
+                                     obs::Tracer* tracer) {
+  tracer_ = tracer;
+  obsOps_ = &reg.counter("controller.ops");
+  obsTreesCreated_ = &reg.counter("controller.trees_created");
+  obsTreesJoined_ = &reg.counter("controller.trees_joined");
+  obsTreeMerges_ = &reg.counter("controller.tree_merges");
+  obsReroots_ = &reg.counter("controller.tree_reroots");
+  obsTreeRebuilds_ = &reg.counter("controller.tree_rebuilds");
+  obsReindexes_ = &reg.counter("controller.reindexes");
+  obsOpFlowMods_ = &reg.histogram("controller.flow_mods_per_op");
+  obsOpInstallTime_ = &reg.histogram("controller.op_install_time_ns");
+  channel_.attachObservability(reg, tracer);
+  installer_.attachMetrics(reg);
 }
 
 }  // namespace pleroma::ctrl

@@ -171,6 +171,14 @@ class Controller {
   /// pre-existing interest towards newly arrived external advertisements).
   dz::DzSet subscriptionUnion() const;
 
+  /// Wires this controller, its control channel, and its flow installer
+  /// into the observability layer. Registration ops (advertise/subscribe/
+  /// un-*) become tracer spans that parent the flow-mod records they cause;
+  /// tree lifecycle and per-op flow-mod volume land in "controller.*"
+  /// metrics.
+  void attachObservability(obs::MetricsRegistry& reg,
+                           obs::Tracer* tracer = nullptr);
+
   net::Network& network() noexcept { return network_; }
   /// The control channel to this partition's switches (e.g. to enable
   /// asynchronous flow installation or inject control-plane faults).
@@ -212,7 +220,7 @@ class Controller {
   /// switch of one of its publishers, or any active scope switch).
   net::NodeId pickActiveRoot(const SpanningTree& tree) const;
   dz::DzSet coarsen(dz::DzSet dzSet, const SpanningTree* exclude) const;
-  OpStats beginOp();
+  OpStats beginOp(const char* opName);
   void endOp(OpStats& snapshot);
 
   dz::EventSpace space_;
@@ -235,6 +243,18 @@ class Controller {
   PublisherId nextPublisher_ = 0;
   SubscriptionId nextSubscription_ = 0;
   OpStats lastOp_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::SpanId opSpan_ = obs::kNoSpan;  // open registration-op span
+  obs::Counter* obsOps_ = nullptr;
+  obs::Counter* obsTreesCreated_ = nullptr;
+  obs::Counter* obsTreesJoined_ = nullptr;
+  obs::Counter* obsTreeMerges_ = nullptr;
+  obs::Counter* obsReroots_ = nullptr;
+  obs::Counter* obsTreeRebuilds_ = nullptr;
+  obs::Counter* obsReindexes_ = nullptr;
+  obs::Histogram* obsOpFlowMods_ = nullptr;
+  obs::Histogram* obsOpInstallTime_ = nullptr;
 };
 
 }  // namespace pleroma::ctrl

@@ -75,9 +75,13 @@ void FlowInstaller::installOne(const dz::DzExpression& d, const RouteHop& hop) {
   // covers (case 5): those flows shadow it in the TCAM, so without the
   // propagation events in their subspace would miss the new destination.
   if (const auto exact = m.find(d); exact != m.end()) {
-    if (actionsSubset(fln, exact->second)) return;  // case 2, identical dz
+    if (actionsSubset(fln, exact->second)) {
+      if (obsCase2_ != nullptr) obsCase2_->inc();
+      return;  // case 2, identical dz
+    }
     net::FlowEntry updated = exact->second;
     mergeActions(updated, fln);
+    if (obsCase4_ != nullptr) obsCase4_->inc();
     apply(openflow::FlowModType::kModify, hop.switchNode, d, updated);
     // The extended action set must propagate to the finer flows this one
     // covers — they shadow it in the TCAM. Finer flows that the extended
@@ -95,9 +99,11 @@ void FlowInstaller::installOne(const dz::DzExpression& d, const RouteHop& hop) {
       }
     }
     for (const dz::DzExpression& key : toDelete) {
+      if (obsCase3_ != nullptr) obsCase3_->inc();
       apply(openflow::FlowModType::kDelete, hop.switchNode, key, m.at(key));
     }
     for (auto& [key, entry] : toModify) {
+      if (obsCase5_ != nullptr) obsCase5_->inc();
       apply(openflow::FlowModType::kModify, hop.switchNode, key, entry);
     }
     return;
@@ -111,11 +117,15 @@ void FlowInstaller::installOne(const dz::DzExpression& d, const RouteHop& hop) {
   }
   // Case 2: some coarser flow fully covers the new one — nothing to do.
   for (const net::FlowEntry* fle : coarser) {
-    if (actionsSubset(fln, *fle)) return;
+    if (actionsSubset(fln, *fle)) {
+      if (obsCase2_ != nullptr) obsCase2_->inc();
+      return;
+    }
   }
   // Case 4: coarser flows exist with other ports — the new (finer,
   // higher-priority) flow must forward to their ports too, because only the
   // first match is applied.
+  if (!coarser.empty() && obsCase4_ != nullptr) obsCase4_->inc();
   for (const net::FlowEntry* fle : coarser) mergeActions(fln, *fle);
 
   // Finer flows: the contiguous trie range covered by d.
@@ -134,17 +144,33 @@ void FlowInstaller::installOne(const dz::DzExpression& d, const RouteHop& hop) {
     }
   }
   for (const dz::DzExpression& key : toDelete) {
+    if (obsCase3_ != nullptr) obsCase3_->inc();
     apply(openflow::FlowModType::kDelete, hop.switchNode, key, m.at(key));
   }
   for (auto& [key, updated] : toModify) {
+    if (obsCase5_ != nullptr) obsCase5_->inc();
     apply(openflow::FlowModType::kModify, hop.switchNode, key, updated);
   }
   // Case 1 (or the add concluding cases 3-5).
+  if (obsCase1_ != nullptr && coarser.empty() && toDelete.empty() &&
+      toModify.empty()) {
+    obsCase1_->inc();
+  }
   apply(openflow::FlowModType::kAdd, hop.switchNode, d, fln);
+}
+
+void FlowInstaller::attachMetrics(obs::MetricsRegistry& reg) {
+  obsCase1_ = &reg.counter("flow_installer.case1_fresh_add");
+  obsCase2_ = &reg.counter("flow_installer.case2_covered");
+  obsCase3_ = &reg.counter("flow_installer.case3_subsumed_delete");
+  obsCase4_ = &reg.counter("flow_installer.case4_extend");
+  obsCase5_ = &reg.counter("flow_installer.case5_shadow_modify");
+  obsReconciles_ = &reg.counter("flow_installer.reconcile_passes");
 }
 
 void FlowInstaller::reconcileSwitch(net::NodeId sw,
                                     const std::vector<net::FlowEntry>& required) {
+  if (obsReconciles_ != nullptr) obsReconciles_->inc();
   SwitchMirror& m = mirrors_[sw];
 
   std::map<dz::DzExpression, const net::FlowEntry*> wanted;

@@ -45,6 +45,10 @@ class FlowInstaller {
   /// Subsequent installs/reconciles re-issue every needed flow as an add.
   void forgetSwitch(net::NodeId sw) { mirrors_.erase(sw); }
 
+  /// Resolves per-case counters under "flow_installer.*": how often each
+  /// of Algorithm 1's five flow-addition cases fired, plus reconcile passes.
+  void attachMetrics(obs::MetricsRegistry& reg);
+
   openflow::ControlChannel& channel() noexcept { return channel_; }
 
  private:
@@ -56,6 +60,17 @@ class FlowInstaller {
 
   openflow::ControlChannel& channel_;
   std::unordered_map<net::NodeId, SwitchMirror> mirrors_;
+
+  /// Per-case counters of Algorithm 1's flowAddition (null until attached):
+  /// 1 = fresh add, 2 = covered by an existing flow, 3 = finer flow
+  /// subsumed and deleted, 4 = new/exact flow extended with coarser or new
+  /// actions, 5 = finer shadowing flow extended.
+  obs::Counter* obsCase1_ = nullptr;
+  obs::Counter* obsCase2_ = nullptr;
+  obs::Counter* obsCase3_ = nullptr;
+  obs::Counter* obsCase4_ = nullptr;
+  obs::Counter* obsCase5_ = nullptr;
+  obs::Counter* obsReconciles_ = nullptr;
 };
 
 }  // namespace pleroma::ctrl

@@ -1,5 +1,6 @@
 #include "controller/reconciler.hpp"
 
+#include <map>
 #include <vector>
 
 namespace pleroma::ctrl {
@@ -18,6 +19,7 @@ void Reconciler::repair(openflow::FlowModType type, net::NodeId sw,
       break;
   }
   ++totalRepairs_;
+  if (obsRepairs_ != nullptr) obsRepairs_->inc();
   // Repairs bypass the installer: the mirror already *is* the intended
   // state, only the switch must move.
   controller_.channel().send({type, sw, entry});
@@ -32,32 +34,54 @@ ReconcileReport Reconciler::reconcileSwitch(net::NodeId sw) {
   if (!controller_.switchActive(sw)) return report;
   if (!channel.switchConnected(sw) || !channel.quiescent(sw)) {
     ++report.switchesSkipped;
+    if (obsSkips_ != nullptr) obsSkips_->inc();
+    return report;
+  }
+
+  // Audit through the OpenFlow flow-stats read: the switch's actual entries
+  // with their per-flow packet counters. A reply can still fail if the
+  // control session dropped between the connectivity check and the read.
+  const openflow::FlowStatsReply reply = channel.requestFlowStats(sw);
+  if (!reply.ok) {
+    ++report.switchesSkipped;
+    if (obsSkips_ != nullptr) obsSkips_->inc();
     return report;
   }
   ++report.switchesAudited;
+  if (obsAudits_ != nullptr) obsAudits_->inc();
 
   const auto& mirror = controller_.installer().mirror(sw);
-  const net::FlowTable& actual = channel.flowsOf(sw);
+  std::map<dz::DzExpression, const net::FlowEntry*> actual;
+  std::vector<const net::FlowEntry*> orphans;
+  for (const net::FlowEntry& entry : reply.entries) {
+    report.matchedPacketsSeen += entry.matchedPackets;
+    const auto d = dz::prefixToDz(entry.match);
+    if (!d.has_value()) {
+      orphans.push_back(&entry);
+      continue;
+    }
+    actual.emplace(*d, &entry);
+  }
+  if (obsMatchedPackets_ != nullptr) {
+    obsMatchedPackets_->add(static_cast<double>(report.matchedPacketsSeen));
+  }
 
   // Intent side: every mirrored flow must exist on the switch, verbatim.
   for (const auto& [d, entry] : mirror) {
-    const net::FlowEntry* installed = actual.find(entry.match);
-    if (installed == nullptr) {
+    const auto it = actual.find(d);
+    if (it == actual.end()) {
       repair(openflow::FlowModType::kAdd, sw, entry, report);
-    } else if (*installed != entry) {
+    } else if (*it->second != entry) {
       repair(openflow::FlowModType::kModify, sw, entry, report);
     }
   }
   // Switch side: flows the intent does not know about are orphans (lost
   // deletes, duplicated adds applied after a delete, pre-failure residue).
-  // Collected first: a synchronous delete would mutate the table mid-walk.
-  std::vector<net::FlowEntry> orphans;
-  actual.forEach([&](const net::FlowEntry& entry) {
-    const auto d = dz::prefixToDz(entry.match);
-    if (!d.has_value() || !mirror.contains(*d)) orphans.push_back(entry);
-  });
-  for (const net::FlowEntry& entry : orphans) {
-    repair(openflow::FlowModType::kDelete, sw, entry, report);
+  for (const auto& [d, entry] : actual) {
+    if (!mirror.contains(d)) orphans.push_back(entry);
+  }
+  for (const net::FlowEntry* entry : orphans) {
+    repair(openflow::FlowModType::kDelete, sw, *entry, report);
   }
   return report;
 }
@@ -71,6 +95,7 @@ ReconcileReport Reconciler::reconcileAll() {
     total.repairAdds += r.repairAdds;
     total.repairModifies += r.repairModifies;
     total.repairDeletes += r.repairDeletes;
+    total.matchedPacketsSeen += r.matchedPacketsSeen;
   }
   ++rounds_;
   last_ = total;
@@ -87,6 +112,13 @@ std::size_t Reconciler::runToConvergence(std::size_t maxRounds) {
   }
   sim.run();
   return maxRounds;
+}
+
+void Reconciler::attachMetrics(obs::MetricsRegistry& reg) {
+  obsAudits_ = &reg.counter("reconciler.audits");
+  obsSkips_ = &reg.counter("reconciler.skips");
+  obsRepairs_ = &reg.counter("reconciler.repairs");
+  obsMatchedPackets_ = &reg.gauge("reconciler.matched_packets_seen");
 }
 
 void Reconciler::enablePeriodic(net::SimTime interval) {

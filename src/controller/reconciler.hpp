@@ -32,6 +32,9 @@ struct ReconcileReport {
   std::size_t repairAdds = 0;
   std::size_t repairModifies = 0;
   std::size_t repairDeletes = 0;
+  /// Sum of FlowEntry::matchedPackets over all audited entries — the
+  /// data-plane activity observed through the flow-stats reads.
+  std::uint64_t matchedPacketsSeen = 0;
 
   std::size_t repairMods() const noexcept {
     return repairAdds + repairModifies + repairDeletes;
@@ -73,6 +76,10 @@ class Reconciler {
   /// Total repair mods issued over the reconciler's lifetime.
   std::uint64_t totalRepairMods() const noexcept { return totalRepairs_; }
 
+  /// Resolves "reconciler.*" metric handles (audits, skips, repairs, and
+  /// the matched-packet volume seen through flow-stats reads).
+  void attachMetrics(obs::MetricsRegistry& reg);
+
  private:
   void repair(openflow::FlowModType type, net::NodeId sw,
               const net::FlowEntry& entry, ReconcileReport& report);
@@ -84,6 +91,11 @@ class Reconciler {
   bool tickArmed_ = false;
   std::uint64_t rounds_ = 0;
   std::uint64_t totalRepairs_ = 0;
+
+  obs::Counter* obsAudits_ = nullptr;
+  obs::Counter* obsSkips_ = nullptr;
+  obs::Counter* obsRepairs_ = nullptr;
+  obs::Gauge* obsMatchedPackets_ = nullptr;
 };
 
 }  // namespace pleroma::ctrl

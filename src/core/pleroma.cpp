@@ -14,6 +14,13 @@ Pleroma::Pleroma(net::Topology topology, PleromaOptions options)
   if (options.asyncFlowInstall) controller_->channel().enableAsyncInstall();
   network_->setDeliverHandler(
       [this](net::NodeId host, const net::Packet& pkt) { onDeliver(host, pkt); });
+
+  network_->attachObservability(metrics_, &tracer_);
+  controller_->attachObservability(metrics_, &tracer_);
+  obsPublishes_ = &metrics_.counter("core.publishes");
+  obsDeliveries_ = &metrics_.counter("core.deliveries");
+  obsFalsePositives_ = &metrics_.counter("core.false_positive_deliveries");
+  obsDeliveryLatency_ = &metrics_.histogram("core.delivery_latency_ns");
 }
 
 ctrl::PublisherId Pleroma::advertise(net::NodeId host, const dz::Rectangle& rect) {
@@ -43,7 +50,16 @@ void Pleroma::unsubscribe(ctrl::SubscriptionId id) {
 net::EventId Pleroma::publish(net::NodeId host, const dz::Event& event,
                               net::EventId id) {
   if (id == 0) id = nextEventId_++;
-  network_->sendFromHost(host, controller_->makeEventPacket(host, event, id));
+  obsPublishes_->inc();
+  net::Packet packet = controller_->makeEventPacket(host, event, id);
+  if (tracer_.enabled()) {
+    // Root of the event's data-plane span tree: traceId = event id.
+    const obs::SpanId root = tracer_.instant(id, obs::kNoSpan, "publish",
+                                             sim_.now(), host);
+    tracer_.annotate(root, "dz", packet.eventDz.toString());
+    packet.traceSpan = root;
+  }
+  network_->sendFromHost(host, std::move(packet));
   eventWindow_.push_back(event);
   while (eventWindow_.size() > dimensionWindow_) eventWindow_.pop_front();
   if (autoDimselEvery_ != 0 && ++publishesSinceDimsel_ >= autoDimselEvery_) {
@@ -79,7 +95,49 @@ void Pleroma::onDeliver(net::NodeId host, const net::Packet& packet) {
   if (rec.falsePositive) ++stats_.falsePositives;
   stats_.latencySum += rec.latency;
   latencies_.push_back(rec.latency);
+
+  obsDeliveries_->inc();
+  if (rec.falsePositive) obsFalsePositives_->inc();
+  obsDeliveryLatency_->record(static_cast<double>(rec.latency));
+  if (tracer_.enabled()) {
+    const obs::SpanId span = tracer_.instant(packet.eventId, packet.traceSpan,
+                                             "app_deliver", sim_.now(), host);
+    if (rec.falsePositive) tracer_.annotate(span, "false_positive", "true");
+  }
   if (callback_) callback_(rec);
+}
+
+obs::JsonValue Pleroma::snapshotMetrics() {
+  metrics_.gauge("sim.events_executed")
+      .set(static_cast<double>(sim_.processedEvents()));
+  metrics_.gauge("sim.virtual_time_ns").set(static_cast<double>(sim_.now()));
+  metrics_.gauge("sim.wall_time_ns")
+      .set(static_cast<double>(sim_.wallTimeNanos()));
+  metrics_.gauge("sim.virtual_wall_ratio")
+      .set(sim_.wallTimeNanos() == 0
+               ? 0.0
+               : static_cast<double>(sim_.now()) /
+                     static_cast<double>(sim_.wallTimeNanos()));
+  const net::NetworkCounters& nc = network_->counters();
+  metrics_.gauge("net.packets_forwarded")
+      .set(static_cast<double>(nc.packetsForwarded));
+  metrics_.gauge("net.packets_punted")
+      .set(static_cast<double>(nc.packetsPuntedToController));
+  metrics_.gauge("net.packets_delivered")
+      .set(static_cast<double>(nc.packetsDeliveredToHosts));
+  metrics_.gauge("net.drops_no_match")
+      .set(static_cast<double>(nc.packetsDroppedNoMatch));
+  metrics_.gauge("net.drops_host_queue")
+      .set(static_cast<double>(nc.packetsDroppedHostQueue));
+  metrics_.gauge("net.drops_hop_limit")
+      .set(static_cast<double>(nc.packetsDroppedHopLimit));
+  metrics_.gauge("net.drops_link_down")
+      .set(static_cast<double>(nc.packetsDroppedLinkDown));
+  metrics_.gauge("net.drops_node_down")
+      .set(static_cast<double>(nc.packetsDroppedNodeDown));
+  metrics_.gauge("net.link_bytes_total")
+      .set(static_cast<double>(network_->totalLinkBytes()));
+  return metrics_.toJson();
 }
 
 std::vector<int> Pleroma::runDimensionSelection(double threshold) {

@@ -20,6 +20,8 @@
 #include "controller/controller.hpp"
 #include "dimsel/dimension_selection.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pleroma::core {
 
@@ -121,6 +123,24 @@ class Pleroma {
   }
   void clearLatencySamples() noexcept { latencies_.clear(); }
 
+  // ---- observability ----------------------------------------------------
+
+  /// The instance-wide metrics registry. Every layer (flow tables, control
+  /// channel, controller, installer, core) is attached to it at
+  /// construction; families start enabled.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Hop-by-hop event / controller-op tracer. Disabled by default; enable
+  /// with tracer().setEnabled(true) before publishing/registering.
+  obs::Tracer& tracer() noexcept { return tracer_; }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Refreshes the snapshot-style gauges (simulator event counts,
+  /// virtual/wall time ratio, network drop/forward counters) and returns
+  /// the full registry as JSON.
+  obs::JsonValue snapshotMetrics();
+
   // ---- access to the layers ---------------------------------------------
 
   ctrl::Controller& controller() noexcept { return *controller_; }
@@ -131,6 +151,8 @@ class Pleroma {
  private:
   void onDeliver(net::NodeId host, const net::Packet& packet);
 
+  obs::MetricsRegistry metrics_;  // before network/controller: outlives them
+  obs::Tracer tracer_;
   net::Simulator sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<ctrl::Controller> controller_;
@@ -147,6 +169,11 @@ class Pleroma {
   std::size_t publishesSinceDimsel_ = 0;
   std::size_t autoReindexCount_ = 0;
   std::size_t reindexes_ = 0;
+
+  obs::Counter* obsPublishes_ = nullptr;
+  obs::Counter* obsDeliveries_ = nullptr;
+  obs::Counter* obsFalsePositives_ = nullptr;
+  obs::Histogram* obsDeliveryLatency_ = nullptr;
 };
 
 }  // namespace pleroma::core

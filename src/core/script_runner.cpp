@@ -198,6 +198,29 @@ bool ScriptRunner::executeLine(const std::string& line) {
     for (const int d : dims) out += " " + std::to_string(d);
     emit(out);
   } else if (cmd == "stats") {
+    std::string mode;
+    in >> mode;
+    if (mode == "metrics") {
+      middleware_->snapshotMetrics();  // refresh snapshot-style gauges
+      std::istringstream text(middleware_->metrics().toText());
+      std::string metricLine;
+      std::size_t n = 0;
+      while (std::getline(text, metricLine)) {
+        if (metricLine.empty()) continue;
+        emit("  " + metricLine);
+        ++n;
+      }
+      emitf("ok: %zu metrics", n);
+      return true;
+    }
+    if (mode == "json") {
+      emit(middleware_->snapshotMetrics().dump());
+      return true;
+    }
+    if (!mode.empty()) {
+      emitf("error: stats [metrics|json], not '%s'", mode.c_str());
+      return true;
+    }
     const auto& ds = middleware_->deliveryStats();
     const auto& cs = middleware_->controller().controlStats();
     std::size_t flows = 0;
@@ -213,7 +236,7 @@ bool ScriptRunner::executeLine(const std::string& line) {
         middleware_->controller().treeCount());
   } else if (cmd == "help") {
     emit("commands: topo attrs adv sub unadv unsub pub fail restore run "
-         "trees flows dimsel stats quit");
+         "trees flows dimsel stats [metrics|json] quit");
   } else {
     emitf("error: unknown command '%s' (try help)", cmd.c_str());
   }

@@ -10,7 +10,10 @@
 //   pub  HOST v1 [v2...]        publish an event
 //   fail L | restore L          link failure injection (by link id)
 //   run                         settle the simulator, print deliveries
-//   trees | flows SWITCH | stats
+//   trees | flows SWITCH
+//   stats                       one-line delivery/control summary
+//   stats metrics               metrics registry, one line per metric
+//   stats json                  metrics snapshot as single-line JSON
 //   dimsel [THRESHOLD]          run dimension selection and re-index
 #pragma once
 

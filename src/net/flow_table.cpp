@@ -94,6 +94,7 @@ FlowEntry* FlowTable::findMutable(const dz::Ipv6Prefix& match) noexcept {
 
 const FlowEntry* FlowTable::lookup(dz::Ipv6Address dst) const {
   ++stats_.lookups;
+  stats_.probes += lengthsInUse_.size();
   const FlowEntry* best = nullptr;
   for (const int len : lengthsInUse_) {
     const Key key{dst.value & dz::U128::topMask(len), len};
@@ -104,6 +105,12 @@ const FlowEntry* FlowTable::lookup(dz::Ipv6Address dst) const {
         (e.priority == best->priority && e.match.length > best->match.length)) {
       best = &e;
     }
+  }
+  if (obsEnabled_ != nullptr &&
+      obsEnabled_->load(std::memory_order_relaxed)) {
+    obsLookups_->inc();
+    obsProbes_->record(static_cast<double>(lengthsInUse_.size()));
+    (best != nullptr ? obsHits_ : obsMisses_)->inc();
   }
   if (best != nullptr) {
     ++stats_.hits;
@@ -129,6 +136,16 @@ std::vector<FlowEntry> FlowTable::entries() const {
 
 void FlowTable::forEach(const std::function<void(const FlowEntry&)>& fn) const {
   for (const auto& [key, entry] : map_) fn(entry);
+}
+
+void FlowTable::attachMetrics(obs::MetricsRegistry& reg,
+                              const std::string& prefix) {
+  obsEnabled_ =
+      reg.familyEnabledFlag(obs::MetricsRegistry::familyOf(prefix + ".lookups"));
+  obsLookups_ = &reg.counter(prefix + ".lookups");
+  obsHits_ = &reg.counter(prefix + ".hits");
+  obsMisses_ = &reg.counter(prefix + ".misses");
+  obsProbes_ = &reg.histogram(prefix + ".probes_per_lookup");
 }
 
 void FlowTable::noteLengthAdded(int length) {

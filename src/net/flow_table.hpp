@@ -13,6 +13,7 @@
 // also the hardware-TCAM property Fig 7a demonstrates.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -22,6 +23,7 @@
 
 #include "dz/ip_encoding.hpp"
 #include "net/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace pleroma::net {
 
@@ -62,6 +64,9 @@ struct FlowTableStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Hash probes issued by lookup() — one per distinct installed prefix
+  /// length; probes/lookups is the effective TCAM scan width.
+  std::uint64_t probes = 0;
   std::uint64_t inserts = 0;
   std::uint64_t modifies = 0;
   std::uint64_t removes = 0;
@@ -106,6 +111,12 @@ class FlowTable {
   /// Visits every entry (used by controller-mirror consistency checks).
   void forEach(const std::function<void(const FlowEntry&)>& fn) const;
 
+  /// Resolves metric handles under `<prefix>.*` (lookups, hits, misses,
+  /// probes per lookup). Unattached tables skip metrics entirely; handles
+  /// stay valid for the registry's lifetime.
+  void attachMetrics(obs::MetricsRegistry& reg,
+                     const std::string& prefix = "flow_table");
+
  private:
   struct Key {
     dz::U128 maskedBits{};
@@ -132,6 +143,13 @@ class FlowTable {
   std::vector<int> lengthsInUse_;
   std::size_t capacity_;
   mutable FlowTableStats stats_;
+  /// Family enable flag, checked once per lookup to gate all four handle
+  /// updates (keeps the attached-but-disabled cost to one relaxed load).
+  const std::atomic<bool>* obsEnabled_ = nullptr;
+  obs::Counter* obsLookups_ = nullptr;
+  obs::Counter* obsHits_ = nullptr;
+  obs::Counter* obsMisses_ = nullptr;
+  obs::Histogram* obsProbes_ = nullptr;
 
   void noteLengthAdded(int length);
   void noteLengthRemoved(int length);

@@ -72,15 +72,32 @@ void Network::processAtSwitch(NodeId switchNode, PortId inPort, Packet packet) {
       if (packetIn_) packetIn_(switchNode, inPort, packet);
       return;
     }
+    const bool tracing = tracer_ != nullptr && tracer_->enabled();
     if (--packet.hopLimit < 0) {
       ++counters_.packetsDroppedHopLimit;
+      if (tracing) {
+        tracer_->instant(packet.eventId, packet.traceSpan, "drop.hop_limit",
+                         sim_.now(), switchNode);
+      }
       return;
     }
     const FlowEntry* entry =
         tables_[static_cast<std::size_t>(switchNode)].lookup(packet.dst);
     if (entry == nullptr) {
       ++counters_.packetsDroppedNoMatch;
+      if (tracing) {
+        tracer_->instant(packet.eventId, packet.traceSpan, "tcam_miss",
+                         sim_.now(), switchNode);
+      }
       return;
+    }
+    if (tracing) {
+      const obs::SpanId hop = tracer_->instant(
+          packet.eventId, packet.traceSpan, "tcam_match", sim_.now(), switchNode);
+      tracer_->annotate(hop, "entry", entry->match.toString());
+      tracer_->annotate(hop, "priority", std::to_string(entry->priority));
+      tracer_->annotate(hop, "fanout", std::to_string(entry->actions.size()));
+      packet.traceSpan = hop;  // forwarded copies chain off this hop
     }
     for (const FlowAction& action : entry->actions) {
       if (action.port == inPort) continue;  // never reflect out the ingress
@@ -94,6 +111,10 @@ void Network::processAtSwitch(NodeId switchNode, PortId inPort, Packet packet) {
 
 void Network::receiveAtHost(NodeId host, Packet packet) {
   HostState& state = hostState_[static_cast<std::size_t>(host)];
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    packet.traceSpan = tracer_->instant(packet.eventId, packet.traceSpan,
+                                        "host_deliver", sim_.now(), host);
+  }
   if (config_.hostServiceTime == 0) {
     ++counters_.packetsDeliveredToHosts;
     if (deliver_) deliver_(host, packet);
@@ -111,6 +132,16 @@ void Network::receiveAtHost(NodeId host, Packet packet) {
     ++counters_.packetsDeliveredToHosts;
     if (deliver_) deliver_(host, packet);
   });
+}
+
+void Network::attachObservability(obs::MetricsRegistry& reg,
+                                  obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
+    if (topo_.isSwitch(id)) {
+      tables_[static_cast<std::size_t>(id)].attachMetrics(reg, "flow_table");
+    }
+  }
 }
 
 void Network::setLinkUp(LinkId link, bool up) {

@@ -24,6 +24,7 @@
 #include "net/packet.hpp"
 #include "net/simulator.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 
 namespace pleroma::net {
 
@@ -105,6 +106,14 @@ class Network {
     return nodeUp_[static_cast<std::size_t>(node)];
   }
 
+  /// Wires the data plane into the observability layer: every switch table
+  /// resolves its metric handles against `reg` (all tables share the
+  /// "flow_table.*" names, so the counters aggregate fleet-wide), and — when
+  /// `tracer` is non-null — per-switch TCAM match/miss/drop records and
+  /// host deliveries are traced, chained through Packet::traceSpan.
+  void attachObservability(obs::MetricsRegistry& reg,
+                           obs::Tracer* tracer = nullptr);
+
   const NetworkCounters& counters() const noexcept { return counters_; }
   const LinkCounters& linkCounters(LinkId link) const {
     return linkCounters_[static_cast<std::size_t>(link)];
@@ -133,6 +142,7 @@ class Network {
   NetworkCounters counters_;
   PacketInHandler packetIn_;
   DeliverHandler deliver_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pleroma::net

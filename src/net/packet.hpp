@@ -42,6 +42,10 @@ struct Packet {
   /// Opaque control payload (present only for control-plane messages).
   std::shared_ptr<const void> control;
   int controlKind = 0;
+  /// Parent span for hop-by-hop tracing (obs::kNoSpan when tracing is off).
+  /// Each switch hop parents its record here and restamps the forwarded
+  /// copy, so multicast fan-out forms a branching span tree.
+  std::uint64_t traceSpan = 0;
 };
 
 /// Unicast address assigned to host h: fd00::(h+1).

@@ -1,9 +1,29 @@
 #include "net/simulator.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace pleroma::net {
+
+namespace {
+/// Accumulates the wall-clock duration of a run loop into `sink`.
+class WallClockScope {
+ public:
+  explicit WallClockScope(std::uint64_t& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~WallClockScope() {
+    sink_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::uint64_t& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+}  // namespace
 
 void Simulator::scheduleAt(SimTime when, std::function<void()> action) {
   assert(when >= now_);
@@ -11,6 +31,7 @@ void Simulator::scheduleAt(SimTime when, std::function<void()> action) {
 }
 
 std::size_t Simulator::run() {
+  const WallClockScope wall(wallNanos_);
   std::size_t count = 0;
   while (!queue_.empty()) {
     // std::priority_queue::top is const; moving the action out requires the
@@ -26,6 +47,7 @@ std::size_t Simulator::run() {
 }
 
 std::size_t Simulator::runUntil(SimTime until) {
+  const WallClockScope wall(wallNanos_);
   std::size_t count = 0;
   while (!queue_.empty() && queue_.top().when <= until) {
     Item item = std::move(const_cast<Item&>(queue_.top()));

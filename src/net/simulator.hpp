@@ -35,6 +35,10 @@ class Simulator {
   std::size_t pendingEvents() const noexcept { return queue_.size(); }
   std::uint64_t processedEvents() const noexcept { return processed_; }
 
+  /// Wall-clock nanoseconds spent inside run()/runUntil() so far; with
+  /// now() this gives the virtual/wall time ratio benches report.
+  std::uint64_t wallTimeNanos() const noexcept { return wallNanos_; }
+
  private:
   struct Item {
     SimTime when;
@@ -51,6 +55,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t wallNanos_ = 0;
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
 };
 

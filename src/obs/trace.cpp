@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace pleroma::obs {
+
+void Tracer::setCapacity(std::size_t maxRecords) {
+  capacity_ = maxRecords == 0 ? 1 : maxRecords;
+  while (records_.size() > capacity_) {
+    index_.erase(records_.front().id);
+    records_.pop_front();
+    ++evictedCount_;
+    ++dropped_;
+  }
+}
+
+TraceRecord* Tracer::find(SpanId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return &records_[it->second - evictedCount_];
+}
+
+const TraceRecord* Tracer::find(SpanId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return &records_[it->second - evictedCount_];
+}
+
+TraceRecord& Tracer::push(TraceRecord rec) {
+  if (records_.size() == capacity_) {
+    index_.erase(records_.front().id);
+    records_.pop_front();
+    ++evictedCount_;
+    ++dropped_;
+  }
+  index_.emplace(rec.id, records_.size() + evictedCount_);
+  records_.push_back(std::move(rec));
+  return records_.back();
+}
+
+SpanId Tracer::begin(std::uint64_t traceId, SpanId parent, std::string name,
+                     std::int64_t now, std::int32_t node) {
+  if (!enabled_) return kNoSpan;
+  TraceRecord rec;
+  rec.id = nextId_++;
+  rec.parent = parent;
+  rec.traceId = traceId;
+  rec.name = std::move(name);
+  rec.start = now;
+  rec.end = now;
+  rec.node = node;
+  return push(std::move(rec)).id;
+}
+
+void Tracer::end(SpanId id, std::int64_t now) {
+  if (id == kNoSpan) return;
+  if (TraceRecord* rec = find(id)) rec->end = now;
+}
+
+SpanId Tracer::instant(std::uint64_t traceId, SpanId parent, std::string name,
+                       std::int64_t now, std::int32_t node) {
+  return begin(traceId, parent, std::move(name), now, node);
+}
+
+void Tracer::annotate(SpanId id, std::string key, std::string value) {
+  if (id == kNoSpan) return;
+  if (TraceRecord* rec = find(id)) {
+    rec->args.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+std::uint64_t Tracer::traceIdOf(SpanId id) const {
+  const TraceRecord* rec = find(id);
+  return rec == nullptr ? 0 : rec->traceId;
+}
+
+void Tracer::clear() {
+  records_.clear();
+  index_.clear();
+  evictedCount_ = 0;
+  dropped_ = 0;
+  contextStack_.clear();
+}
+
+std::string Tracer::toJsonl() const {
+  std::string out;
+  for (const TraceRecord& rec : records_) {
+    JsonValue obj = JsonValue::object();
+    obj.set("id", rec.id);
+    obj.set("parent", rec.parent);
+    obj.set("trace", rec.traceId);
+    obj.set("name", rec.name);
+    obj.set("start", rec.start);
+    obj.set("end", rec.end);
+    obj.set("node", rec.node);
+    if (!rec.args.empty()) {
+      JsonValue args = JsonValue::object();
+      for (const auto& [k, v] : rec.args) args.set(k, v);
+      obj.set("args", std::move(args));
+    }
+    out += obj.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::toChromeTrace() const {
+  JsonValue events = JsonValue::array();
+  for (const TraceRecord& rec : records_) {
+    JsonValue ev = JsonValue::object();
+    ev.set("name", rec.name);
+    ev.set("cat", "pleroma");
+    ev.set("pid", rec.traceId);
+    ev.set("tid", rec.node);
+    // trace_event timestamps are microseconds; keep sub-µs as fractions.
+    ev.set("ts", static_cast<double>(rec.start) / 1000.0);
+    if (rec.isInstant()) {
+      ev.set("ph", "i");
+      ev.set("s", "t");
+    } else {
+      ev.set("ph", "X");
+      ev.set("dur", static_cast<double>(rec.end - rec.start) / 1000.0);
+    }
+    JsonValue args = JsonValue::object();
+    args.set("span", rec.id);
+    args.set("parent", rec.parent);
+    for (const auto& [k, v] : rec.args) args.set(k, v);
+    ev.set("args", std::move(args));
+    events.push_back(std::move(ev));
+  }
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ns");
+  return doc.dump(2);
+}
+
+namespace {
+bool writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return out.good();
+}
+}  // namespace
+
+bool Tracer::writeJsonl(const std::string& path) const {
+  return writeFile(path, toJsonl());
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) const {
+  return writeFile(path, toChromeTrace());
+}
+
+}  // namespace pleroma::obs

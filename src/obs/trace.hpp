@@ -1,0 +1,110 @@
+// Tracer — follows individual events hop-by-hop through the data plane
+// (publish → per-switch TCAM match → host delivery) and controller
+// operations through the control plane (advertise/subscribe → flow mods →
+// acks/retries/abandons).
+//
+// A trace is a tree of records: every record carries its own span id and
+// its parent's, plus the trace id that groups one logical flow (the event
+// id for data-plane traces, a fresh id per controller op). Data-plane
+// linkage rides inside net::Packet::traceSpan, so each forwarded copy
+// parents its next hop and multicast fan-out forms a branching tree.
+//
+// Cost model: a disabled tracer is one predictable branch per hook;
+// callers gate richer argument capture on enabled(). Records live in a
+// bounded deque (oldest evicted first) and export as JSONL (one object
+// per record) or as the Chrome trace_event format consumed by
+// chrome://tracing and Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pleroma::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+struct TraceRecord {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  /// Groups the records of one logical flow (event id / controller op id).
+  std::uint64_t traceId = 0;
+  std::string name;
+  std::int64_t start = 0;  ///< virtual time, ns
+  std::int64_t end = 0;    ///< == start for instant records
+  std::int32_t node = -1;  ///< NodeId for data-plane records, -1 otherwise
+  std::vector<std::pair<std::string, std::string>> args;
+
+  bool isInstant() const noexcept { return end == start; }
+};
+
+class Tracer {
+ public:
+  bool enabled() const noexcept { return enabled_; }
+  void setEnabled(bool on) noexcept { enabled_ = on; }
+
+  /// Caps the record buffer; the oldest records are evicted beyond it.
+  void setCapacity(std::size_t maxRecords);
+
+  /// Fresh trace id for a new logical flow (controller ops).
+  std::uint64_t newTraceId() noexcept { return nextTraceId_++; }
+
+  /// Opens a span; returns kNoSpan when disabled (all other calls accept
+  /// kNoSpan and no-op on it).
+  SpanId begin(std::uint64_t traceId, SpanId parent, std::string name,
+               std::int64_t now, std::int32_t node = -1);
+  void end(SpanId id, std::int64_t now);
+  /// Zero-duration record.
+  SpanId instant(std::uint64_t traceId, SpanId parent, std::string name,
+                 std::int64_t now, std::int32_t node = -1);
+  void annotate(SpanId id, std::string key, std::string value);
+
+  /// Ambient span for layers that cannot thread one through (the control
+  /// channel parents its flow-mod records here during a controller op).
+  void pushContext(SpanId id) { contextStack_.push_back(id); }
+  void popContext() {
+    if (!contextStack_.empty()) contextStack_.pop_back();
+  }
+  SpanId currentContext() const noexcept {
+    return contextStack_.empty() ? kNoSpan : contextStack_.back();
+  }
+
+  /// Trace id of an open-or-retained record; 0 when unknown/evicted.
+  std::uint64_t traceIdOf(SpanId id) const;
+
+  const std::deque<TraceRecord>& records() const noexcept { return records_; }
+  std::uint64_t droppedRecords() const noexcept { return dropped_; }
+  void clear();
+
+  /// One JSON object per line.
+  std::string toJsonl() const;
+  /// Chrome trace_event JSON array ("X" complete events and "i" instants,
+  /// ts/dur in microseconds, tid = node).
+  std::string toChromeTrace() const;
+  bool writeJsonl(const std::string& path) const;
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  TraceRecord* find(SpanId id);
+  const TraceRecord* find(SpanId id) const;
+  TraceRecord& push(TraceRecord rec);
+
+  bool enabled_ = false;
+  std::size_t capacity_ = 1 << 20;
+  SpanId nextId_ = 1;
+  std::uint64_t nextTraceId_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::deque<TraceRecord> records_;
+  /// id → deque position + evictedCount_ (positions shift on eviction).
+  std::unordered_map<SpanId, std::size_t> index_;
+  std::size_t evictedCount_ = 0;
+  std::vector<SpanId> contextStack_;
+};
+
+}  // namespace pleroma::obs

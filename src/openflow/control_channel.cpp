@@ -5,6 +5,17 @@
 
 namespace pleroma::openflow {
 
+namespace {
+const char* modTraceName(FlowModType type) {
+  switch (type) {
+    case FlowModType::kAdd: return "flow_mod.add";
+    case FlowModType::kModify: return "flow_mod.modify";
+    case FlowModType::kDelete: return "flow_mod.delete";
+  }
+  return "flow_mod";
+}
+}  // namespace
+
 bool ControlChannel::applyNow(const FlowMod& mod) {
   net::FlowTable& table = network_.flowTable(mod.switchNode);
   switch (mod.type) {
@@ -52,6 +63,7 @@ void ControlChannel::setSwitchConnected(net::NodeId switchNode, bool connected) 
 
 bool ControlChannel::send(const FlowMod& mod) {
   ++stats_.flowModsSent;
+  if (obsModsSent_ != nullptr) obsModsSent_->inc();
   modeledInstallTime_ += flowModLatency_;
   switch (mod.type) {
     case FlowModType::kAdd:
@@ -64,21 +76,38 @@ bool ControlChannel::send(const FlowMod& mod) {
       ++stats_.flowDeletes;
       break;
   }
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
 
   if (!async_) {
     // Synchronous channel: a dropped mod is lost for good (no retry timer
     // can fire without the simulator running); the mirror/switch divergence
     // is the reconciler's to repair.
+    const char* result;
+    bool ok = false;
     if (!switchConnected(mod.switchNode) || rng_.chance(faults_.dropProbability)) {
       ++stats_.flowModsDropped;
       ++stats_.flowModsAbandoned;
-      return false;
+      if (obsModsDropped_ != nullptr) {
+        obsModsDropped_->inc();
+        obsModsAbandoned_->inc();
+      }
+      result = "dropped";
+    } else {
+      ok = applyNow(mod);
+      if (obsModsAcked_ != nullptr && ok) obsModsAcked_->inc();
+      if (faults_.duplicateProbability > 0.0 &&
+          rng_.chance(faults_.duplicateProbability)) {
+        ++stats_.flowModsDuplicated;
+        applyIdempotent(mod);
+      }
+      result = ok ? "applied" : "failed";
     }
-    const bool ok = applyNow(mod);
-    if (faults_.duplicateProbability > 0.0 &&
-        rng_.chance(faults_.duplicateProbability)) {
-      ++stats_.flowModsDuplicated;
-      applyIdempotent(mod);
+    if (tracing) {
+      const obs::SpanId ctx = tracer_->currentContext();
+      const obs::SpanId span =
+          tracer_->instant(tracer_->traceIdOf(ctx), ctx, modTraceName(mod.type),
+                           network_.simulator().now(), mod.switchNode);
+      tracer_->annotate(span, "result", result);
     }
     return ok;
   }
@@ -88,6 +117,12 @@ bool ControlChannel::send(const FlowMod& mod) {
   Pending p;
   p.mod = tracked;
   p.timeout = retry_.initialTimeout;
+  if (tracing) {
+    const obs::SpanId ctx = tracer_->currentContext();
+    p.span = tracer_->begin(tracer_->traceIdOf(ctx), ctx, modTraceName(mod.type),
+                            network_.simulator().now(), mod.switchNode);
+    tracer_->annotate(p.span, "xid", std::to_string(tracked.xid));
+  }
   pending_.emplace(tracked.xid, std::move(p));
   outstanding_[tracked.switchNode].insert(tracked.xid);
   transmitAttempt(tracked.xid, /*isRetransmit=*/false);
@@ -104,6 +139,11 @@ void ControlChannel::transmitAttempt(std::uint64_t xid, bool isRetransmit) {
   net::SimTime deliveryBasis = network_.simulator().now();
   if (lost) {
     ++stats_.flowModsDropped;
+    if (obsModsDropped_ != nullptr) obsModsDropped_->inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->instant(tracer_->traceIdOf(it->second.span), it->second.span,
+                       "flow_mod.drop", deliveryBasis, mod.switchNode);
+    }
   } else {
     deliveryBasis = scheduleDelivery(xid, mod, /*chained=*/!isRetransmit);
   }
@@ -113,6 +153,7 @@ void ControlChannel::transmitAttempt(std::uint64_t xid, bool isRetransmit) {
   } else if (lost) {
     // Fire-and-forget: a lost mod is abandoned immediately.
     ++stats_.flowModsAbandoned;
+    if (obsModsAbandoned_ != nullptr) obsModsAbandoned_->inc();
     resolve(xid, false);
   }
 }
@@ -148,10 +189,12 @@ void ControlChannel::deliver(std::uint64_t xid, const FlowMod& mod) {
   // mod pending; fire-and-forget mods are abandoned here.
   if (!switchConnected(mod.switchNode)) {
     ++stats_.flowModsDropped;
+    if (obsModsDropped_ != nullptr) obsModsDropped_->inc();
     const auto lost = pending_.find(xid);
     if (lost != pending_.end() && !lost->second.resolved &&
         retry_.maxRetries == 0) {
       ++stats_.flowModsAbandoned;
+      if (obsModsAbandoned_ != nullptr) obsModsAbandoned_->inc();
       resolve(xid, false);
     }
     return;
@@ -173,10 +216,17 @@ void ControlChannel::armRetryTimer(std::uint64_t xid, net::SimTime basis) {
     if (p == pending_.end() || p->second.resolved) return;
     if (p->second.attempts > retry_.maxRetries) {
       ++stats_.flowModsAbandoned;
+      if (obsModsAbandoned_ != nullptr) obsModsAbandoned_->inc();
       resolve(xid, false);
       return;
     }
     ++stats_.flowModsRetried;
+    if (obsModsRetried_ != nullptr) obsModsRetried_->inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->instant(tracer_->traceIdOf(p->second.span), p->second.span,
+                       "flow_mod.retry", network_.simulator().now(),
+                       p->second.mod.switchNode);
+    }
     ++p->second.attempts;
     p->second.timeout = std::min(p->second.timeout * 2, retry_.maxTimeout);
     transmitAttempt(xid, /*isRetransmit=*/true);
@@ -189,6 +239,11 @@ void ControlChannel::resolve(std::uint64_t xid, bool ok) {
   it->second.resolved = true;
   it->second.ok = ok;
   const net::NodeId sw = it->second.mod.switchNode;
+  if (ok && obsModsAcked_ != nullptr) obsModsAcked_->inc();
+  if (it->second.span != obs::kNoSpan && tracer_ != nullptr) {
+    tracer_->annotate(it->second.span, "ok", ok ? "true" : "false");
+    tracer_->end(it->second.span, network_.simulator().now());
+  }
 
   const auto out = outstanding_.find(sw);
   if (out != outstanding_.end()) {
@@ -216,6 +271,7 @@ void ControlChannel::resolve(std::uint64_t xid, bool ok) {
 std::uint64_t ControlChannel::sendBarrier(net::NodeId switchNode,
                                           BarrierCallback onReply) {
   ++stats_.barrierRequests;
+  if (obsBarrierRequests_ != nullptr) obsBarrierRequests_->inc();
   const std::uint64_t xid = nextXid_++;
   const auto out = outstanding_.find(switchNode);
   if (!async_ || out == outstanding_.end() || out->second.empty()) {
@@ -240,6 +296,31 @@ std::size_t ControlChannel::outstandingMods() const {
   std::size_t total = 0;
   for (const auto& [sw, xids] : outstanding_) total += xids.size();
   return total;
+}
+
+FlowStatsReply ControlChannel::requestFlowStats(net::NodeId switchNode) {
+  ++stats_.flowStatsRequests;
+  if (obsFlowStatsRequests_ != nullptr) obsFlowStatsRequests_->inc();
+  FlowStatsReply reply;
+  reply.switchNode = switchNode;
+  reply.xid = nextXid_++;
+  if (!switchConnected(switchNode)) return reply;  // ok stays false
+  reply.ok = true;
+  reply.entries = network_.flowTable(switchNode).entries();
+  ++stats_.flowStatsReplies;
+  return reply;
+}
+
+void ControlChannel::attachObservability(obs::MetricsRegistry& reg,
+                                         obs::Tracer* tracer) {
+  tracer_ = tracer;
+  obsModsSent_ = &reg.counter("ctrl_channel.mods_sent");
+  obsModsAcked_ = &reg.counter("ctrl_channel.mods_acked");
+  obsModsDropped_ = &reg.counter("ctrl_channel.mods_dropped");
+  obsModsRetried_ = &reg.counter("ctrl_channel.mods_retried");
+  obsModsAbandoned_ = &reg.counter("ctrl_channel.mods_abandoned");
+  obsBarrierRequests_ = &reg.counter("ctrl_channel.barrier_requests");
+  obsFlowStatsRequests_ = &reg.counter("ctrl_channel.flow_stats_requests");
 }
 
 void ControlChannel::sendPacketOut(const PacketOut& out) {

@@ -33,6 +33,8 @@
 #include <unordered_set>
 
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "openflow/messages.hpp"
 #include "util/rng.hpp"
 
@@ -136,6 +138,18 @@ class ControlChannel {
     return network_.flowTable(switchNode);
   }
 
+  /// OpenFlow flow-stats read: the switch's actual entries with their
+  /// per-flow matchedPackets counters. Unlike flowsOf() this goes over the
+  /// control session, so a disconnected switch yields ok == false (and the
+  /// request is counted in the control-plane stats either way).
+  FlowStatsReply requestFlowStats(net::NodeId switchNode);
+
+  /// Resolves metric handles under "ctrl_channel.*" and (when `tracer` is
+  /// non-null) records per-flow-mod trace spans parented by the tracer's
+  /// current controller-op context.
+  void attachObservability(obs::MetricsRegistry& reg,
+                           obs::Tracer* tracer = nullptr);
+
   const ControlPlaneStats& stats() const noexcept { return stats_; }
   /// Deferred applies that failed at the switch (satellite of the fault
   /// model: previously silently discarded).
@@ -159,6 +173,7 @@ class ControlChannel {
     net::SimTime timeout = 0;  // current RTO
     bool resolved = false;
     bool ok = false;
+    obs::SpanId span = obs::kNoSpan;  // open trace span, closed on resolve
   };
   struct Barrier {
     net::NodeId switchNode = net::kInvalidNode;
@@ -199,6 +214,15 @@ class ControlChannel {
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::unordered_map<net::NodeId, std::set<std::uint64_t>> outstanding_;
   std::map<std::uint64_t, Barrier> barriers_;
+
+  obs::Counter* obsModsSent_ = nullptr;
+  obs::Counter* obsModsAcked_ = nullptr;
+  obs::Counter* obsModsDropped_ = nullptr;
+  obs::Counter* obsModsRetried_ = nullptr;
+  obs::Counter* obsModsAbandoned_ = nullptr;
+  obs::Counter* obsBarrierRequests_ = nullptr;
+  obs::Counter* obsFlowStatsRequests_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pleroma::openflow

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/flow_table.hpp"
 #include "net/packet.hpp"
@@ -34,6 +35,24 @@ struct PacketOut {
   net::Packet packet;
 };
 
+/// Flow-stats read request (OFPT_STATS_REQUEST / OFPST_FLOW): asks a
+/// switch for its installed entries including per-flow counters.
+struct FlowStatsRequest {
+  net::NodeId switchNode = net::kInvalidNode;
+  std::uint64_t xid = 0;
+};
+
+/// Reply to a FlowStatsRequest: the switch's actual flow entries with
+/// their FlowEntry::matchedPackets counters. `ok` is false when the
+/// switch's control session is down (the reply never arrives) — callers
+/// must not treat that as an empty table.
+struct FlowStatsReply {
+  net::NodeId switchNode = net::kInvalidNode;
+  std::uint64_t xid = 0;
+  bool ok = false;
+  std::vector<net::FlowEntry> entries;
+};
+
 /// Counters of control-network traffic (the quantity Figs 7g/7h report)
 /// plus the fault/recovery accounting of the control-plane fault model.
 struct ControlPlaneStats {
@@ -61,6 +80,9 @@ struct ControlPlaneStats {
   std::uint64_t packetOutsDropped = 0;
   std::uint64_t barrierRequests = 0;
   std::uint64_t barrierReplies = 0;
+  /// Flow-stats reads (the Reconciler's data-plane audit channel).
+  std::uint64_t flowStatsRequests = 0;
+  std::uint64_t flowStatsReplies = 0;
 };
 
 }  // namespace pleroma::openflow

@@ -147,5 +147,37 @@ TEST_F(RunnerFixture, PublishArityChecked) {
   EXPECT_TRUE(outputContains("error: expected 2 attribute values"));
 }
 
+TEST_F(RunnerFixture, StatsMetricsDumpsRegistry) {
+  runner.executeScript(
+      "adv h1 0:1023 0:1023\n"
+      "sub h6 0:1023 0:1023\n"
+      "pub h1 100 100\n"
+      "run\n"
+      "stats metrics\n");
+  EXPECT_TRUE(outputContains("flow_table.lookups"));
+  EXPECT_TRUE(outputContains("ok:"));
+  // The summary trailer reports how many metric lines were printed.
+  EXPECT_NE(lastLine().find("metrics"), std::string::npos);
+}
+
+TEST_F(RunnerFixture, StatsJsonIsParseableSnapshot) {
+  runner.executeScript(
+      "adv h1 0:1023 0:1023\n"
+      "pub h1 100 100\n"
+      "run\n"
+      "stats json\n");
+  std::string err;
+  const auto doc = obs::JsonValue::parse(lastLine(), &err);
+  ASSERT_TRUE(doc.has_value()) << err << " in: " << lastLine();
+  EXPECT_TRUE(doc->contains("counters"));
+  EXPECT_TRUE(doc->contains("gauges"));
+  EXPECT_TRUE(doc->contains("histograms"));
+}
+
+TEST_F(RunnerFixture, StatsRejectsUnknownMode) {
+  runner.executeLine("stats bogus");
+  EXPECT_TRUE(outputContains("error: stats [metrics|json]"));
+}
+
 }  // namespace
 }  // namespace pleroma::core

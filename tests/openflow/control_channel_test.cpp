@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace pleroma::openflow {
 namespace {
 
@@ -257,6 +259,39 @@ TEST_F(ChannelFixture, ExtraDelayDefersAsyncApply) {
   sim.run();
   EXPECT_EQ(net_.flowTable(sw).size(), 1u);
   EXPECT_GE(sim.now(), 2 * net::kMillisecond);  // at least the base latency
+}
+
+TEST_F(ChannelFixture, FlowStatsReadSurfacesMatchedPackets) {
+  channel.send({FlowModType::kAdd, sw, entry("0", 2)});
+  channel.send({FlowModType::kAdd, sw, entry("1", 2)});
+  net_.flowTable(sw).lookup(dz::dzToAddress(dz("00")));
+  net_.flowTable(sw).lookup(dz::dzToAddress(dz("01")));
+  net_.flowTable(sw).lookup(dz::dzToAddress(dz("10")));
+
+  const FlowStatsReply reply = channel.requestFlowStats(sw);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.switchNode, sw);
+  ASSERT_EQ(reply.entries.size(), 2u);
+  std::uint64_t matched = 0;
+  for (const net::FlowEntry& e : reply.entries) matched += e.matchedPackets;
+  EXPECT_EQ(matched, 3u);
+  EXPECT_EQ(channel.stats().flowStatsRequests, 1u);
+  EXPECT_EQ(channel.stats().flowStatsReplies, 1u);
+}
+
+TEST_F(ChannelFixture, FlowStatsFromDisconnectedSwitchFails) {
+  obs::MetricsRegistry reg;
+  channel.attachObservability(reg);
+  channel.send({FlowModType::kAdd, sw, entry("0", 2)});
+  channel.setSwitchConnected(sw, false);
+
+  const FlowStatsReply reply = channel.requestFlowStats(sw);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_TRUE(reply.entries.empty());
+  // The attempt is counted (request metric too) but no reply arrives.
+  EXPECT_EQ(channel.stats().flowStatsRequests, 1u);
+  EXPECT_EQ(channel.stats().flowStatsReplies, 0u);
+  EXPECT_EQ(reg.counter("ctrl_channel.flow_stats_requests").value(), 1u);
 }
 
 TEST_F(ChannelFixture, AddRejectedWhenTableFull) {

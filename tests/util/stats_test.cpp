@@ -60,6 +60,34 @@ TEST(RunningStat, MergeWithEmpty) {
   EXPECT_EQ(b.mean(), 5.0);
 }
 
+// Regression: an empty side's default min_/max_ of 0.0 must never leak
+// into the merged extrema. With all-positive samples a leaked 0 would
+// drag min down; with all-negative samples it would drag max up.
+TEST(RunningStat, MergeWithEmptyPreservesExtrema) {
+  RunningStat positive;
+  positive.add(4.0);
+  positive.add(9.0);
+  RunningStat empty;
+  positive.merge(empty);
+  EXPECT_EQ(positive.min(), 4.0);
+  EXPECT_EQ(positive.max(), 9.0);
+
+  RunningStat intoEmpty;
+  intoEmpty.merge(positive);
+  EXPECT_EQ(intoEmpty.min(), 4.0);
+  EXPECT_EQ(intoEmpty.max(), 9.0);
+
+  RunningStat negative;
+  negative.add(-7.0);
+  negative.add(-2.0);
+  RunningStat target;
+  target.merge(negative);
+  target.merge(RunningStat{});
+  EXPECT_EQ(target.min(), -7.0);
+  EXPECT_EQ(target.max(), -2.0);
+  EXPECT_EQ(target.count(), 2u);
+}
+
 TEST(Samples, Percentiles) {
   Samples s;
   for (int i = 1; i <= 100; ++i) s.add(i);
