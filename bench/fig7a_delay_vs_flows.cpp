@@ -98,7 +98,7 @@ double runOnce(int nFlows, bool zipfian, std::uint64_t seed) {
 
   util::RunningStat delay;
   network.setDeliverHandler([&](net::NodeId, const net::Packet& pkt) {
-    delay.add(static_cast<double>(sim.now() - pkt.sentAt));
+    delay.add(static_cast<double>(sim.now() - pkt.sentAt()));
   });
 
   util::Rng rng(seed);
@@ -111,8 +111,8 @@ double runOnce(int nFlows, bool zipfian, std::uint64_t seed) {
                                    ? zipf.sample(rng)
                                    : rng.uniformInt(0, dzs.size() - 1);
       net::Packet pkt;
-      pkt.eventDz = dzs[pick];
-      pkt.dst = dz::dzToAddress(pkt.eventDz);
+      pkt.mutablePayload().eventDz = dzs[pick];
+      pkt.dst = dz::dzToAddress(pkt.eventDz());
       pkt.src = net::hostAddress(pub);
       pkt.sizeBytes = 64;
       network.sendFromHost(pub, pkt);

@@ -20,12 +20,13 @@ using namespace pleroma;
 
 struct Row {
   double meanFlowMods;
+  double meanCtrlMsgs;
   double meanWallUs;
   double meanModeledMs;
   double subsPerSec;
 };
 
-Row runOnce(std::size_t deployed, std::uint64_t seed) {
+Row runOnce(std::size_t deployed, std::uint64_t seed, bool batched) {
   // A 6-attribute schema with narrow subscriptions keeps arriving
   // subscriptions genuinely *new*: with a tiny schema the few end hosts
   // soon cover every subspace and further subscriptions would stop
@@ -35,6 +36,7 @@ Row runOnce(std::size_t deployed, std::uint64_t seed) {
   opts.controller.maxDzLength = 24;
   opts.controller.maxCellsPerRequest = 8;
   core::Pleroma p(net::Topology::testbedFatTree(), opts);
+  p.controller().channel().enableBatching(batched);
   const auto hosts = p.topology().hosts();
 
   workload::WorkloadConfig wcfg;
@@ -49,23 +51,27 @@ Row runOnce(std::size_t deployed, std::uint64_t seed) {
   bench::deploySubscriptions(
       p, std::vector<net::NodeId>(hosts.begin() + 1, hosts.end()), gen, deployed);
 
-  util::RunningStat flowMods, wallUs, modeledMs;
+  util::RunningStat flowMods, ctrlMsgs, wallUs, modeledMs;
   const int kProbes = bench::scaled(100, 10);
   for (int i = 0; i < kProbes; ++i) {
     const auto host = hosts[1 + static_cast<std::size_t>(i) % (hosts.size() - 1)];
     const dz::Rectangle rect = gen.makeSubscription();
+    const std::uint64_t msgsBefore =
+        p.controller().channel().stats().flowModMessages();
     const auto t0 = std::chrono::steady_clock::now();
     p.subscribe(host, rect);
     const auto t1 = std::chrono::steady_clock::now();
     const ctrl::OpStats& op = p.controller().lastOpStats();
     flowMods.add(static_cast<double>(op.totalFlowMods()));
+    ctrlMsgs.add(static_cast<double>(
+        p.controller().channel().stats().flowModMessages() - msgsBefore));
     wallUs.add(std::chrono::duration<double, std::micro>(t1 - t0).count());
     modeledMs.add(static_cast<double>(op.modeledInstallTime) /
                   static_cast<double>(net::kMillisecond));
   }
   // Reconfiguration delay = controller compute + switch installs.
   const double perSubMs = wallUs.mean() / 1000.0 + modeledMs.mean();
-  return Row{flowMods.mean(), wallUs.mean(), modeledMs.mean(),
+  return Row{flowMods.mean(), ctrlMsgs.mean(), wallUs.mean(), modeledMs.mean(),
              1000.0 / perSubMs};
 }
 
@@ -79,18 +85,35 @@ int main() {
   bench.meta("seed", 41);
   bench.meta("topology", "testbed_fat_tree");
   bench.meta("workload", "uniform_6dim_narrow_subscriptions");
-  bench.beginSeries("reconfig_delay", {{"deployed_subs", "count"},
-                                       {"mean_flow_mods", "mods"},
-                                       {"controller_wall_us", "us"},
-                                       {"switch_install_ms", "ms"},
-                                       {"subs_per_sec", "1/s"}});
   const std::vector<std::size_t> sweep =
       smokeMode() ? std::vector<std::size_t>{100}
                   : std::vector<std::size_t>{100, 1000, 5000, 10000, 25000};
+  bench.beginSeries("reconfig_delay", {{"deployed_subs", "count"},
+                                       {"mean_flow_mods", "mods"},
+                                       {"mean_ctrl_msgs", "msgs"},
+                                       {"controller_wall_us", "us"},
+                                       {"switch_install_ms", "ms"},
+                                       {"subs_per_sec", "1/s"}});
   for (const std::size_t n : sweep) {
-    const Row r = runOnce(n, 41);
-    bench.row({n, cell(r.meanFlowMods, 1), cell(r.meanWallUs, 1),
-               cell(r.meanModeledMs, 2), cell(r.subsPerSec, 1)});
+    const Row r = runOnce(n, 41, /*batched=*/false);
+    bench.row({n, cell(r.meanFlowMods, 1), cell(r.meanCtrlMsgs, 1),
+               cell(r.meanWallUs, 1), cell(r.meanModeledMs, 2),
+               cell(r.subsPerSec, 1)});
+  }
+  // Same sweep with per-switch flow-mod batching: the mods per
+  // subscription are unchanged, but they travel in far fewer control
+  // messages (one per touched switch instead of one per mod).
+  bench.beginSeries("reconfig_delay_batched", {{"deployed_subs", "count"},
+                                               {"mean_flow_mods", "mods"},
+                                               {"mean_ctrl_msgs", "msgs"},
+                                               {"controller_wall_us", "us"},
+                                               {"switch_install_ms", "ms"},
+                                               {"subs_per_sec", "1/s"}});
+  for (const std::size_t n : sweep) {
+    const Row r = runOnce(n, 41, /*batched=*/true);
+    bench.row({n, cell(r.meanFlowMods, 1), cell(r.meanCtrlMsgs, 1),
+               cell(r.meanWallUs, 1), cell(r.meanModeledMs, 2),
+               cell(r.subsPerSec, 1)});
   }
   return 0;
 }

@@ -1,0 +1,152 @@
+// Compares two BENCH_micro_*.json reports (a committed baseline and a fresh
+// run) and fails when a watched benchmark's per-iteration real time
+// regressed beyond the tolerance. CI's perf-smoke job runs the micro
+// benches, then feeds the fresh reports plus bench/baselines/ through this
+// to catch fast-path regressions before they merge.
+//
+// Usage: perf_check [--tolerance=0.25] baseline.json current.json [name...]
+//
+// With explicit names only those benchmarks are compared (a name matches by
+// prefix, so "BM_FlowTableLookup" covers every /arg variant). Without
+// names, every benchmark present in both reports is compared. Benchmarks
+// missing from either side are reported but only fail the check when they
+// were explicitly requested.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using pleroma::obs::JsonValue;
+
+/// benchmark name -> real ns/iter from a report's "benchmarks" series.
+std::optional<std::map<std::string, double>> loadReport(const char* path,
+                                                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = JsonValue::parse(buf.str(), error);
+  if (!doc.has_value()) return std::nullopt;
+  if (!pleroma::obs::BenchReporter::validate(*doc, error)) return std::nullopt;
+
+  std::map<std::string, double> out;
+  const JsonValue* series = doc->get("series");
+  for (const JsonValue& entry : series->items()) {
+    const JsonValue* name = entry.get("name");
+    if (name == nullptr || name->asString() != "benchmarks") continue;
+    const JsonValue* columns = entry.get("columns");
+    std::size_t nameCol = 0, realCol = 0;
+    for (std::size_t i = 0; i < columns->items().size(); ++i) {
+      const std::string& col =
+          columns->items()[i].get("name")->asString();
+      if (col == "name") nameCol = i;
+      if (col == "real_ns_per_iter") realCol = i;
+    }
+    for (const JsonValue& row : entry.get("rows")->items()) {
+      out[row.items()[nameCol].asString()] =
+          row.items()[realCol].asDouble();
+    }
+  }
+  if (out.empty()) {
+    *error = "no \"benchmarks\" series with rows";
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.25;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      tolerance = std::strtod(argv[i] + 12, nullptr);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--tolerance=0.25] baseline.json current.json "
+                 "[benchmark-name...]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  const auto baseline = loadReport(positional[0], &error);
+  if (!baseline.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", positional[0], error.c_str());
+    return 1;
+  }
+  const auto current = loadReport(positional[1], &error);
+  if (!current.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", positional[1], error.c_str());
+    return 1;
+  }
+
+  const std::vector<const char*> watched(positional.begin() + 2,
+                                         positional.end());
+  const auto isWatched = [&](const std::string& name) {
+    if (watched.empty()) return true;
+    for (const char* w : watched) {
+      if (name.rfind(w, 0) == 0) return true;
+    }
+    return false;
+  };
+
+  int failures = 0;
+  std::size_t compared = 0;
+  for (const auto& [name, base] : *baseline) {
+    if (!isWatched(name)) continue;
+    const auto it = current->find(name);
+    if (it == current->end()) {
+      std::fprintf(stderr, "MISSING  %-44s (in baseline, not in current)\n",
+                   name.c_str());
+      if (!watched.empty()) ++failures;
+      continue;
+    }
+    ++compared;
+    const double ratio = it->second / base;
+    const bool bad = ratio > 1.0 + tolerance;
+    std::printf("%-8s %-44s %12.0f -> %12.0f ns/iter  (%+.1f%%)\n",
+                bad ? "REGRESS" : "ok", name.c_str(), base, it->second,
+                (ratio - 1.0) * 100.0);
+    if (bad) ++failures;
+  }
+  // Explicitly watched names must exist somewhere; a typo should not pass.
+  for (const char* w : watched) {
+    bool found = false;
+    for (const auto& [name, base] : *baseline) {
+      if (name.rfind(w, 0) == 0) found = true;
+    }
+    if (!found) {
+      std::fprintf(stderr, "MISSING  %-44s (not in baseline)\n", w);
+      ++failures;
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "nothing compared\n");
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d benchmark(s) regressed beyond %.0f%%\n", failures,
+                 tolerance * 100.0);
+    return 1;
+  }
+  return 0;
+}

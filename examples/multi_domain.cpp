@@ -40,7 +40,7 @@ int main() {
   domain.network().setDeliverHandler(
       [&](net::NodeId host, const net::Packet& pkt) {
         std::printf("  event %llu delivered to %s\n",
-                    static_cast<unsigned long long>(pkt.eventId),
+                    static_cast<unsigned long long>(pkt.eventId()),
                     domain.network().topology().node(host).name.c_str());
       });
 

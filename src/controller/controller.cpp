@@ -55,8 +55,11 @@ PublisherId Controller::advertiseEndpoint(const Endpoint& endpoint,
   OpStats snapshot = beginOp("op.advertise");
   const PublisherId id = nextPublisher_++;
   advertisements_.emplace(id, AdvRecord{endpoint, dzSet, std::move(rect)});
-  runAdvertise(id);
-  mergeTreesIfNeeded();
+  {
+    FlowInstaller::BatchScope batchScope(installer_);
+    runAdvertise(id);
+    mergeTreesIfNeeded();
+  }
   endOp(snapshot);
   return id;
 }
@@ -72,7 +75,10 @@ SubscriptionId Controller::subscribeEndpoint(const Endpoint& endpoint,
   const SubscriptionId id = nextSubscription_++;
   subscriptions_.emplace(id, SubRecord{endpoint, dzSet, std::move(rect)});
   for (const dz::DzExpression& d : dzSet) subscriptionIndex_.insert(d, id);
-  runSubscribe(id);
+  {
+    FlowInstaller::BatchScope batchScope(installer_);
+    runSubscribe(id);
+  }
   endOp(snapshot);
   return id;
 }
@@ -81,7 +87,10 @@ void Controller::unsubscribe(SubscriptionId id) {
   const auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return;
   OpStats snapshot = beginOp("op.unsubscribe");
-  removePaths(registry_.pathsOfSubscription(id));
+  {
+    FlowInstaller::BatchScope batchScope(installer_);
+    removePaths(registry_.pathsOfSubscription(id));
+  }
   for (const dz::DzExpression& d : it->second.dzSet) {
     subscriptionIndex_.erase(d, id);
   }
@@ -93,7 +102,10 @@ void Controller::unadvertise(PublisherId id) {
   const auto it = advertisements_.find(id);
   if (it == advertisements_.end()) return;
   OpStats snapshot = beginOp("op.unadvertise");
-  removePaths(registry_.pathsOfPublisher(id));
+  {
+    FlowInstaller::BatchScope batchScope(installer_);
+    removePaths(registry_.pathsOfPublisher(id));
+  }
   for (auto& tree : trees_) tree->removePublisher(id);
   // Trees left without any publisher carry no traffic; retire them so their
   // subspaces become available to future advertisements.
@@ -331,6 +343,7 @@ bool Controller::switchActive(net::NodeId switchNode) const {
 }
 
 void Controller::onLinkDown(net::LinkId link) {
+  FlowInstaller::BatchScope batchScope(installer_);
   if (std::find(downLinks_.begin(), downLinks_.end(), link) != downLinks_.end()) {
     return;
   }
@@ -347,6 +360,7 @@ void Controller::onLinkDown(net::LinkId link) {
 }
 
 void Controller::onLinkUp(net::LinkId link) {
+  FlowInstaller::BatchScope batchScope(installer_);
   const auto it = std::find(downLinks_.begin(), downLinks_.end(), link);
   if (it == downLinks_.end()) return;
   downLinks_.erase(it);
@@ -361,6 +375,7 @@ void Controller::onLinkUp(net::LinkId link) {
 // ---- failure handling (switch node down/up) --------------------------------
 
 void Controller::onSwitchDown(net::NodeId switchNode) {
+  FlowInstaller::BatchScope batchScope(installer_);
   if (!switchActive(switchNode)) return;
   downSwitches_.push_back(switchNode);
   // The control session is gone and the node's TCAM state with it; keeping
@@ -393,6 +408,7 @@ void Controller::onSwitchDown(net::NodeId switchNode) {
 }
 
 void Controller::onSwitchUp(net::NodeId switchNode) {
+  FlowInstaller::BatchScope batchScope(installer_);
   const auto it =
       std::find(downSwitches_.begin(), downSwitches_.end(), switchNode);
   if (it == downSwitches_.end()) return;
@@ -505,21 +521,24 @@ net::Packet Controller::makeEventPacket(net::NodeId publisherHost,
                                         const dz::Event& event,
                                         net::EventId eventId) const {
   net::Packet pkt;
-  pkt.eventDz = stampEvent(event);
-  pkt.dst = dz::dzToAddress(pkt.eventDz);
+  std::shared_ptr<net::EventPayload> payload = payloadPool_.acquire();
+  payload->eventDz = stampEvent(event);
+  payload->publisherHost = publisherHost;
+  payload->event = event;
+  payload->eventId = eventId;
+  pkt.dst = dz::dzToAddress(payload->eventDz);
   pkt.src = net::hostAddress(publisherHost);
-  pkt.publisherHost = publisherHost;
-  pkt.event = event;
-  pkt.eventId = eventId;
   // "The size of each packet is up to 64 bytes depending upon the length of
   // dz" (Sec 6.2): IPv6 header dominates, dz bits ride in the address.
-  pkt.sizeBytes = 48 + pkt.eventDz.length() / 8;
+  pkt.sizeBytes = 48 + payload->eventDz.length() / 8;
+  pkt.payload = std::move(payload);
   return pkt;
 }
 
 // ---- re-indexing (Sec 5) --------------------------------------------------
 
 void Controller::reindex(const std::vector<int>& dims) {
+  FlowInstaller::BatchScope batchScope(installer_);
   if (obsReindexes_ != nullptr) obsReindexes_->inc();
   space_.setIndexedDimensions(dims);
 

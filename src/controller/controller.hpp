@@ -243,6 +243,9 @@ class Controller {
   PublisherId nextPublisher_ = 0;
   SubscriptionId nextSubscription_ = 0;
   OpStats lastOp_;
+  /// Recycles (control block + EventPayload) allocations across publishes;
+  /// mutable because stamping a packet does not change controller state.
+  mutable net::PayloadPool payloadPool_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::SpanId opSpan_ = obs::kNoSpan;  // open registration-op span

@@ -52,7 +52,17 @@ void FlowInstaller::apply(openflow::FlowModType type, net::NodeId sw,
       m.erase(d);
       break;
   }
-  channel_.send(mod);
+  if (channel_.batchingEnabled()) {
+    batch_.push_back(std::move(mod));
+  } else {
+    channel_.send(mod);
+  }
+}
+
+void FlowInstaller::flushBatch() {
+  if (batch_.empty()) return;
+  channel_.sendBatch(batch_);
+  batch_.clear();
 }
 
 void FlowInstaller::installPath(const dz::DzSet& dzSet,
@@ -60,6 +70,7 @@ void FlowInstaller::installPath(const dz::DzSet& dzSet,
   for (const dz::DzExpression& d : dzSet) {
     for (const RouteHop& hop : hops) installOne(d, hop);
   }
+  maybeFlush();
 }
 
 void FlowInstaller::installOne(const dz::DzExpression& d, const RouteHop& hop) {
@@ -199,6 +210,7 @@ void FlowInstaller::reconcileSwitch(net::NodeId sw,
   for (const auto& [d, entry] : wanted) {
     if (!m.contains(d)) apply(openflow::FlowModType::kAdd, sw, d, *entry);
   }
+  maybeFlush();
 }
 
 }  // namespace pleroma::ctrl

@@ -37,6 +37,27 @@ class FlowInstaller {
   /// Entries must stem from dz encodings (priority = dz length).
   void reconcileSwitch(net::NodeId sw, const std::vector<net::FlowEntry>& required);
 
+  /// Widens the batching unit from a single installPath / reconcileSwitch
+  /// call to a whole controller operation: while a scope is open, deferred
+  /// mods keep accumulating, and the outermost scope's destructor flushes
+  /// them as one batch per touched switch. An operation whose routes cross
+  /// the same switch several times then sends one message to it instead of
+  /// one per visit. Nestable; a no-op when batching is disabled.
+  class BatchScope {
+   public:
+    explicit BatchScope(FlowInstaller& installer) : installer_(installer) {
+      ++installer_.batchDepth_;
+    }
+    ~BatchScope() {
+      if (--installer_.batchDepth_ == 0) installer_.flushBatch();
+    }
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    FlowInstaller& installer_;
+  };
+
   /// The controller-side view of a switch's flows, keyed by dz.
   const std::map<dz::DzExpression, net::FlowEntry>& mirror(net::NodeId sw) const;
 
@@ -57,9 +78,22 @@ class FlowInstaller {
   void installOne(const dz::DzExpression& d, const RouteHop& hop);
   void apply(openflow::FlowModType type, net::NodeId sw, const dz::DzExpression& d,
              const net::FlowEntry& entry);
+  /// Sends the mods accumulated while the channel had batching enabled as
+  /// coalesced per-switch batch messages. No-op otherwise.
+  void flushBatch();
+  /// Flush point at the end of installPath / reconcileSwitch; deferred
+  /// while a BatchScope is open.
+  void maybeFlush() {
+    if (batchDepth_ == 0) flushBatch();
+  }
 
   openflow::ControlChannel& channel_;
   std::unordered_map<net::NodeId, SwitchMirror> mirrors_;
+  /// Mods deferred by apply() while batching: one installPath() /
+  /// reconcileSwitch() call (or one enclosing BatchScope) flushes as one
+  /// batch per touched switch.
+  std::vector<openflow::FlowMod> batch_;
+  int batchDepth_ = 0;
 
   /// Per-case counters of Algorithm 1's flowAddition (null until attached):
   /// 1 = fresh add, 2 = covered by an existing flow, 3 = finer flow

@@ -21,8 +21,10 @@ void Reconciler::repair(openflow::FlowModType type, net::NodeId sw,
   ++totalRepairs_;
   if (obsRepairs_ != nullptr) obsRepairs_->inc();
   // Repairs bypass the installer: the mirror already *is* the intended
-  // state, only the switch must move.
-  controller_.channel().send({type, sw, entry});
+  // state, only the switch must move. They are collected per audited
+  // switch and flushed as one sendBatch — a single message when the
+  // channel batches, the identical per-mod sends otherwise.
+  repairBatch_.push_back({type, sw, entry});
 }
 
 ReconcileReport Reconciler::reconcileSwitch(net::NodeId sw) {
@@ -82,6 +84,10 @@ ReconcileReport Reconciler::reconcileSwitch(net::NodeId sw) {
   }
   for (const net::FlowEntry* entry : orphans) {
     repair(openflow::FlowModType::kDelete, sw, *entry, report);
+  }
+  if (!repairBatch_.empty()) {
+    controller_.channel().sendBatch(repairBatch_);
+    repairBatch_.clear();
   }
   return report;
 }

@@ -85,6 +85,11 @@ class Reconciler {
               const net::FlowEntry& entry, ReconcileReport& report);
   void scheduleTick();
 
+  /// Repair mods for the switch being audited; flushed through
+  /// ControlChannel::sendBatch at the end of each reconcileSwitch pass, so
+  /// with batching enabled one audit costs one control message.
+  std::vector<openflow::FlowMod> repairBatch_;
+
   Controller& controller_;
   ReconcileReport last_;
   net::SimTime periodicInterval_ = 0;

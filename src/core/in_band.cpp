@@ -10,8 +10,8 @@ InBandSignaling::InBandSignaling(net::Network& network,
       controller_(controller),
       fallthrough_(std::move(packetInFallthrough)) {
   network_.setPacketInHandler(
-      [this](net::NodeId sw, net::PortId port, const net::Packet& pkt) {
-        onPacketIn(sw, port, pkt);
+      [this](net::NodeId sw, net::PortId port, net::Packet&& pkt) {
+        onPacketIn(sw, port, std::move(pkt));
       });
   network_.setDeliverHandler(
       [this, fall = std::move(deliverFallthrough)](net::NodeId host,
@@ -43,14 +43,14 @@ std::uint64_t InBandSignaling::sendRequest(Request request) {
     });
   }
 
+  const net::NodeId requestHost = request.host;
   net::Packet pkt;
   pkt.dst = dz::kControlAddress;
-  pkt.src = net::hostAddress(request.host);
-  pkt.publisherHost = request.host;
+  pkt.src = net::hostAddress(requestHost);
   pkt.sizeBytes = 64 + 8 * static_cast<int>(request.rect.ranges.size());
   pkt.controlKind = kControlKind;
   pkt.control = std::make_shared<Request>(std::move(request));
-  network_.sendFromHost(pkt.publisherHost, std::move(pkt));
+  network_.sendFromHost(requestHost, std::move(pkt));
   return token;
 }
 
@@ -75,9 +75,9 @@ std::uint64_t InBandSignaling::sendUnsubscribe(net::NodeId host,
 }
 
 void InBandSignaling::onPacketIn(net::NodeId switchNode, net::PortId inPort,
-                                 const net::Packet& packet) {
+                                 net::Packet&& packet) {
   if (packet.controlKind != kControlKind || packet.control == nullptr) {
-    if (fallthrough_) fallthrough_(switchNode, inPort, packet);
+    if (fallthrough_) fallthrough_(switchNode, inPort, std::move(packet));
     return;
   }
   const auto& request = *static_cast<const Request*>(packet.control.get());

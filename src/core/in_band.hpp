@@ -90,7 +90,7 @@ class InBandSignaling {
 
   std::uint64_t sendRequest(Request request);
   void onPacketIn(net::NodeId switchNode, net::PortId inPort,
-                  const net::Packet& packet);
+                  net::Packet&& packet);
   void onAckAtHost(net::NodeId host, const net::Packet& packet);
 
   net::Network& network_;

@@ -8,6 +8,8 @@ Pleroma::Pleroma(net::Topology topology, PleromaOptions options)
     : dimensionWindow_(options.dimensionWindow) {
   network_ = std::make_unique<net::Network>(std::move(topology), sim_,
                                             options.network);
+  subsByHost_.resize(
+      static_cast<std::size_t>(network_->topology().nodeCount()));
   controller_ = std::make_unique<ctrl::Controller>(
       dz::EventSpace(options.numAttributes, options.bitsPerDim), *network_,
       ctrl::Scope::wholeTopology(network_->topology()), options.controller);
@@ -32,8 +34,10 @@ void Pleroma::unadvertise(ctrl::PublisherId id) { controller_->unadvertise(id); 
 ctrl::SubscriptionId Pleroma::subscribe(net::NodeId host,
                                         const dz::Rectangle& rect) {
   const ctrl::SubscriptionId id = controller_->subscribe(host, rect);
-  subs_.emplace(id, std::make_pair(host, rect));
-  subsByHost_[host].push_back(id);
+  const auto [it, inserted] = subs_.emplace(id, std::make_pair(host, rect));
+  (void)inserted;
+  subsByHost_[static_cast<std::size_t>(host)].push_back(
+      HostSub{id, &it->second.second});
   return id;
 }
 
@@ -41,8 +45,8 @@ void Pleroma::unsubscribe(ctrl::SubscriptionId id) {
   controller_->unsubscribe(id);
   const auto it = subs_.find(id);
   if (it != subs_.end()) {
-    auto& list = subsByHost_[it->second.first];
-    std::erase(list, id);
+    auto& list = subsByHost_[static_cast<std::size_t>(it->second.first)];
+    std::erase_if(list, [id](const HostSub& s) { return s.id == id; });
     subs_.erase(it);
   }
 }
@@ -56,7 +60,7 @@ net::EventId Pleroma::publish(net::NodeId host, const dz::Event& event,
     // Root of the event's data-plane span tree: traceId = event id.
     const obs::SpanId root = tracer_.instant(id, obs::kNoSpan, "publish",
                                              sim_.now(), host);
-    tracer_.annotate(root, "dz", packet.eventDz.toString());
+    tracer_.annotate(root, "dz", packet.eventDz().toString());
     packet.traceSpan = root;
   }
   network_->sendFromHost(host, std::move(packet));
@@ -74,19 +78,16 @@ net::EventId Pleroma::publish(net::NodeId host, const dz::Event& event,
 void Pleroma::onDeliver(net::NodeId host, const net::Packet& packet) {
   DeliveryRecord rec;
   rec.host = host;
-  rec.eventId = packet.eventId;
-  rec.latency = sim_.now() - packet.sentAt;
+  rec.eventId = packet.eventId();
+  rec.latency = sim_.now() - packet.sentAt();
 
   // A delivery is a false positive when no subscription registered at this
   // host actually matches the event's exact attribute values (Sec 6.4).
   bool matched = false;
-  const auto it = subsByHost_.find(host);
-  if (it != subsByHost_.end()) {
-    for (const ctrl::SubscriptionId sid : it->second) {
-      if (subs_.at(sid).second.contains(packet.event)) {
-        matched = true;
-        break;
-      }
+  for (const HostSub& sub : subsByHost_[static_cast<std::size_t>(host)]) {
+    if (sub.rect->contains(packet.event())) {
+      matched = true;
+      break;
     }
   }
   rec.falsePositive = !matched;
@@ -100,7 +101,7 @@ void Pleroma::onDeliver(net::NodeId host, const net::Packet& packet) {
   if (rec.falsePositive) obsFalsePositives_->inc();
   obsDeliveryLatency_->record(static_cast<double>(rec.latency));
   if (tracer_.enabled()) {
-    const obs::SpanId span = tracer_.instant(packet.eventId, packet.traceSpan,
+    const obs::SpanId span = tracer_.instant(packet.eventId(), packet.traceSpan,
                                              "app_deliver", sim_.now(), host);
     if (rec.falsePositive) tracer_.annotate(span, "false_positive", "true");
   }

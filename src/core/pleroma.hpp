@@ -157,7 +157,13 @@ class Pleroma {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<ctrl::Controller> controller_;
   std::map<ctrl::SubscriptionId, std::pair<net::NodeId, dz::Rectangle>> subs_;
-  std::map<net::NodeId, std::vector<ctrl::SubscriptionId>> subsByHost_;
+  /// Per-host view of subs_, indexed by NodeId for the delivery hot path.
+  /// Rectangle pointers alias subs_ map nodes (stable across insert/erase).
+  struct HostSub {
+    ctrl::SubscriptionId id;
+    const dz::Rectangle* rect;
+  };
+  std::vector<std::vector<HostSub>> subsByHost_;
   DeliveryCallback callback_;
   DeliveryStats stats_;
   std::vector<net::SimTime> latencies_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
 
 namespace pleroma::dz {
 
@@ -46,8 +47,12 @@ void DzSet::unionWith(const DzSet& other) {
 }
 
 bool DzSet::covers(const DzExpression& d) const noexcept {
-  return std::any_of(items_.begin(), items_.end(),
-                     [&](const DzExpression& m) { return m.covers(d); });
+  // items_ is canonical: trie-sorted and prefix-free. In trie order every
+  // dz sorts immediately before its descendants, and a prefix-free set has
+  // no other member between a prefix of d and d itself — so the only
+  // possible coverer of d is d's trie-order predecessor (or d itself).
+  const auto it = std::upper_bound(items_.begin(), items_.end(), d);
+  return it != items_.begin() && std::prev(it)->covers(d);
 }
 
 bool DzSet::coversSet(const DzSet& other) const noexcept {
@@ -56,8 +61,12 @@ bool DzSet::coversSet(const DzSet& other) const noexcept {
 }
 
 bool DzSet::overlaps(const DzExpression& d) const noexcept {
-  return std::any_of(items_.begin(), items_.end(),
-                     [&](const DzExpression& m) { return m.overlaps(d); });
+  // Overlap means one side covers the other. "Some member covers d" is the
+  // predecessor probe of covers(); "d covers some member" is a probe of the
+  // contiguous trie range of d's descendants, which starts at lower_bound.
+  if (covers(d)) return true;
+  const auto it = std::lower_bound(items_.begin(), items_.end(), d);
+  return it != items_.end() && d.covers(*it);
 }
 
 bool DzSet::overlaps(const DzSet& other) const noexcept {

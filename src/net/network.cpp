@@ -29,7 +29,9 @@ const FlowTable& Network::flowTable(NodeId switchNode) const {
 
 void Network::sendFromHost(NodeId host, Packet packet) {
   assert(topo_.isHost(host));
-  packet.sentAt = sim_.now();
+  // Stamp the departure time while the payload is (normally) still owned by
+  // this packet alone; mutablePayload clones first if it is already shared.
+  if (packet.payload) packet.mutablePayload().sentAt = sim_.now();
   const auto attachment = topo_.hostAttachment(host);
   transmit(host, attachment.hostPort, std::move(packet));
 }
@@ -44,7 +46,7 @@ void Network::sendOutPort(NodeId switchNode, PortId outPort, Packet packet) {
   transmit(switchNode, outPort, std::move(packet));
 }
 
-void Network::arriveAtNode(NodeId node, PortId inPort, Packet packet) {
+void Network::arriveAtNode(NodeId node, PortId inPort, Packet&& packet) {
   if (!nodeUp_[static_cast<std::size_t>(node)]) {
     ++counters_.packetsDroppedNodeDown;
     return;
@@ -56,63 +58,96 @@ void Network::arriveAtNode(NodeId node, PortId inPort, Packet packet) {
   }
 }
 
-void Network::processAtSwitch(NodeId switchNode, PortId inPort, Packet packet) {
-  sim_.schedule(config_.switchProcessingDelay,
-                [this, switchNode, inPort, packet = std::move(packet)]() mutable {
-    // The switch may have failed while the packet sat in its pipeline.
-    if (!nodeUp_[static_cast<std::size_t>(switchNode)]) {
-      ++counters_.packetsDroppedNodeDown;
-      return;
-    }
-    // Permanent punt rule for the reserved control address (Sec 2): such
-    // packets go to the controller over the control network, never through
-    // the flow table.
-    if (packet.dst == dz::kControlAddress) {
-      ++counters_.packetsPuntedToController;
-      if (packetIn_) packetIn_(switchNode, inPort, packet);
-      return;
-    }
-    const bool tracing = tracer_ != nullptr && tracer_->enabled();
-    if (--packet.hopLimit < 0) {
-      ++counters_.packetsDroppedHopLimit;
-      if (tracing) {
-        tracer_->instant(packet.eventId, packet.traceSpan, "drop.hop_limit",
-                         sim_.now(), switchNode);
-      }
-      return;
-    }
-    const FlowEntry* entry =
-        tables_[static_cast<std::size_t>(switchNode)].lookup(packet.dst);
-    if (entry == nullptr) {
-      ++counters_.packetsDroppedNoMatch;
-      if (tracing) {
-        tracer_->instant(packet.eventId, packet.traceSpan, "tcam_miss",
-                         sim_.now(), switchNode);
-      }
-      return;
-    }
-    if (tracing) {
-      const obs::SpanId hop = tracer_->instant(
-          packet.eventId, packet.traceSpan, "tcam_match", sim_.now(), switchNode);
-      tracer_->annotate(hop, "entry", entry->match.toString());
-      tracer_->annotate(hop, "priority", std::to_string(entry->priority));
-      tracer_->annotate(hop, "fanout", std::to_string(entry->actions.size()));
-      packet.traceSpan = hop;  // forwarded copies chain off this hop
-    }
-    for (const FlowAction& action : entry->actions) {
-      if (action.port == inPort) continue;  // never reflect out the ingress
-      Packet out = packet;
-      if (action.setDestination) out.dst = *action.setDestination;
-      ++counters_.packetsForwarded;
-      transmit(switchNode, action.port, std::move(out));
-    }
-  });
+void Network::onPacketEvent(PacketEventKind kind, NodeId node, PortId port,
+                            Packet&& packet) {
+  switch (kind) {
+    case PacketEventKind::kArrive:
+      arriveAtNode(node, port, std::move(packet));
+      break;
+    case PacketEventKind::kSwitchPipeline:
+      switchPipeline(node, port, std::move(packet));
+      break;
+    case PacketEventKind::kHostService:
+      hostServiceDone(node, std::move(packet));
+      break;
+  }
 }
 
-void Network::receiveAtHost(NodeId host, Packet packet) {
+void Network::processAtSwitch(NodeId switchNode, PortId inPort,
+                              Packet&& packet) {
+  sim_.schedulePacket(config_.switchProcessingDelay, *this,
+                      PacketEventKind::kSwitchPipeline, switchNode, inPort,
+                      std::move(packet));
+}
+
+void Network::switchPipeline(NodeId switchNode, PortId inPort,
+                             Packet&& packet) {
+  // The switch may have failed while the packet sat in its pipeline.
+  if (!nodeUp_[static_cast<std::size_t>(switchNode)]) {
+    ++counters_.packetsDroppedNodeDown;
+    return;
+  }
+  // Permanent punt rule for the reserved control address (Sec 2): such
+  // packets go to the controller over the control network, never through
+  // the flow table.
+  if (packet.dst == dz::kControlAddress) {
+    ++counters_.packetsPuntedToController;
+    if (packetIn_) packetIn_(switchNode, inPort, std::move(packet));
+    return;
+  }
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  if (--packet.hopLimit < 0) {
+    ++counters_.packetsDroppedHopLimit;
+    if (tracing) {
+      tracer_->instant(packet.eventId(), packet.traceSpan, "drop.hop_limit",
+                       sim_.now(), switchNode);
+    }
+    return;
+  }
+  const FlowEntry* entry =
+      tables_[static_cast<std::size_t>(switchNode)].lookup(packet.dst);
+  if (entry == nullptr) {
+    ++counters_.packetsDroppedNoMatch;
+    if (tracing) {
+      tracer_->instant(packet.eventId(), packet.traceSpan, "tcam_miss",
+                       sim_.now(), switchNode);
+    }
+    return;
+  }
+  if (tracing) {
+    const obs::SpanId hop =
+        tracer_->instant(packet.eventId(), packet.traceSpan, "tcam_match",
+                         sim_.now(), switchNode);
+    tracer_->annotate(hop, "entry", entry->match.toString());
+    tracer_->annotate(hop, "priority", std::to_string(entry->priority));
+    tracer_->annotate(hop, "fanout", std::to_string(entry->actions.size()));
+    packet.traceSpan = hop;  // forwarded copies chain off this hop
+  }
+  // Fan-out copies share the payload: only the small header is duplicated.
+  // The incoming packet itself is moved into the last eligible action, so a
+  // unicast hop never touches the payload refcount at all.
+  const FlowAction* lastAction = nullptr;
+  for (const FlowAction& action : entry->actions) {
+    if (action.port != inPort) lastAction = &action;
+  }
+  for (const FlowAction& action : entry->actions) {
+    if (action.port == inPort) continue;  // never reflect out the ingress
+    ++counters_.packetsForwarded;
+    if (&action == lastAction) {
+      if (action.setDestination) packet.dst = *action.setDestination;
+      transmit(switchNode, action.port, std::move(packet));
+      break;
+    }
+    Packet out = packet;
+    if (action.setDestination) out.dst = *action.setDestination;
+    transmit(switchNode, action.port, std::move(out));
+  }
+}
+
+void Network::receiveAtHost(NodeId host, Packet&& packet) {
   HostState& state = hostState_[static_cast<std::size_t>(host)];
   if (tracer_ != nullptr && tracer_->enabled()) {
-    packet.traceSpan = tracer_->instant(packet.eventId, packet.traceSpan,
+    packet.traceSpan = tracer_->instant(packet.eventId(), packet.traceSpan,
                                         "host_deliver", sim_.now(), host);
   }
   if (config_.hostServiceTime == 0) {
@@ -127,11 +162,14 @@ void Network::receiveAtHost(NodeId host, Packet packet) {
   ++state.queued;
   const SimTime start = std::max(sim_.now(), state.busyUntil);
   state.busyUntil = start + config_.hostServiceTime;
-  sim_.scheduleAt(state.busyUntil, [this, host, packet = std::move(packet)]() mutable {
-    --hostState_[static_cast<std::size_t>(host)].queued;
-    ++counters_.packetsDeliveredToHosts;
-    if (deliver_) deliver_(host, packet);
-  });
+  sim_.schedulePacketAt(state.busyUntil, *this, PacketEventKind::kHostService,
+                        host, kInvalidPort, std::move(packet));
+}
+
+void Network::hostServiceDone(NodeId host, Packet&& packet) {
+  --hostState_[static_cast<std::size_t>(host)].queued;
+  ++counters_.packetsDeliveredToHosts;
+  if (deliver_) deliver_(host, packet);
 }
 
 void Network::attachObservability(obs::MetricsRegistry& reg,
@@ -156,7 +194,7 @@ void Network::setNodeUp(NodeId node, bool up) {
   }
 }
 
-void Network::transmit(NodeId fromNode, PortId outPort, Packet packet) {
+void Network::transmit(NodeId fromNode, PortId outPort, Packet&& packet) {
   if (!nodeUp_[static_cast<std::size_t>(fromNode)]) {
     ++counters_.packetsDroppedNodeDown;
     return;
@@ -178,9 +216,8 @@ void Network::transmit(NodeId fromNode, PortId outPort, Packet packet) {
                      link.bandwidthBps * static_cast<double>(kSecond)));
   }
   const LinkEnd to = link.peerOf(fromNode);
-  sim_.schedule(delay, [this, to, packet = std::move(packet)]() mutable {
-    arriveAtNode(to.node, to.port, std::move(packet));
-  });
+  sim_.schedulePacket(delay, *this, PacketEventKind::kArrive, to.node, to.port,
+                      std::move(packet));
 }
 
 std::uint64_t Network::totalLinkBytes() const {

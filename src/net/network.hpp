@@ -55,11 +55,13 @@ struct LinkCounters {
   std::uint64_t bytes = 0;
 };
 
-class Network {
+class Network : public PacketSink {
  public:
   /// (switch, ingress port, packet): invoked when a switch punts a packet
-  /// to its controller over the control network.
-  using PacketInHandler = std::function<void(NodeId, PortId, const Packet&)>;
+  /// to its controller over the control network. The packet is moved in
+  /// (the switch's copy dies at the punt); handlers taking `const Packet&`
+  /// bind as well.
+  using PacketInHandler = std::function<void(NodeId, PortId, Packet&&)>;
   /// (host, packet): invoked when a host finishes processing a received
   /// packet (i.e. after its service delay).
   using DeliverHandler = std::function<void(NodeId, const Packet&)>;
@@ -120,11 +122,18 @@ class Network {
   }
   std::uint64_t totalLinkBytes() const;
 
+  /// Fast-lane dispatch target: link propagation, switch pipeline, and
+  /// host service completions all arrive here from the Simulator.
+  void onPacketEvent(PacketEventKind kind, NodeId node, PortId port,
+                     Packet&& packet) override;
+
  private:
-  void arriveAtNode(NodeId node, PortId inPort, Packet packet);
-  void processAtSwitch(NodeId switchNode, PortId inPort, Packet packet);
-  void receiveAtHost(NodeId host, Packet packet);
-  void transmit(NodeId fromNode, PortId outPort, Packet packet);
+  void arriveAtNode(NodeId node, PortId inPort, Packet&& packet);
+  void processAtSwitch(NodeId switchNode, PortId inPort, Packet&& packet);
+  void switchPipeline(NodeId switchNode, PortId inPort, Packet&& packet);
+  void receiveAtHost(NodeId host, Packet&& packet);
+  void hostServiceDone(NodeId host, Packet&& packet);
+  void transmit(NodeId fromNode, PortId outPort, Packet&& packet);
 
   struct HostState {
     SimTime busyUntil = 0;

@@ -1,0 +1,118 @@
+// A move-only type-erased callable with a 64-byte small-buffer
+// optimization, used by the Simulator's event queue in place of
+// std::function. Data-plane closures (a captured `this` plus a packet
+// header) fit the inline buffer, so scheduling them performs no heap
+// allocation; larger control-plane closures transparently fall back to a
+// heap box — that is the designed slow path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pleroma::net {
+
+class SmallTask {
+ public:
+  /// Callables up to this size (and nothrow-movable) are stored inline.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  SmallTask() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallTask> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallTask(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &inlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &boxedVTable<Fn>;
+    }
+  }
+
+  SmallTask(SmallTask&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  SmallTask& operator=(SmallTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(other.buf_, buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallTask(const SmallTask&) = delete;
+  SmallTask& operator=(const SmallTask&) = delete;
+
+  ~SmallTask() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  /// True when the callable lives in the inline buffer (no heap involved).
+  /// Exposed so tests can pin down which captures take the fast path.
+  bool inlineStored() const noexcept {
+    return vt_ != nullptr && vt_->inlineStored;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    /// Move-constructs into `to` and destroys the source (storage is
+    /// always relocatable: inline objects are nothrow-movable, boxed
+    /// objects relocate as a raw pointer).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inlineStored;
+  };
+
+  template <typename Fn>
+  static constexpr VTable inlineVTable = {
+      [](void* s) { (*static_cast<Fn*>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+        static_cast<Fn*>(from)->~Fn();
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+      /*inlineStored=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr VTable boxedVTable = {
+      [](void* s) { (**static_cast<Fn**>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) Fn*(*static_cast<Fn**>(from));
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+      /*inlineStored=*/false,
+  };
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace pleroma::net

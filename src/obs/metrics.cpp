@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -11,13 +12,21 @@ namespace pleroma::obs {
 
 int Histogram::bucketIndex(double v) noexcept {
   if (!(v >= 1.0)) return 0;  // negatives and NaN land in bucket 0 too
-  int exp = 0;
-  std::frexp(v, &exp);          // v = m * 2^exp, m in [0.5, 1)
-  int octave = exp - 1;         // floor(log2(v)) for v >= 1
-  if (octave >= kOctaves) return kBucketCount - 1;
-  const double base = std::ldexp(1.0, octave);  // 2^octave
-  int sub = static_cast<int>((v / base - 1.0) * kSubBuckets);
-  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  // record() sits on the per-delivery hot path, so read the octave and
+  // sub-bucket straight out of the IEEE-754 representation instead of
+  // calling frexp/ldexp: for v >= 1, v = 2^octave * (1 + f) with octave the
+  // unbiased exponent and f the mantissa fraction, so the sub-bucket
+  // floor(f * kSubBuckets) is simply the top log2(kSubBuckets) mantissa
+  // bits.
+  static_assert((kSubBuckets & (kSubBuckets - 1)) == 0,
+                "sub-bucket extraction requires a power of two");
+  constexpr int kSubBits = std::bit_width(
+      static_cast<unsigned>(kSubBuckets) - 1);
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  const int octave = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  if (octave >= kOctaves) return kBucketCount - 1;  // also +infinity
+  const int sub = static_cast<int>((bits >> (52 - kSubBits)) &
+                                   (kSubBuckets - 1));
   return 1 + octave * kSubBuckets + sub;
 }
 

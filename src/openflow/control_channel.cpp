@@ -61,7 +61,7 @@ void ControlChannel::setSwitchConnected(net::NodeId switchNode, bool connected) 
   }
 }
 
-bool ControlChannel::send(const FlowMod& mod) {
+void ControlChannel::countSent(const FlowMod& mod) {
   ++stats_.flowModsSent;
   if (obsModsSent_ != nullptr) obsModsSent_->inc();
   modeledInstallTime_ += flowModLatency_;
@@ -76,6 +76,10 @@ bool ControlChannel::send(const FlowMod& mod) {
       ++stats_.flowDeletes;
       break;
   }
+}
+
+bool ControlChannel::send(const FlowMod& mod) {
+  countSent(mod);
   const bool tracing = tracer_ != nullptr && tracer_->enabled();
 
   if (!async_) {
@@ -129,58 +133,196 @@ bool ControlChannel::send(const FlowMod& mod) {
   return true;
 }
 
+std::size_t ControlChannel::sendBatch(std::span<const FlowMod> mods) {
+  if (mods.empty()) return 0;
+  if (!batching_) {
+    // Degenerate to the single-mod path: same message count, same fault
+    // draws, same stats — callers can always route through sendBatch and
+    // let this flag decide.
+    std::size_t ok = 0;
+    for (const FlowMod& mod : mods) ok += send(mod) ? 1 : 0;
+    return ok;
+  }
+  // One batch message per destination switch, in first-appearance order;
+  // mod order within a switch's batch is the send order.
+  std::vector<net::NodeId> switches;
+  std::size_t ok = 0;
+  for (const FlowMod& mod : mods) {
+    if (std::find(switches.begin(), switches.end(), mod.switchNode) ==
+        switches.end()) {
+      switches.push_back(mod.switchNode);
+    }
+  }
+  for (const net::NodeId sw : switches) {
+    std::vector<FlowMod> group;
+    for (const FlowMod& mod : mods) {
+      if (mod.switchNode == sw) group.push_back(mod);
+    }
+    ok += sendBatchToSwitch(sw, std::move(group));
+  }
+  return ok;
+}
+
+std::size_t ControlChannel::sendBatchToSwitch(net::NodeId sw,
+                                              std::vector<FlowMod> mods) {
+  ++stats_.flowModBatches;
+  stats_.batchedMods += mods.size();
+  for (const FlowMod& mod : mods) countSent(mod);
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+
+  if (!async_) {
+    // One fault draw for the whole message: the batch is delivered or lost
+    // as a unit.
+    std::size_t ok = 0;
+    if (!switchConnected(sw) || rng_.chance(faults_.dropProbability)) {
+      stats_.flowModsDropped += mods.size();
+      stats_.flowModsAbandoned += mods.size();
+      if (obsModsDropped_ != nullptr) {
+        obsModsDropped_->inc(mods.size());
+        obsModsAbandoned_->inc(mods.size());
+      }
+    } else {
+      for (const FlowMod& mod : mods) ok += applyNow(mod) ? 1 : 0;
+      if (obsModsAcked_ != nullptr) obsModsAcked_->inc(ok);
+      if (faults_.duplicateProbability > 0.0 &&
+          rng_.chance(faults_.duplicateProbability)) {
+        ++stats_.flowModsDuplicated;
+        for (const FlowMod& mod : mods) applyIdempotent(mod);
+      }
+    }
+    if (tracing) {
+      const obs::SpanId ctx = tracer_->currentContext();
+      const obs::SpanId span =
+          tracer_->instant(tracer_->traceIdOf(ctx), ctx, "flow_mod.batch",
+                           network_.simulator().now(), sw);
+      tracer_->annotate(span, "mods", std::to_string(mods.size()));
+      tracer_->annotate(span, "applied", std::to_string(ok));
+    }
+    return ok;
+  }
+
+  const std::size_t queued = mods.size();
+  Pending p;
+  p.mod = std::move(mods.front());
+  p.rest.assign(std::make_move_iterator(mods.begin() + 1),
+                std::make_move_iterator(mods.end()));
+  p.mod.xid = nextXid_++;
+  p.timeout = retry_.initialTimeout;
+  if (tracing) {
+    const obs::SpanId ctx = tracer_->currentContext();
+    p.span = tracer_->begin(tracer_->traceIdOf(ctx), ctx, "flow_mod.batch",
+                            network_.simulator().now(), sw);
+    tracer_->annotate(p.span, "xid", std::to_string(p.mod.xid));
+    tracer_->annotate(p.span, "mods", std::to_string(queued));
+  }
+  const std::uint64_t xid = p.mod.xid;
+  pending_.emplace(xid, std::move(p));
+  outstanding_[sw].insert(xid);
+  transmitAttempt(xid, /*isRetransmit=*/false);
+  return queued;
+}
+
 void ControlChannel::transmitAttempt(std::uint64_t xid, bool isRetransmit) {
   const auto it = pending_.find(xid);
   if (it == pending_.end() || it->second.resolved) return;
   const FlowMod& mod = it->second.mod;
+  // The whole message — one mod or a batch — is lost with one draw.
+  const std::size_t modCount = 1 + it->second.rest.size();
 
   const bool lost =
       !switchConnected(mod.switchNode) || rng_.chance(faults_.dropProbability);
   net::SimTime deliveryBasis = network_.simulator().now();
   if (lost) {
-    ++stats_.flowModsDropped;
-    if (obsModsDropped_ != nullptr) obsModsDropped_->inc();
+    stats_.flowModsDropped += modCount;
+    if (obsModsDropped_ != nullptr) obsModsDropped_->inc(modCount);
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->instant(tracer_->traceIdOf(it->second.span), it->second.span,
                        "flow_mod.drop", deliveryBasis, mod.switchNode);
     }
   } else {
-    deliveryBasis = scheduleDelivery(xid, mod, /*chained=*/!isRetransmit);
+    deliveryBasis = scheduleDelivery(xid, it->second, /*chained=*/!isRetransmit);
   }
 
   if (retry_.maxRetries > 0) {
     armRetryTimer(xid, deliveryBasis);
   } else if (lost) {
     // Fire-and-forget: a lost mod is abandoned immediately.
-    ++stats_.flowModsAbandoned;
-    if (obsModsAbandoned_ != nullptr) obsModsAbandoned_->inc();
+    stats_.flowModsAbandoned += modCount;
+    if (obsModsAbandoned_ != nullptr) obsModsAbandoned_->inc(modCount);
     resolve(xid, false);
   }
 }
 
 net::SimTime ControlChannel::scheduleDelivery(std::uint64_t xid,
-                                              const FlowMod& mod, bool chained) {
+                                              const Pending& p, bool chained) {
   net::Simulator& sim = network_.simulator();
+  // A batch still pays the switch-side TCAM write per mod; what it saves
+  // is per-message channel overhead (and fault exposure).
+  const net::SimTime installTime =
+      flowModLatency_ * static_cast<net::SimTime>(1 + p.rest.size());
   net::SimTime when;
   if (chained) {
-    // FIFO application: each mod completes flowModLatency after the later
-    // of "now" and the previous mod's completion.
-    lastScheduled_ = std::max(lastScheduled_, sim.now()) + flowModLatency_;
+    // FIFO application: each message completes its installs after the
+    // later of "now" and the previous message's completion.
+    lastScheduled_ = std::max(lastScheduled_, sim.now()) + installTime;
     when = lastScheduled_;
   } else {
-    when = sim.now() + flowModLatency_;
+    when = sim.now() + installTime;
   }
   if (faults_.maxExtraDelay > 0) {
     when += static_cast<net::SimTime>(rng_.uniformInt(
         0, static_cast<std::uint64_t>(faults_.maxExtraDelay)));
   }
-  sim.scheduleAt(when, [this, xid, mod] { deliver(xid, mod); });
+  if (p.rest.empty()) {
+    const FlowMod mod = p.mod;
+    sim.scheduleAt(when, [this, xid, mod] { deliver(xid, mod); });
+    if (faults_.duplicateProbability > 0.0 &&
+        rng_.chance(faults_.duplicateProbability)) {
+      ++stats_.flowModsDuplicated;
+      sim.scheduleAt(when + flowModLatency_,
+                     [this, xid, mod] { deliver(xid, mod); });
+    }
+    return when;
+  }
+  std::vector<FlowMod> mods;
+  mods.reserve(1 + p.rest.size());
+  mods.push_back(p.mod);
+  mods.insert(mods.end(), p.rest.begin(), p.rest.end());
+  sim.scheduleAt(when, [this, xid, mods] { deliverBatch(xid, mods); });
   if (faults_.duplicateProbability > 0.0 &&
       rng_.chance(faults_.duplicateProbability)) {
     ++stats_.flowModsDuplicated;
-    sim.scheduleAt(when + flowModLatency_, [this, xid, mod] { deliver(xid, mod); });
+    sim.scheduleAt(when + installTime,
+                   [this, xid, mods] { deliverBatch(xid, mods); });
   }
   return when;
+}
+
+void ControlChannel::deliverBatch(std::uint64_t xid,
+                                  const std::vector<FlowMod>& mods) {
+  // Mirrors deliver(): a disconnected switch never receives the message;
+  // otherwise every mod applies (at-least-once) and the batch acks once.
+  const net::NodeId sw = mods.front().switchNode;
+  if (!switchConnected(sw)) {
+    stats_.flowModsDropped += mods.size();
+    if (obsModsDropped_ != nullptr) obsModsDropped_->inc(mods.size());
+    const auto lost = pending_.find(xid);
+    if (lost != pending_.end() && !lost->second.resolved &&
+        retry_.maxRetries == 0) {
+      stats_.flowModsAbandoned += mods.size();
+      if (obsModsAbandoned_ != nullptr) obsModsAbandoned_->inc(mods.size());
+      resolve(xid, false);
+    }
+    return;
+  }
+  bool ok = true;
+  for (const FlowMod& mod : mods) {
+    const bool applied = applyIdempotent(mod);
+    if (!applied) ++stats_.asyncApplyFailures;
+    ok = ok && applied;
+  }
+  const auto it = pending_.find(xid);
+  if (it != pending_.end() && !it->second.resolved) resolve(xid, ok);
 }
 
 void ControlChannel::deliver(std::uint64_t xid, const FlowMod& mod) {
@@ -215,8 +357,9 @@ void ControlChannel::armRetryTimer(std::uint64_t xid, net::SimTime basis) {
     const auto p = pending_.find(xid);
     if (p == pending_.end() || p->second.resolved) return;
     if (p->second.attempts > retry_.maxRetries) {
-      ++stats_.flowModsAbandoned;
-      if (obsModsAbandoned_ != nullptr) obsModsAbandoned_->inc();
+      const std::size_t modCount = 1 + p->second.rest.size();
+      stats_.flowModsAbandoned += modCount;
+      if (obsModsAbandoned_ != nullptr) obsModsAbandoned_->inc(modCount);
       resolve(xid, false);
       return;
     }

@@ -29,8 +29,10 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -83,6 +85,14 @@ class ControlChannel {
   void enableAsyncInstall() { async_ = true; }
   bool asyncInstall() const noexcept { return async_; }
 
+  /// Opt-in flow-mod batching: sendBatch() coalesces the mods for each
+  /// switch into one control message (one xid, one fault draw, one
+  /// ack/retry unit) instead of one message per mod. Off by default —
+  /// batching changes the channel's message and fault-draw sequence, so
+  /// seeded runs are only reproducible against themselves.
+  void enableBatching(bool on = true) { batching_ = on; }
+  bool batchingEnabled() const noexcept { return batching_; }
+
   // ---- fault injection -------------------------------------------------
 
   void setFaultModel(const ControlFaultModel& model) { faults_ = model; }
@@ -107,6 +117,16 @@ class ControlChannel {
   /// asynchronous mode always returns true (failures surface in the stats
   /// and are resolved through acks/retries).
   bool send(const FlowMod& mod);
+
+  /// Sends a group of flow-mods, coalescing them (when batching is
+  /// enabled) into one message per destination switch: the batch shares a
+  /// single xid, a single drop/duplicate draw, and a single ack — a
+  /// barrier after a batched install therefore waits on one xid per
+  /// switch. Mod order is preserved within each switch's batch. With
+  /// batching disabled this degenerates to send() per mod, byte-identical
+  /// to the unbatched path. Returns the number of mods applied (sync) or
+  /// queued (async).
+  std::size_t sendBatch(std::span<const FlowMod> mods);
 
   /// Controller-initiated transmission out of a specific switch port.
   /// Subject to the fault model's drop probability.
@@ -169,6 +189,9 @@ class ControlChannel {
  private:
   struct Pending {
     FlowMod mod;
+    /// Batch mode: the mods after `mod` travelling in the same message
+    /// (same switch, same xid). Empty for a plain single-mod send.
+    std::vector<FlowMod> rest;
     int attempts = 1;          // transmission attempts so far
     net::SimTime timeout = 0;  // current RTO
     bool resolved = false;
@@ -186,12 +209,19 @@ class ControlChannel {
   /// At-least-once apply: re-delivery of an already-applied mod succeeds
   /// (add of an identical entry, delete of an absent entry).
   bool applyIdempotent(const FlowMod& mod);
+  /// One switch's share of a batch: a single message / fault-draw /
+  /// ack-retry unit. Mods are in send order.
+  std::size_t sendBatchToSwitch(net::NodeId sw, std::vector<FlowMod> mods);
+  /// Counts a mod in the sent/add/modify/delete stats.
+  void countSent(const FlowMod& mod);
   /// One transmission attempt of a pending mod; arms the retry timer.
   void transmitAttempt(std::uint64_t xid, bool isRetransmit);
   /// Returns the absolute delivery time of the scheduled attempt.
-  net::SimTime scheduleDelivery(std::uint64_t xid, const FlowMod& mod,
+  net::SimTime scheduleDelivery(std::uint64_t xid, const Pending& p,
                                 bool chained);
   void deliver(std::uint64_t xid, const FlowMod& mod);
+  /// Batch delivery: applies every mod of the message, acks once.
+  void deliverBatch(std::uint64_t xid, const std::vector<FlowMod>& mods);
   /// Arms the RTO to fire `timeout` after `basis` — the expected delivery
   /// time of the attempt, so FIFO queueing delay is not mistaken for loss.
   void armRetryTimer(std::uint64_t xid, net::SimTime basis);
@@ -201,6 +231,7 @@ class ControlChannel {
   net::SimTime flowModLatency_;
   net::SimTime modeledInstallTime_ = 0;
   bool async_ = false;
+  bool batching_ = false;
   /// Completion time of the last scheduled async mod, so installs on the
   /// same channel never reorder even when sends burst.
   net::SimTime lastScheduled_ = 0;

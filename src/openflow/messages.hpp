@@ -62,6 +62,16 @@ struct ControlPlaneStats {
   std::uint64_t flowDeletes = 0;
   std::uint64_t packetIns = 0;
   std::uint64_t packetOuts = 0;
+  // ---- batching --------------------------------------------------------
+  /// Batch messages sent (each carries >= 1 mods towards one switch).
+  std::uint64_t flowModBatches = 0;
+  /// Mods that travelled inside a batch message (subset of flowModsSent).
+  std::uint64_t batchedMods = 0;
+  /// Control messages actually put on the wire for flow-mods: batched mods
+  /// cost one message per batch, unbatched mods one message each.
+  std::uint64_t flowModMessages() const noexcept {
+    return flowModsSent - batchedMods + flowModBatches;
+  }
   // ---- fault model / reliability layer ---------------------------------
   /// Flow-mod transmission attempts lost (random drop or disconnected
   /// switch); retransmissions count again.

@@ -46,7 +46,7 @@ TEST_P(ControllerPropertyTest, DeliveryInvariantUnderRandomOps) {
 
   std::vector<std::pair<net::NodeId, net::EventId>> deliveries;
   network.setDeliverHandler([&](net::NodeId host, const net::Packet& pkt) {
-    deliveries.emplace_back(host, pkt.eventId);
+    deliveries.emplace_back(host, pkt.eventId());
   });
 
   workload::WorkloadConfig wcfg;

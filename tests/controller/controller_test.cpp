@@ -16,7 +16,7 @@ struct ControllerFixture : ::testing::Test {
   explicit ControllerFixture(net::Topology t = net::Topology::testbedFatTree())
       : topo(std::move(t)), network(topo, sim, {}) {
     network.setDeliverHandler([this](net::NodeId host, const net::Packet& pkt) {
-      delivered.emplace_back(host, pkt.eventId);
+      delivered.emplace_back(host, pkt.eventId());
     });
   }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "util/rng.hpp"
+
 namespace pleroma::dz {
 namespace {
 
@@ -155,6 +159,38 @@ TEST(DzSet, VolumeAdditiveUnderDisjointUnion) {
 TEST(DzSet, OverlapsSet) {
   EXPECT_TRUE(set("00,11").overlaps(set("1")));
   EXPECT_FALSE(set("00,11").overlaps(set("01,10")));
+}
+
+
+TEST(DzSet, BinarySearchMatchesLinearScan) {
+  // covers()/overlaps() use predecessor/range probes over the trie-sorted
+  // canonical set; cross-check them against the O(n) definition on random
+  // sets and random probes.
+  util::Rng rng(0xD25E7ULL);
+  for (int round = 0; round < 200; ++round) {
+    DzSet s;
+    const int members = 1 + static_cast<int>(rng.uniformInt(0, 7));
+    for (int i = 0; i < members; ++i) {
+      const int len = static_cast<int>(rng.uniformInt(0, 10));
+      std::string bits;
+      for (int b = 0; b < len; ++b) bits.push_back(rng.chance(0.5) ? '1' : '0');
+      s.insert(*DzExpression::fromString(bits));
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      const int len = static_cast<int>(rng.uniformInt(0, 12));
+      std::string bits;
+      for (int b = 0; b < len; ++b) bits.push_back(rng.chance(0.5) ? '1' : '0');
+      const DzExpression d = *DzExpression::fromString(bits);
+      const bool linearCovers =
+          std::any_of(s.begin(), s.end(),
+                      [&](const DzExpression& m) { return m.covers(d); });
+      const bool linearOverlaps =
+          std::any_of(s.begin(), s.end(),
+                      [&](const DzExpression& m) { return m.overlaps(d); });
+      EXPECT_EQ(s.covers(d), linearCovers) << s.toString() << " ? " << bits;
+      EXPECT_EQ(s.overlaps(d), linearOverlaps) << s.toString() << " ? " << bits;
+    }
+  }
 }
 
 }  // namespace

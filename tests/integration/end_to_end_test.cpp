@@ -295,7 +295,7 @@ TEST(EndToEnd, MultiDomainMatchesSingleDomainDeliveries) {
     std::set<std::pair<net::NodeId, net::EventId>> got;
     domain.network().setDeliverHandler(
         [&](net::NodeId h, const net::Packet& pkt) {
-          got.insert({h, pkt.eventId});
+          got.insert({h, pkt.eventId()});
         });
     workload::WorkloadGenerator gen(wcfg);
     domain.advertise(hosts[0], dz::Rectangle{{dz::Range{0, 1023},

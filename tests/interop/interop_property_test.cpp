@@ -38,7 +38,7 @@ TEST_P(InteropPropertyTest, CrossDomainDeliveryInvariant) {
   domain.network().setDeliverHandler(
       [&](net::NodeId h, const net::Packet& pkt) {
         // No duplicate deliveries per (host, event).
-        EXPECT_TRUE(got.insert({h, pkt.eventId}).second)
+        EXPECT_TRUE(got.insert({h, pkt.eventId()}).second)
             << "duplicate delivery to " << h;
       });
 

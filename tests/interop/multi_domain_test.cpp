@@ -33,7 +33,7 @@ struct ThreeDomainFixture : ::testing::Test {
                                            dz::EventSpace(2, 10));
     domain->network().setDeliverHandler(
         [this](net::NodeId host, const net::Packet& pkt) {
-          delivered.emplace_back(host, pkt.eventId);
+          delivered.emplace_back(host, pkt.eventId());
         });
   }
 

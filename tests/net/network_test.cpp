@@ -20,10 +20,11 @@ FlowEntry entry(std::string_view dzStr, std::vector<FlowAction> actions) {
 
 Packet eventPacket(std::string_view dzStr, NodeId fromHost) {
   Packet p;
-  p.eventDz = dz(dzStr);
-  p.dst = dz::dzToAddress(p.eventDz);
+  EventPayload& payload = p.mutablePayload();
+  payload.eventDz = dz(dzStr);
+  payload.publisherHost = fromHost;
+  p.dst = dz::dzToAddress(payload.eventDz);
   p.src = hostAddress(fromHost);
-  p.publisherHost = fromHost;
   return p;
 }
 

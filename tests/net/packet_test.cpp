@@ -11,10 +11,58 @@ TEST(Packet, Defaults) {
   const Packet p;
   EXPECT_EQ(p.sizeBytes, 64);
   EXPECT_EQ(p.hopLimit, 64);
-  EXPECT_EQ(p.eventId, 0u);
-  EXPECT_EQ(p.publisherHost, kInvalidNode);
+  EXPECT_EQ(p.payload, nullptr);
+  EXPECT_EQ(p.eventId(), 0u);
+  EXPECT_EQ(p.publisherHost(), kInvalidNode);
+  EXPECT_EQ(p.sentAt(), 0);
   EXPECT_EQ(p.controlKind, 0);
   EXPECT_EQ(p.control, nullptr);
+}
+
+TEST(Packet, FanoutCopiesShareThePayload) {
+  Packet p;
+  p.mutablePayload().eventId = 7;
+  const Packet copy1 = p;
+  const Packet copy2 = p;
+  EXPECT_EQ(copy1.payload.get(), p.payload.get());
+  EXPECT_EQ(copy2.payload.get(), p.payload.get());
+  EXPECT_EQ(copy1.eventId(), 7u);
+}
+
+TEST(Packet, MutablePayloadClonesOnlyWhenShared) {
+  Packet p;
+  p.mutablePayload().eventId = 1;
+  const EventPayload* sole = p.payload.get();
+  p.mutablePayload().eventId = 2;  // sole owner: mutated in place
+  EXPECT_EQ(p.payload.get(), sole);
+
+  Packet other = p;  // now shared
+  other.mutablePayload().eventId = 3;
+  EXPECT_NE(other.payload.get(), p.payload.get());
+  EXPECT_EQ(p.eventId(), 2u);  // original copy untouched
+  EXPECT_EQ(other.eventId(), 3u);
+}
+
+TEST(Packet, PayloadPoolRecyclesBlocks) {
+  PayloadPool pool;
+  auto first = pool.acquire();
+  const void* block = first.get();
+  first.reset();  // returns the block to the pool's free list
+  EXPECT_EQ(pool.freeBlocks(), 1u);
+  auto second = pool.acquire();
+  EXPECT_EQ(static_cast<const void*>(second.get()), block);
+  EXPECT_EQ(pool.freeBlocks(), 0u);
+}
+
+TEST(Packet, PayloadOutlivesPool) {
+  std::shared_ptr<EventPayload> payload;
+  {
+    PayloadPool pool;
+    payload = pool.acquire();
+    payload->eventId = 42;
+  }  // pool object gone; its state lives on via the control block
+  EXPECT_EQ(payload->eventId, 42u);
+  payload.reset();  // must not crash or leak (ASan-checked in CI)
 }
 
 TEST(Packet, HostAddressesUniquePerHost) {

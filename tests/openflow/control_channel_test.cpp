@@ -304,5 +304,127 @@ TEST_F(ChannelFixture, AddRejectedWhenTableFull) {
   EXPECT_FALSE(ch.send({FlowModType::kAdd, sw, entry("1", 1)}));
 }
 
+
+// ---- flow-mod batching ----------------------------------------------------
+
+TEST_F(ChannelFixture, SendBatchDisabledDegeneratesToSingles) {
+  const std::vector<FlowMod> mods = {{FlowModType::kAdd, sw, entry("0", 1)},
+                                     {FlowModType::kAdd, sw, entry("1", 2)}};
+  EXPECT_EQ(channel.sendBatch(mods), 2u);
+  EXPECT_EQ(channel.stats().flowModsSent, 2u);
+  EXPECT_EQ(channel.stats().flowModBatches, 0u);
+  EXPECT_EQ(channel.stats().batchedMods, 0u);
+  EXPECT_EQ(channel.stats().flowModMessages(), 2u);
+  EXPECT_EQ(net_.flowTable(sw).size(), 2u);
+}
+
+TEST_F(ChannelFixture, SendBatchCoalescesIntoOneMessage) {
+  channel.enableBatching();
+  const std::vector<FlowMod> mods = {{FlowModType::kAdd, sw, entry("0", 1)},
+                                     {FlowModType::kAdd, sw, entry("1", 2)},
+                                     {FlowModType::kAdd, sw, entry("10", 2)}};
+  EXPECT_EQ(channel.sendBatch(mods), 3u);
+  EXPECT_EQ(channel.stats().flowModsSent, 3u);
+  EXPECT_EQ(channel.stats().flowModBatches, 1u);
+  EXPECT_EQ(channel.stats().batchedMods, 3u);
+  EXPECT_EQ(channel.stats().flowModMessages(), 1u);
+  EXPECT_EQ(net_.flowTable(sw).size(), 3u);
+}
+
+TEST_F(ChannelFixture, SendBatchGroupsBySwitch) {
+  channel.enableBatching();
+  const net::NodeId sw2 = topo.switches()[1];
+  const std::vector<FlowMod> mods = {{FlowModType::kAdd, sw, entry("0", 1)},
+                                     {FlowModType::kAdd, sw2, entry("0", 1)},
+                                     {FlowModType::kAdd, sw, entry("1", 2)}};
+  EXPECT_EQ(channel.sendBatch(mods), 3u);
+  EXPECT_EQ(channel.stats().flowModBatches, 2u);
+  EXPECT_EQ(channel.stats().flowModMessages(), 2u);
+  EXPECT_EQ(net_.flowTable(sw).size(), 2u);
+  EXPECT_EQ(net_.flowTable(sw2).size(), 1u);
+}
+
+TEST_F(ChannelFixture, SendBatchPreservesOrderWithinSwitch) {
+  channel.enableBatching();
+  // Add then modify the same match inside one batch: order matters.
+  net::FlowEntry updated = entry("10", 2);
+  updated.addOutPort(3);
+  const std::vector<FlowMod> mods = {{FlowModType::kAdd, sw, entry("10", 2)},
+                                     {FlowModType::kModify, sw, updated}};
+  EXPECT_EQ(channel.sendBatch(mods), 2u);
+  EXPECT_EQ(net_.flowTable(sw).find(updated.match)->outPorts(),
+            (std::vector<net::PortId>{2, 3}));
+}
+
+TEST_F(ChannelFixture, AsyncBatchUsesOneXidAndAcksOnce) {
+  channel.enableBatching();
+  channel.enableAsyncInstall();
+  const std::vector<FlowMod> mods = {{FlowModType::kAdd, sw, entry("0", 1)},
+                                     {FlowModType::kAdd, sw, entry("1", 2)}};
+  EXPECT_EQ(channel.sendBatch(mods), 2u);
+  // One xid tracks the whole batch.
+  EXPECT_EQ(channel.outstandingMods(sw), 1u);
+  bool barrierOk = false;
+  bool barrierFired = false;
+  channel.sendBarrier(sw, [&](bool ok) {
+    barrierFired = true;
+    barrierOk = ok;
+  });
+  EXPECT_FALSE(barrierFired);  // waiting on the batch
+  sim.run();
+  EXPECT_TRUE(barrierFired);
+  EXPECT_TRUE(barrierOk);
+  EXPECT_EQ(channel.outstandingMods(sw), 0u);
+  EXPECT_EQ(net_.flowTable(sw).size(), 2u);
+}
+
+TEST_F(ChannelFixture, AsyncBatchInstallTimeIsPerMod) {
+  channel.enableBatching();
+  channel.enableAsyncInstall();
+  const std::vector<FlowMod> mods = {{FlowModType::kAdd, sw, entry("0", 1)},
+                                     {FlowModType::kAdd, sw, entry("1", 2)}};
+  channel.sendBatch(mods);
+  // The batch saves messages, not TCAM writes: it completes after
+  // 2 * flowModLatency (2ms each).
+  sim.runUntil(3 * net::kMillisecond);
+  EXPECT_EQ(net_.flowTable(sw).size(), 0u);
+  sim.runUntil(4 * net::kMillisecond);
+  EXPECT_EQ(net_.flowTable(sw).size(), 2u);
+}
+
+TEST_F(ChannelFixture, AsyncBatchRetriesAsAUnit) {
+  channel.enableBatching();
+  channel.enableAsyncInstall();
+  RetryPolicy retry;
+  retry.maxRetries = 8;
+  channel.setRetryPolicy(retry);
+  ControlFaultModel faults;
+  faults.dropProbability = 0.5;
+  channel.setFaultModel(faults);
+  channel.reseedFaults(42);
+  const std::vector<FlowMod> mods = {{FlowModType::kAdd, sw, entry("0", 1)},
+                                     {FlowModType::kAdd, sw, entry("1", 2)}};
+  channel.sendBatch(mods);
+  sim.run();
+  // Either the batch got through on the first try or was retransmitted as
+  // one unit; both mods always land together.
+  EXPECT_EQ(net_.flowTable(sw).size(), 2u);
+  EXPECT_EQ(channel.stats().flowModsAbandoned, 0u);
+  EXPECT_EQ(channel.outstandingMods(sw), 0u);
+}
+
+TEST_F(ChannelFixture, SyncBatchDropLosesWholeMessage) {
+  channel.enableBatching();
+  ControlFaultModel faults;
+  faults.dropProbability = 1.0;
+  channel.setFaultModel(faults);
+  const std::vector<FlowMod> mods = {{FlowModType::kAdd, sw, entry("0", 1)},
+                                     {FlowModType::kAdd, sw, entry("1", 2)}};
+  EXPECT_EQ(channel.sendBatch(mods), 0u);
+  EXPECT_TRUE(net_.flowTable(sw).empty());
+  EXPECT_EQ(channel.stats().flowModsDropped, 2u);
+  EXPECT_EQ(channel.stats().flowModsAbandoned, 2u);
+}
+
 }  // namespace
 }  // namespace pleroma::openflow
