@@ -66,7 +66,7 @@ Numbers runOnce(std::size_t maxTrees, std::uint64_t seed) {
   for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
     const net::Link& link = topo.link(l);
     if (!topo.isSwitch(link.a.node) || !topo.isSwitch(link.b.node)) continue;
-    const auto packets = p.network().linkCounters(l).packets;
+    const std::uint64_t packets = p.network().linkCounters(l).packets;
     if (packets == 0) continue;
     maxPackets = std::max(maxPackets, packets);
     sum += packets;

@@ -1,0 +1,68 @@
+# Determinism gate for the parallel build, run as a CTest:
+#
+#   cmake -DFIG7A=<bin> -DFIG7F=<bin> -DSCHEMA_CHECK=<bin> -DWORK_DIR=<dir>
+#         -P determinism_check.cmake
+#
+# Runs the fig7a and fig7f smoke benches with --threads=1 and --threads=4
+# and asserts:
+#   * fig7a's TSV stdout is byte-identical (every cell is simulated-time
+#     derived, so the whole table must not move by a single byte);
+#   * both benches' BENCH_*.json series are cell-identical via
+#     `schema_check --compare-series`, ignoring only fig7f's wall-clock
+#     columns (controller_wall_us, subs_per_sec), which vary run to run
+#     even at a fixed thread count.
+foreach(v FIG7A FIG7F SCHEMA_CHECK WORK_DIR)
+  if(NOT DEFINED ${v})
+    message(FATAL_ERROR "determinism_check.cmake: -D${v}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/t1" "${WORK_DIR}/t4")
+set(ENV{PLEROMA_BENCH_SMOKE} "1")
+
+function(run_bench bin threads outdir tsv)
+  set(ENV{PLEROMA_BENCH_DIR} "${outdir}")
+  execute_process(
+    COMMAND "${bin}" "--threads=${threads}"
+    OUTPUT_FILE "${tsv}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${bin} --threads=${threads} failed (${rc})")
+  endif()
+endfunction()
+
+run_bench("${FIG7A}" 1 "${WORK_DIR}/t1" "${WORK_DIR}/fig7a_t1.tsv")
+run_bench("${FIG7A}" 4 "${WORK_DIR}/t4" "${WORK_DIR}/fig7a_t4.tsv")
+run_bench("${FIG7F}" 1 "${WORK_DIR}/t1" "${WORK_DIR}/fig7f_t1.tsv")
+run_bench("${FIG7F}" 4 "${WORK_DIR}/t4" "${WORK_DIR}/fig7f_t4.tsv")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/fig7a_t1.tsv" "${WORK_DIR}/fig7a_t4.tsv"
+  RESULT_VARIABLE tsv_diff)
+if(NOT tsv_diff EQUAL 0)
+  message(FATAL_ERROR
+          "fig7a TSV differs between --threads=1 and --threads=4; the "
+          "parallel simulator broke byte-identity "
+          "(diff ${WORK_DIR}/fig7a_t1.tsv ${WORK_DIR}/fig7a_t4.tsv)")
+endif()
+
+execute_process(
+  COMMAND "${SCHEMA_CHECK}" --compare-series
+          "${WORK_DIR}/t1/BENCH_fig7a.json" "${WORK_DIR}/t4/BENCH_fig7a.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig7a BENCH json result fields differ across threads")
+endif()
+
+execute_process(
+  COMMAND "${SCHEMA_CHECK}" --compare-series
+          "${WORK_DIR}/t1/BENCH_fig7f.json" "${WORK_DIR}/t4/BENCH_fig7f.json"
+          --ignore-column=controller_wall_us --ignore-column=subs_per_sec
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig7f BENCH json result fields differ across threads")
+endif()
+
+message(STATUS "determinism check passed: threads={1,4} byte-identical")

@@ -1,0 +1,128 @@
+// Scaling micro-benchmark of the simulator's sharded parallel run
+// execution (deterministic by construction — every thread count produces
+// byte-identical results; this bench measures the wall-clock side of that
+// bargain).
+//
+// Workload: K independent "lanes", each a publisher and a consumer host
+// behind their own switch (switches never reflect a packet out its ingress
+// port, so delivery needs two hosts per lane). All lanes publish a burst
+// at the same instant, so the run-coalescing queue forms runs of K*burst
+// same-timestamp events spread over K distinct shard keys — the shape the
+// coordinator can fan out across the worker pool. Every switch carries
+// decoy flow entries at 23 extra prefix lengths, so each TCAM lookup
+// probes the hash table ~24 times and worker execution dominates the
+// stage/merge overhead.
+//
+// BM_ParallelFanout/T runs the identical workload with T worker threads;
+// compare items/s across /1 /2 /4 /8 for the scaling curve. On a
+// many-core box /4 should clear 2x over /1; on a single-core CI runner
+// the curve is flat and only the determinism tests are meaningful.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "micro_common.hpp"
+
+#include "dz/ip_encoding.hpp"
+#include "net/network.hpp"
+#include "util/worker_pool.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+constexpr int kLanes = 64;
+constexpr int kBurst = 4;  // packets per lane per round
+
+net::Topology laneTopology() {
+  net::Topology topo;
+  for (int i = 0; i < kLanes; ++i) {
+    const net::NodeId sw = topo.addSwitch("s" + std::to_string(i));
+    topo.connect(sw, topo.addHost("p" + std::to_string(i)));
+    topo.connect(sw, topo.addHost("c" + std::to_string(i)));
+  }
+  return topo;
+}
+
+dz::DzExpression oneDz() {
+  dz::U128 bits;
+  bits.setBitFromMsb(0, true);
+  return dz::DzExpression(bits, 1);
+}
+
+/// The matching entry ("1" -> the lane's consumer host, rewritten) plus
+/// decoys at lengths 2..24 that can never match traffic (they cover the
+/// "0..." half), so the longest-first lookup walks every length before
+/// hitting the match.
+void installLaneFlows(net::Network& net,
+                      const std::vector<net::NodeId>& consumers) {
+  const net::Topology& topo = net.topology();
+  for (const net::NodeId consumer : consumers) {
+    const auto att = topo.hostAttachment(consumer);
+    net::FlowTable& table = net.flowTable(att.switchNode);
+    net::FlowEntry match;
+    match.match = dz::dzToPrefix(oneDz());
+    match.priority = 1;
+    match.actions.push_back(
+        net::FlowAction{att.switchPort, net::hostAddress(consumer)});
+    table.insert(match);
+    for (int len = 2; len <= 24; ++len) {
+      net::FlowEntry decoy;
+      decoy.match = dz::dzToPrefix(dz::DzExpression(dz::U128{}, len));
+      decoy.priority = len;
+      decoy.actions.push_back(net::FlowAction{att.switchPort, std::nullopt});
+      table.insert(decoy);
+    }
+  }
+}
+
+void BM_ParallelFanout(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<util::WorkerPool> pool;
+  if (threads > 1) pool = std::make_unique<util::WorkerPool>(threads);
+
+  net::Simulator sim;
+  sim.setWorkerPool(pool.get());
+  net::Network net(laneTopology(), sim, {});
+  // hosts() is in creation order: p0, c0, p1, c1, ...
+  const auto hosts = net.topology().hosts();
+  std::vector<net::NodeId> publishers, consumers;
+  for (std::size_t i = 0; i + 1 < hosts.size(); i += 2) {
+    publishers.push_back(hosts[i]);
+    consumers.push_back(hosts[i + 1]);
+  }
+  installLaneFlows(net, consumers);
+
+  std::uint64_t delivered = 0;
+  net.setDeliverHandler(
+      [&delivered](net::NodeId, const net::Packet&) { ++delivered; });
+
+  const dz::Ipv6Address dst = dz::dzToAddress(oneDz());
+  for (auto _ : state) {
+    for (int b = 0; b < kBurst; ++b) {
+      for (const net::NodeId publisher : publishers) {
+        net::Packet pkt;
+        pkt.dst = dst;
+        pkt.src = net::hostAddress(publisher);
+        pkt.sizeBytes = 64;
+        net.sendFromHost(publisher, pkt);
+      }
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.SetLabel(std::to_string(threads) + " threads, " +
+                 std::to_string(sim.parallelRunsExecuted()) +
+                 " parallel runs, " +
+                 std::to_string(sim.parallelEventsExecuted()) +
+                 " parallel events");
+}
+BENCHMARK(BM_ParallelFanout)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pleroma::bench::runMicroBench("micro_parallel", argc, argv);
+}

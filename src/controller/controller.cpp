@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <utility>
 
 #include "net/packet.hpp"
 
@@ -349,14 +350,14 @@ void Controller::onLinkDown(net::LinkId link) {
   }
   downLinks_.push_back(link);
   // Rebuild only the trees whose edges traverse the failed link.
-  std::vector<int> affectedTrees;
+  std::vector<std::pair<int, net::NodeId>> affectedTrees;
   for (const auto& tree : trees_) {
     const auto edges = tree->edges();
     if (std::find(edges.begin(), edges.end(), link) != edges.end()) {
-      affectedTrees.push_back(tree->id());
+      affectedTrees.emplace_back(tree->id(), tree->root());
     }
   }
-  for (const int id : affectedTrees) rebuildTree(id);
+  rebuildTrees(affectedTrees);
 }
 
 void Controller::onLinkUp(net::LinkId link) {
@@ -366,10 +367,10 @@ void Controller::onLinkUp(net::LinkId link) {
   downLinks_.erase(it);
   // Rebuild every tree: routes degraded (or dropped) during the outage
   // return to shortest paths and unreachable endpoints reconnect.
-  std::vector<int> ids;
+  std::vector<std::pair<int, net::NodeId>> ids;
   ids.reserve(trees_.size());
-  for (const auto& tree : trees_) ids.push_back(tree->id());
-  for (const int id : ids) rebuildTree(id);
+  for (const auto& tree : trees_) ids.emplace_back(tree->id(), tree->root());
+  rebuildTrees(ids);
 }
 
 // ---- failure handling (switch node down/up) --------------------------------
@@ -386,7 +387,7 @@ void Controller::onSwitchDown(net::NodeId switchNode) {
   // Rebuild every tree rooted at the dead switch or using an incident
   // link; the rebuild routes over active links only, so the dead switch is
   // evicted from all forwarding state.
-  std::vector<int> affected;
+  std::vector<std::pair<int, net::NodeId>> affected;
   for (const auto& tree : trees_) {
     bool hit = tree->root() == switchNode;
     if (!hit) {
@@ -398,13 +399,9 @@ void Controller::onSwitchDown(net::NodeId switchNode) {
         }
       }
     }
-    if (hit) affected.push_back(tree->id());
+    if (hit) affected.emplace_back(tree->id(), pickActiveRoot(*tree));
   }
-  for (const int id : affected) {
-    const auto it = findTree(trees_, id);
-    if (it == trees_.end()) continue;
-    rebuildTreeAt(id, pickActiveRoot(**it));
-  }
+  rebuildTrees(affected);
 }
 
 void Controller::onSwitchUp(net::NodeId switchNode) {
@@ -421,14 +418,12 @@ void Controller::onSwitchUp(net::NodeId switchNode) {
   // Rebuild every tree: routes degraded (or dropped) during the outage
   // return to shortest paths and endpoints behind the failed switch
   // reconnect — no re-subscription needed.
-  std::vector<int> ids;
+  std::vector<std::pair<int, net::NodeId>> ids;
   ids.reserve(trees_.size());
-  for (const auto& tree : trees_) ids.push_back(tree->id());
-  for (const int id : ids) {
-    const auto t = findTree(trees_, id);
-    if (t == trees_.end()) continue;
-    rebuildTreeAt(id, pickActiveRoot(**t));
+  for (const auto& tree : trees_) {
+    ids.emplace_back(tree->id(), pickActiveRoot(*tree));
   }
+  rebuildTrees(ids);
   // Catch-all resync from registered intent for anything the rebuilds did
   // not touch on this switch.
   installer_.reconcileSwitch(switchNode, registry_.requiredFlows(switchNode));
@@ -456,33 +451,115 @@ void Controller::rebuildTree(int treeId) {
 }
 
 void Controller::rebuildTreeAt(int treeId, net::NodeId root) {
-  if (obsTreeRebuilds_ != nullptr) obsTreeRebuilds_->inc();
-  const auto it = findTree(trees_, treeId);
-  assert(it != trees_.end());
-  SpanningTree& old = **it;
+  rebuildTrees({{treeId, root}});
+}
 
-  // Detach all paths; routes are re-derived from the registered
-  // advertisements and subscriptions (not replayed from the registry), so
-  // paths that were dropped while endpoints were unreachable heal here.
-  const std::vector<PathId> pathIds = registry_.pathsOfTree(treeId);
-  const std::vector<net::NodeId> affected = registry_.switchesOf(pathIds);
-  for (const PathId id : pathIds) registry_.remove(id);
+void Controller::rebuildTrees(
+    const std::vector<std::pair<int, net::NodeId>>& idRoots) {
+  if (idRoots.empty()) return;
 
-  dz::DzSet dzSet = old.dzSet();
-  std::map<PublisherId, dz::DzSet> publishers = old.publishers();
-  trees_.erase(it);
+  // Plan of one tree's rebuild: everything derivable without mutating
+  // controller state. The fresh tree is constructed and its routes derived
+  // here; installs and registry updates wait for the commit phase.
+  struct PlannedPath {
+    PublisherId pub;
+    SubscriptionId sub;
+    dz::DzSet overlap;
+    std::vector<RouteHop> hops;
+  };
+  struct TreePlan {
+    int oldId = -1;
+    int newId = -1;
+    net::NodeId root = net::kInvalidNode;
+    std::vector<PathId> oldPaths;
+    std::vector<net::NodeId> affected;
+    std::unique_ptr<SpanningTree> fresh;
+    std::vector<PlannedPath> paths;
+  };
 
-  trees_.push_back(std::make_unique<SpanningTree>(
-      nextTreeId_++, std::move(dzSet), root, network_.topology(),
-      activeInternalLinks()));
-  SpanningTree& fresh = *trees_.back();
-  for (const auto& [pub, overlap] : publishers) {
-    if (!advertisements_.contains(pub)) continue;
-    fresh.addPublisher(pub, overlap);
-    addFlowMultSub(pub, overlap, fresh);
+  // Collect plans in list order, pre-assigning the fresh tree ids so the
+  // id sequence matches a one-by-one rebuild exactly.
+  std::vector<TreePlan> plans;
+  plans.reserve(idRoots.size());
+  const std::vector<net::LinkId> activeLinks = activeInternalLinks();
+  for (const auto& [treeId, root] : idRoots) {
+    if (findTree(trees_, treeId) == trees_.end()) continue;
+    if (obsTreeRebuilds_ != nullptr) obsTreeRebuilds_->inc();
+    TreePlan plan;
+    plan.oldId = treeId;
+    plan.newId = nextTreeId_++;
+    plan.root = root;
+    plans.push_back(std::move(plan));
   }
-  for (const net::NodeId sw : affected) {
-    installer_.reconcileSwitch(sw, registry_.requiredFlows(sw));
+
+  // Plan phase — safe to run concurrently: each task reads only its own
+  // (distinct) old tree, the topology, the active-link snapshot, the
+  // registration records and the path registry, none of which change until
+  // the commit phase below; all writes go to the task's own TreePlan slot.
+  auto planOne = [&](std::size_t i) {
+    TreePlan& plan = plans[i];
+    const auto it = findTree(trees_, plan.oldId);
+    const SpanningTree& old = **it;
+    // Detached paths; routes are re-derived from the registered
+    // advertisements and subscriptions (not replayed from the registry), so
+    // paths that were dropped while endpoints were unreachable heal here.
+    plan.oldPaths = registry_.pathsOfTree(plan.oldId);
+    plan.affected = registry_.switchesOf(plan.oldPaths);
+    plan.fresh = std::make_unique<SpanningTree>(plan.newId, old.dzSet(),
+                                                plan.root, network_.topology(),
+                                                activeLinks);
+    for (const auto& [pub, overlap] : old.publishers()) {
+      if (!advertisements_.contains(pub)) continue;
+      plan.fresh->addPublisher(pub, overlap);
+      // addFlowMultSub, minus the side effects: candidate subscriptions via
+      // the spatial index, then route derivation per overlapping pair.
+      std::set<SubscriptionId> candidates;
+      for (const dz::DzExpression& d : overlap) {
+        subscriptionIndex_.forEachOverlapping(
+            d, [&](const dz::DzExpression&, const SubscriptionId& id) {
+              candidates.insert(id);
+            });
+      }
+      const AdvRecord& adv = advertisements_.at(pub);
+      for (const SubscriptionId subId : candidates) {
+        dz::DzSet pairDz = overlap.intersect(subscriptions_.at(subId).dzSet);
+        if (pairDz.empty()) continue;
+        const SubRecord& sub = subscriptions_.at(subId);
+        if (adv.endpoint == sub.endpoint) continue;
+        std::vector<RouteHop> hops =
+            plan.fresh->route(adv.endpoint, sub.endpoint, network_.topology());
+        if (hops.empty()) continue;  // not connected within this partition
+        plan.paths.push_back(
+            PlannedPath{pub, subId, std::move(pairDz), std::move(hops)});
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallelFor(plans.size(), planOne);
+  } else {
+    for (std::size_t i = 0; i < plans.size(); ++i) planOne(i);
+  }
+
+  // Commit phase — sequential, in list order, replaying exactly what the
+  // one-by-one rebuild loop would do to the registry, the tree list and the
+  // installer mirror.
+  for (TreePlan& plan : plans) {
+    for (const PathId id : plan.oldPaths) registry_.remove(id);
+    const auto it = findTree(trees_, plan.oldId);
+    trees_.erase(it);
+    trees_.push_back(std::move(plan.fresh));
+    SpanningTree& fresh = *trees_.back();
+    for (PlannedPath& pp : plan.paths) {
+      if (registry_.alreadyCovered(pp.pub, pp.sub, fresh.id(), pp.overlap)) {
+        continue;
+      }
+      installer_.installPath(pp.overlap, pp.hops);
+      registry_.add(InstalledPath{-1, pp.pub, pp.sub, fresh.id(), pp.overlap,
+                                  std::move(pp.hops)});
+    }
+    for (const net::NodeId sw : plan.affected) {
+      installer_.reconcileSwitch(sw, registry_.requiredFlows(sw));
+    }
   }
 }
 

@@ -3,7 +3,14 @@
 // set of disjoint-DZ spanning trees, embedding per-(publisher, subscriber)
 // routes in them, and keeping the switches' TCAM flow tables consistent.
 // Requests are processed strictly sequentially (Sec 2), so no internal
-// synchronisation is needed.
+// synchronisation is needed — with one exception: multi-tree rebuilds
+// (failure handling, rerooting) may plan the new trees concurrently on a
+// WorkerPool. Because Algorithm 1 keeps DZ(t) disjoint across trees, each
+// tree's plan (spanning-tree construction + route derivation) reads only
+// shared-immutable state and writes only its own slot; all mutation happens
+// in a sequential commit phase that replays the single-threaded order, so
+// registry, installer mirror and flow-mod streams are byte-identical with
+// and without a pool.
 #pragma once
 
 #include <map>
@@ -19,6 +26,7 @@
 #include "dz/event_space.hpp"
 #include "net/network.hpp"
 #include "openflow/control_channel.hpp"
+#include "util/worker_pool.hpp"
 
 namespace pleroma::ctrl {
 
@@ -179,6 +187,10 @@ class Controller {
   void attachObservability(obs::MetricsRegistry& reg,
                            obs::Tracer* tracer = nullptr);
 
+  /// Optional pool for concurrent tree recomputation (nullptr → inline).
+  /// Results are identical either way; the pool only changes wall-clock.
+  void setWorkerPool(util::WorkerPool* pool) noexcept { pool_ = pool; }
+
   net::Network& network() noexcept { return network_; }
   /// The control channel to this partition's switches (e.g. to enable
   /// asynchronous flow installation or inject control-plane faults).
@@ -216,6 +228,10 @@ class Controller {
   /// subscriptions. Heals paths dropped during outages.
   void rebuildTree(int treeId);
   void rebuildTreeAt(int treeId, net::NodeId root);
+  /// Batched rebuild of several trees at given roots: per-tree plans run
+  /// concurrently on pool_ (when set), then commit sequentially in list
+  /// order, reproducing the exact effects of rebuilding one-by-one.
+  void rebuildTrees(const std::vector<std::pair<int, net::NodeId>>& idRoots);
   /// The tree's root if still active, else a live fallback (the attach
   /// switch of one of its publishers, or any active scope switch).
   net::NodeId pickActiveRoot(const SpanningTree& tree) const;
@@ -242,6 +258,7 @@ class Controller {
   dz::DzTrie<SubscriptionId> subscriptionIndex_;
   PublisherId nextPublisher_ = 0;
   SubscriptionId nextSubscription_ = 0;
+  util::WorkerPool* pool_ = nullptr;
   OpStats lastOp_;
   /// Recycles (control block + EventPayload) allocations across publishes;
   /// mutable because stamping a packet does not change controller state.

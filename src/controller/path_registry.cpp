@@ -7,20 +7,30 @@
 
 namespace pleroma::ctrl {
 
+const InstalledPath* PathRegistry::findPath(PathId id) const {
+  const auto ti = treeOf_.find(id);
+  if (ti == treeOf_.end()) return nullptr;
+  return &shards_.at(ti->second).at(id);
+}
+
 PathId PathRegistry::add(InstalledPath path) {
   const PathId id = next_++;
   path.id = id;
   for (const RouteHop& hop : path.hops) bySwitch_[hop.switchNode].insert(id);
   bySubscription_[path.subscription].insert(id);
   byPublisher_[path.publisher].insert(id);
-  byTree_[path.treeId].insert(id);
-  paths_.emplace(id, std::move(path));
+  treeOf_.emplace(id, path.treeId);
+  shards_[path.treeId].emplace(id, std::move(path));
   return id;
 }
 
 void PathRegistry::remove(PathId id) {
-  const auto it = paths_.find(id);
-  if (it == paths_.end()) return;
+  const auto ti = treeOf_.find(id);
+  if (ti == treeOf_.end()) return;
+  const auto si = shards_.find(ti->second);
+  assert(si != shards_.end());
+  const auto it = si->second.find(id);
+  assert(it != si->second.end());
   const InstalledPath& p = it->second;
   for (const RouteHop& hop : p.hops) {
     const auto bi = bySwitch_.find(hop.switchNode);
@@ -38,16 +48,17 @@ void PathRegistry::remove(PathId id) {
   };
   dropFrom(bySubscription_, p.subscription);
   dropFrom(byPublisher_, p.publisher);
-  dropFrom(byTree_, p.treeId);
-  paths_.erase(it);
+  si->second.erase(it);
+  if (si->second.empty()) shards_.erase(si);
+  treeOf_.erase(ti);
 }
 
 void PathRegistry::clear() {
-  paths_.clear();
+  shards_.clear();
+  treeOf_.clear();
   bySwitch_.clear();
   bySubscription_.clear();
   byPublisher_.clear();
-  byTree_.clear();
 }
 
 std::vector<PathId> PathRegistry::sortedIds(
@@ -69,16 +80,22 @@ std::vector<PathId> PathRegistry::pathsOfPublisher(PublisherId p) const {
 }
 
 std::vector<PathId> PathRegistry::pathsOfTree(int treeId) const {
-  return sortedIds(byTree_, treeId);
+  const auto it = shards_.find(treeId);
+  if (it == shards_.end()) return {};
+  std::vector<PathId> out;
+  out.reserve(it->second.size());
+  for (const auto& [id, path] : it->second) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<net::NodeId> PathRegistry::switchesOf(
     const std::vector<PathId>& ids) const {
   std::vector<net::NodeId> out;
   for (const PathId id : ids) {
-    const auto it = paths_.find(id);
-    if (it == paths_.end()) continue;
-    for (const RouteHop& hop : it->second.hops) out.push_back(hop.switchNode);
+    const InstalledPath* path = findPath(id);
+    if (path == nullptr) continue;
+    for (const RouteHop& hop : path->hops) out.push_back(hop.switchNode);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -90,7 +107,7 @@ bool PathRegistry::alreadyCovered(PublisherId p, SubscriptionId s, int treeId,
   const auto it = bySubscription_.find(s);
   if (it == bySubscription_.end()) return false;
   for (const PathId id : it->second) {
-    const InstalledPath& path = paths_.at(id);
+    const InstalledPath& path = *findPath(id);
     if (path.publisher == p && path.treeId == treeId && path.dz.coversSet(dz)) {
       return true;
     }
@@ -106,7 +123,7 @@ std::vector<net::FlowEntry> PathRegistry::requiredFlows(net::NodeId sw) const {
   const auto bi = bySwitch_.find(sw);
   if (bi == bySwitch_.end()) return {};
   for (const PathId id : bi->second) {
-    const InstalledPath& path = paths_.at(id);
+    const InstalledPath& path = *findPath(id);
     for (const RouteHop& hop : path.hops) {
       if (hop.switchNode != sw) continue;
       for (const dz::DzExpression& d : path.dz) {

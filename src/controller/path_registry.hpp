@@ -11,6 +11,14 @@
 // installed for a dz must carry the union of its own ports and the ports of
 // every contributed coarser prefix; and a flow whose own ports are already
 // covered by its prefixes' union is unnecessary (that's the "downgrade").
+//
+// Storage is sharded by tree id: each tree's paths live in their own map,
+// matching the per-tree task granularity of concurrent tree recomputation
+// (Controller::rebuildTrees) — a tree rebuild drains and refills exactly
+// one shard, and Algorithm 1 keeps DZ(t) disjoint across trees so shards
+// never share a path. The cross-tree indexes (by switch / subscription /
+// publisher) are maintained alongside and only touched on the sequential
+// commit path.
 #pragma once
 
 #include <cstdint>
@@ -42,9 +50,11 @@ class PathRegistry {
  public:
   PathId add(InstalledPath path);
   void remove(PathId id);
-  bool contains(PathId id) const { return paths_.contains(id); }
-  const InstalledPath& at(PathId id) const { return paths_.at(id); }
-  std::size_t size() const noexcept { return paths_.size(); }
+  bool contains(PathId id) const { return treeOf_.contains(id); }
+  const InstalledPath& at(PathId id) const {
+    return shards_.at(treeOf_.at(id)).at(id);
+  }
+  std::size_t size() const noexcept { return treeOf_.size(); }
   void clear();
 
   std::vector<PathId> pathsOfSubscription(SubscriptionId s) const;
@@ -71,11 +81,15 @@ class PathRegistry {
       const std::unordered_map<std::int64_t, std::unordered_set<PathId>>& index,
       std::int64_t key);
 
-  std::unordered_map<PathId, InstalledPath> paths_;
+  /// nullptr when unknown; the only internal path-by-id lookup.
+  const InstalledPath* findPath(PathId id) const;
+
+  /// Per-tree shards (see file comment); treeOf_ routes id lookups.
+  std::unordered_map<int, std::unordered_map<PathId, InstalledPath>> shards_;
+  std::unordered_map<PathId, int> treeOf_;
   std::unordered_map<net::NodeId, std::unordered_set<PathId>> bySwitch_;
   std::unordered_map<std::int64_t, std::unordered_set<PathId>> bySubscription_;
   std::unordered_map<std::int64_t, std::unordered_set<PathId>> byPublisher_;
-  std::unordered_map<std::int64_t, std::unordered_set<PathId>> byTree_;
   PathId next_ = 0;
 };
 

@@ -6,6 +6,10 @@ namespace pleroma::core {
 
 Pleroma::Pleroma(net::Topology topology, PleromaOptions options)
     : dimensionWindow_(options.dimensionWindow) {
+  if (options.threads > 1) {
+    pool_ = std::make_unique<util::WorkerPool>(options.threads);
+    sim_.setWorkerPool(pool_.get());
+  }
   network_ = std::make_unique<net::Network>(std::move(topology), sim_,
                                             options.network);
   subsByHost_.resize(
@@ -14,6 +18,7 @@ Pleroma::Pleroma(net::Topology topology, PleromaOptions options)
       dz::EventSpace(options.numAttributes, options.bitsPerDim), *network_,
       ctrl::Scope::wholeTopology(network_->topology()), options.controller);
   if (options.asyncFlowInstall) controller_->channel().enableAsyncInstall();
+  if (pool_) controller_->setWorkerPool(pool_.get());
   network_->setDeliverHandler(
       [this](net::NodeId host, const net::Packet& pkt) { onDeliver(host, pkt); });
 

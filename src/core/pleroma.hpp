@@ -22,6 +22,7 @@
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/worker_pool.hpp"
 
 namespace pleroma::core {
 
@@ -35,6 +36,11 @@ struct PleromaOptions {
   /// Apply flow-mods asynchronously (each takes flowModLatency of simulated
   /// time): subscriptions *activate* only once their flows are installed.
   bool asyncFlowInstall = false;
+  /// Worker threads for the simulator's sharded run execution and the
+  /// controller's concurrent tree recomputation. 1 = fully sequential (no
+  /// pool). Any value produces byte-identical results; only wall-clock
+  /// changes.
+  int threads = 1;
 };
 
 /// One delivered (event, host) pair as observed at the application layer.
@@ -147,12 +153,16 @@ class Pleroma {
   net::Network& network() noexcept { return *network_; }
   net::Simulator& simulator() noexcept { return sim_; }
   const net::Topology& topology() const { return network_->topology(); }
+  /// Worker threads in use (1 when no pool was requested).
+  int threads() const noexcept { return pool_ ? pool_->threads() : 1; }
 
  private:
   void onDeliver(net::NodeId host, const net::Packet& packet);
 
   obs::MetricsRegistry metrics_;  // before network/controller: outlives them
   obs::Tracer tracer_;
+  /// Shared by simulator and controller; before sim_ so it outlives users.
+  std::unique_ptr<util::WorkerPool> pool_;
   net::Simulator sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<ctrl::Controller> controller_;

@@ -73,6 +73,31 @@ void Network::onPacketEvent(PacketEventKind kind, NodeId node, PortId port,
   }
 }
 
+std::int64_t Network::packetShardKey(PacketEventKind kind, NodeId node,
+                                     PortId /*port*/,
+                                     const Packet& packet) const {
+  if (tracer_ != nullptr && tracer_->enabled()) return kNoShard;
+  if (kind == PacketEventKind::kSwitchPipeline &&
+      packet.dst == dz::kControlAddress) {
+    return kNoShard;
+  }
+  return static_cast<std::int64_t>(node);
+}
+
+void Network::onStagedCallback(int kind, NodeId node, PortId port,
+                               Packet&& packet) {
+  switch (kind) {
+    case kCbPacketIn:
+      if (packetIn_) packetIn_(node, port, std::move(packet));
+      break;
+    case kCbDeliver:
+      if (deliver_) deliver_(node, packet);
+      break;
+    default:
+      assert(false);
+  }
+}
+
 void Network::processAtSwitch(NodeId switchNode, PortId inPort,
                               Packet&& packet) {
   sim_.schedulePacket(config_.switchProcessingDelay, *this,
@@ -91,6 +116,10 @@ void Network::switchPipeline(NodeId switchNode, PortId inPort,
   // packets go to the controller over the control network, never through
   // the flow table.
   if (packet.dst == dz::kControlAddress) {
+    // Never reached on a worker: packetShardKey marks punts kNoShard, so a
+    // run containing one executes sequentially (the controller may install
+    // flows that later same-timestamp events must observe).
+    assert(!Simulator::staging());
     ++counters_.packetsPuntedToController;
     if (packetIn_) packetIn_(switchNode, inPort, std::move(packet));
     return;
@@ -152,7 +181,16 @@ void Network::receiveAtHost(NodeId host, Packet&& packet) {
   }
   if (config_.hostServiceTime == 0) {
     ++counters_.packetsDeliveredToHosts;
-    if (deliver_) deliver_(host, packet);
+    if (deliver_) {
+      // On a worker, defer the callback to the coordinator's merge phase:
+      // user callbacks stay single-threaded and fire in canonical order.
+      if (Simulator::staging()) {
+        sim_.stageCallback(*this, kCbDeliver, host, kInvalidPort,
+                           std::move(packet));
+      } else {
+        deliver_(host, packet);
+      }
+    }
     return;
   }
   if (state.queued >= config_.hostQueueCapacity) {
@@ -169,7 +207,14 @@ void Network::receiveAtHost(NodeId host, Packet&& packet) {
 void Network::hostServiceDone(NodeId host, Packet&& packet) {
   --hostState_[static_cast<std::size_t>(host)].queued;
   ++counters_.packetsDeliveredToHosts;
-  if (deliver_) deliver_(host, packet);
+  if (deliver_) {
+    if (Simulator::staging()) {
+      sim_.stageCallback(*this, kCbDeliver, host, kInvalidPort,
+                         std::move(packet));
+    } else {
+      deliver_(host, packet);
+    }
+  }
 }
 
 void Network::attachObservability(obs::MetricsRegistry& reg,

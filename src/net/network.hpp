@@ -25,6 +25,7 @@
 #include "net/simulator.hpp"
 #include "net/topology.hpp"
 #include "obs/trace.hpp"
+#include "util/relaxed_counter.hpp"
 
 namespace pleroma::net {
 
@@ -39,20 +40,25 @@ struct NetworkConfig {
   std::size_t flowTableCapacity = 0;
 };
 
+/// Network-wide counters. Multi-writer relaxed atomics: during parallel
+/// run execution workers on different node shards bump the same aggregate
+/// counter concurrently (DESIGN.md §10).
 struct NetworkCounters {
-  std::uint64_t packetsForwarded = 0;   ///< switch output actions executed
-  std::uint64_t packetsPuntedToController = 0;
-  std::uint64_t packetsDroppedNoMatch = 0;
-  std::uint64_t packetsDroppedHostQueue = 0;
-  std::uint64_t packetsDroppedHopLimit = 0;
-  std::uint64_t packetsDroppedLinkDown = 0;
-  std::uint64_t packetsDroppedNodeDown = 0;
-  std::uint64_t packetsDeliveredToHosts = 0;
+  util::RelaxedCounter packetsForwarded = 0;  ///< switch output actions executed
+  util::RelaxedCounter packetsPuntedToController = 0;
+  util::RelaxedCounter packetsDroppedNoMatch = 0;
+  util::RelaxedCounter packetsDroppedHostQueue = 0;
+  util::RelaxedCounter packetsDroppedHopLimit = 0;
+  util::RelaxedCounter packetsDroppedLinkDown = 0;
+  util::RelaxedCounter packetsDroppedNodeDown = 0;
+  util::RelaxedCounter packetsDeliveredToHosts = 0;
 };
 
+/// Per-link counters. Multi-writer: a link's two endpoints may live on
+/// different shards and transmit onto it in the same run.
 struct LinkCounters {
-  std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;
+  util::RelaxedCounter packets = 0;
+  util::RelaxedCounter bytes = 0;
 };
 
 class Network : public PacketSink {
@@ -127,7 +133,26 @@ class Network : public PacketSink {
   void onPacketEvent(PacketEventKind kind, NodeId node, PortId port,
                      Packet&& packet) override;
 
+  /// Sharding contract for parallel run execution: every handler mutates
+  /// only its target node's state (flow table, host queue, TCAM stats), so
+  /// the shard key is the node id. Events whose handler escapes that
+  /// contract — a punt to the controller (which may install flows other
+  /// same-timestamp events would observe) or any event while tracing is on
+  /// (the Tracer is single-threaded and record order matters) — demand
+  /// sequential execution via kNoShard.
+  std::int64_t packetShardKey(PacketEventKind kind, NodeId node, PortId port,
+                              const Packet& packet) const override;
+
+  /// Replays a packet-in / deliver callback deferred by a worker, on the
+  /// coordinating thread in canonical order.
+  void onStagedCallback(int kind, NodeId node, PortId port,
+                        Packet&& packet) override;
+
  private:
+  /// onStagedCallback kinds.
+  static constexpr int kCbPacketIn = 0;
+  static constexpr int kCbDeliver = 1;
+
   void arriveAtNode(NodeId node, PortId inPort, Packet&& packet);
   void processAtSwitch(NodeId switchNode, PortId inPort, Packet&& packet);
   void switchPipeline(NodeId switchNode, PortId inPort, Packet&& packet);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/metrics.hpp"
 
@@ -21,6 +22,12 @@ Cell::Cell(double v) : json(v) {
 
 BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {
   metadata_.set("git_describe", PLEROMA_GIT_DESCRIBE);
+  // Parallelism provenance: benches running a WorkerPool overwrite
+  // "threads"; "hardware_concurrency" records what the machine offered so
+  // scaling numbers can be judged from the artifact alone.
+  metadata_.set("threads", 1);
+  metadata_.set("hardware_concurrency",
+                static_cast<long long>(std::thread::hardware_concurrency()));
 }
 
 BenchReporter::~BenchReporter() {
@@ -127,7 +134,8 @@ bool BenchReporter::validate(const JsonValue& doc, std::string* error) {
   if (meta == nullptr || !meta->isObject()) {
     return fail("\"metadata\" must be an object");
   }
-  for (const char* key : {"seed", "topology", "workload", "git_describe"}) {
+  for (const char* key : {"seed", "topology", "workload", "git_describe",
+                          "threads", "hardware_concurrency"}) {
     const JsonValue* v = meta->get(key);
     if (v == nullptr || v->isNull()) {
       return fail(std::string("metadata is missing \"") + key + "\"");

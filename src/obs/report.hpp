@@ -5,14 +5,17 @@
 //     "schema": "pleroma-bench-v1",
 //     "name": "fig7a",
 //     "metadata": { "seed": 42, "topology": "...", "workload": "...",
-//                   "git_describe": "...", ... },
+//                   "git_describe": "...", "threads": 1,
+//                   "hardware_concurrency": 8, ... },
 //     "series": [ { "name": "...",
 //                   "columns": [ {"name": "...", "unit": "..."}, ... ],
 //                   "rows": [ [ ... ], ... ] }, ... ],
 //     "metrics": { ... }                  // optional registry snapshot
 //   }
 //
-// The four metadata keys above are required by validate(); benches add
+// The six metadata keys above are required by validate(); "git_describe",
+// "threads" (default 1 — set it when running a WorkerPool) and
+// "hardware_concurrency" are pre-filled by the constructor, and benches add
 // whatever else describes the run. Rows carry typed JSON values plus the
 // exact text the bench printed to its TSV, so the JSON is authoritative
 // while the human-readable output stays byte-identical.
@@ -66,8 +69,9 @@ class BenchReporter {
   BenchReporter& operator=(const BenchReporter&) = delete;
 
   /// Sets a metadata value (seed, topology, workload, … — validate()
-  /// requires seed/topology/workload/git_describe; git_describe defaults
-  /// to the build's `git describe` and rarely needs setting).
+  /// requires seed/topology/workload/git_describe/threads/
+  /// hardware_concurrency; the latter three are pre-filled and only
+  /// "threads" commonly needs overriding, by pool-running benches).
   void meta(const std::string& key, JsonValue v);
 
   /// Starts a new series; subsequent row() calls append to it.

@@ -1,0 +1,96 @@
+// Counter types for statistics that may be bumped from worker threads
+// during parallel run execution (DESIGN.md §10). Two flavours, matching the
+// two sharing regimes the sharding invariant produces:
+//
+//  * RelaxedCounter — multi-writer. Distinct workers may increment the same
+//    counter concurrently (e.g. two switches on different shards both bump
+//    Network-wide `packetsForwarded`). Uses fetch_add(relaxed): atomicity
+//    matters, ordering does not — readers only consume totals after the
+//    pool barrier, which publishes with acquire/release.
+//  * ShardedCounter — single-writer. Counters owned by per-node state that
+//    the sharding invariant assigns to exactly one worker per run (e.g.
+//    FlowTable stats). A relaxed load+store increment is data-race-free
+//    under that invariant and avoids the lock-prefixed RMW a fetch_add
+//    compiles to — which keeps single-thread FlowTable::lookup at its
+//    pre-parallel cost (guarded by BM_FlowTableLookup in perf_check).
+//
+// Both are copyable (snapshot semantics) and convert implicitly to
+// std::uint64_t so existing aggregate-struct consumers keep compiling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pleroma::util {
+
+/// Multi-writer statistic counter; see file comment.
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter(std::uint64_t v = 0) noexcept : v_(v) {}
+  RelaxedCounter(const RelaxedCounter& o) noexcept
+      : v_(o.v_.load(std::memory_order_relaxed)) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    v_.store(o.v_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return value(); }  // NOLINT
+
+  RelaxedCounter& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
+
+/// Single-writer statistic counter; see file comment. The increment is a
+/// relaxed load + store, NOT an atomic RMW — callers must guarantee one
+/// writer at a time (the per-node sharding invariant does).
+class ShardedCounter {
+ public:
+  constexpr ShardedCounter(std::uint64_t v = 0) noexcept : v_(v) {}
+  ShardedCounter(const ShardedCounter& o) noexcept
+      : v_(o.v_.load(std::memory_order_relaxed)) {}
+  ShardedCounter& operator=(const ShardedCounter& o) noexcept {
+    v_.store(o.v_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  ShardedCounter& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return value(); }  // NOLINT
+
+  ShardedCounter& operator++() noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+    return *this;
+  }
+  ShardedCounter& operator+=(std::uint64_t d) noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + d,
+             std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
+
+}  // namespace pleroma::util

@@ -1,0 +1,74 @@
+#include "util/worker_pool.hpp"
+
+namespace pleroma::util {
+
+WorkerPool::WorkerPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& job) {
+  if (threads_ == 1) {
+    job(0);
+    return;
+  }
+  job_ = &job;
+  pending_.store(threads_ - 1, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  job(0);
+  // Wait until every background worker has left the job; the release
+  // decrement + this acquire load publish all job writes to the caller.
+  int left = pending_.load(std::memory_order_acquire);
+  while (left != 0) {
+    pending_.wait(left, std::memory_order_relaxed);
+    left = pending_.load(std::memory_order_acquire);
+  }
+  job_ = nullptr;
+}
+
+void WorkerPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  run([&](int) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  });
+}
+
+void WorkerPool::workerLoop(int index) {
+  // The construction-time epoch, not a fresh load: a region may already
+  // have been opened between this thread's spawn and its first
+  // instruction, and loading here would skip that region's job.
+  std::uint64_t seen = 0;
+  for (;;) {
+    epoch_.wait(seen, std::memory_order_relaxed);
+    const std::uint64_t now = epoch_.load(std::memory_order_acquire);
+    if (now == seen) continue;  // spurious wake
+    seen = now;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    (*job_)(index);
+    if (pending_.fetch_sub(1, std::memory_order_release) == 1) {
+      pending_.notify_one();
+    }
+  }
+}
+
+}  // namespace pleroma::util

@@ -1,0 +1,65 @@
+// A persistent pool of worker threads for executing one parallel region at
+// a time (fork/join). Built for the simulator's parallel run execution
+// (DESIGN.md §10), where regions are short and frequent:
+//
+//  * Workers are spawned once and persist; a region costs two atomic
+//    notifications, not thread creation.
+//  * The calling thread participates as worker 0, so a pool of N threads
+//    spawns only N-1 background workers and `threads == 1` degenerates to
+//    an inline call with no synchronisation at all.
+//  * Idle workers block in std::atomic::wait (futex), not a spin loop —
+//    the pool must not burn cores it is supposed to be freeing, and must
+//    behave on machines with fewer cores than workers.
+//
+// Memory ordering contract: everything written by the caller before run()
+// happens-before every job invocation (release bump of the epoch, acquire
+// load in the worker), and everything written inside a job happens-before
+// run() returning (release decrement of the pending count, acquire load in
+// the caller). Regions never overlap — run() is not reentrant and must
+// always be called from the same (owning) thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pleroma::util {
+
+class WorkerPool {
+ public:
+  /// A pool of `threads` workers total, including the calling thread;
+  /// values < 1 are clamped to 1 (inline execution, no background threads).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const noexcept { return threads_; }
+
+  /// Runs `job(worker)` once per worker (0 <= worker < threads()), the
+  /// caller executing worker 0, and returns when all invocations finished.
+  void run(const std::function<void(int)>& job);
+
+  /// Runs `fn(i)` for every i in [0, n), distributing indices dynamically
+  /// across the workers. Iteration order is unspecified; results must be
+  /// written to per-index storage for determinism.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop(int index);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  /// Region generation counter: bumped (release) to start a region, waited
+  /// on by idle workers. Odd trick not needed — any change wakes them.
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Background workers still inside the current region's job.
+  std::atomic<int> pending_{0};
+  std::atomic<bool> stop_{false};
+  const std::function<void(int)>* job_ = nullptr;
+};
+
+}  // namespace pleroma::util

@@ -51,6 +51,8 @@ TEST(BenchReporter, ToJsonCarriesSchemaNameMetadataSeries) {
   EXPECT_EQ(doc.get("name")->asString(), "unit_shape");
   EXPECT_EQ(doc.get("metadata")->get("seed")->asInt(), 42);
   EXPECT_TRUE(doc.get("metadata")->contains("git_describe"));  // defaulted
+  EXPECT_EQ(doc.get("metadata")->get("threads")->asInt(), 1);  // defaulted
+  EXPECT_TRUE(doc.get("metadata")->contains("hardware_concurrency"));
   const JsonValue& series = *doc.get("series");
   ASSERT_EQ(series.items().size(), 1u);
   const JsonValue& s = series.items()[0];
@@ -138,6 +140,12 @@ TEST(BenchReporter, ValidateRejectsBrokenDocuments) {
   EXPECT_NE(err.find("git_describe"), std::string::npos);
 
   meta.set("git_describe", "abc123");
+  doc.set("metadata", meta);
+  EXPECT_FALSE(BenchReporter::validate(doc, &err));  // missing threads
+  EXPECT_NE(err.find("threads"), std::string::npos);
+
+  meta.set("threads", 4);
+  meta.set("hardware_concurrency", 8);
   doc.set("metadata", meta);
   EXPECT_TRUE(BenchReporter::validate(doc, &err)) << err;
 

@@ -1,0 +1,98 @@
+#include "util/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace pleroma::util {
+namespace {
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> workers;
+  pool.run([&](int w) { workers.push_back(w); });
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0], 0);
+}
+
+TEST(WorkerPool, ClampsToAtLeastOneWorker) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  WorkerPool neg(-3);
+  EXPECT_EQ(neg.threads(), 1);
+}
+
+TEST(WorkerPool, EveryWorkerRunsExactlyOnce) {
+  constexpr int kThreads = 4;
+  WorkerPool pool(kThreads);
+  std::vector<std::atomic<int>> hits(kThreads);
+  pool.run([&](int w) { hits[static_cast<std::size_t>(w)].fetch_add(1); });
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(w)].load(), 1) << "worker " << w;
+  }
+}
+
+TEST(WorkerPool, BackToBackRegions) {
+  WorkerPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 4 * 200);
+}
+
+TEST(WorkerPool, RunPublishesJobWrites) {
+  // Plain (non-atomic) per-worker writes must be visible to the caller
+  // after run() — this is the memory-ordering contract the simulator's
+  // merge phase relies on (and what TSan checks in the sanitize=thread CI
+  // job).
+  WorkerPool pool(4);
+  std::vector<std::uint64_t> slot(4, 0);
+  for (std::uint64_t round = 1; round <= 50; ++round) {
+    pool.run([&](int w) { slot[static_cast<std::size_t>(w)] = round; });
+    for (int w = 0; w < 4; ++w) {
+      ASSERT_EQ(slot[static_cast<std::size_t>(w)], round);
+    }
+  }
+}
+
+TEST(WorkerPool, ParallelForCoversEveryIndexOnce) {
+  WorkerPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPool, ParallelForEmptyAndSingle) {
+  WorkerPool pool(2);
+  int calls = 0;
+  pool.parallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  pool.parallelFor(1, [&](std::size_t i) { one.fetch_add(i == 0 ? 1 : 100); });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(WorkerPool, DestructionWithoutEverRunning) {
+  WorkerPool pool(8);
+  // Destructor must cleanly stop workers that never saw a region.
+}
+
+TEST(WorkerPool, MorePoolThreadsThanIndices) {
+  WorkerPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallelFor(3, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i) + 1);
+  });
+  EXPECT_EQ(sum.load(), 1 + 2 + 3);
+}
+
+}  // namespace
+}  // namespace pleroma::util
