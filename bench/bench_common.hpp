@@ -130,4 +130,76 @@ inline void deploySubscriptions(core::Pleroma& p,
   }
 }
 
+// ---- robustness-bench helpers (shared by control_plane_loss,
+// failure_repair, and failover_window) --------------------------------------
+
+/// Controller configuration of the robustness benches: short dz and a small
+/// decomposition budget keep flow counts readable across fault sweeps.
+inline ctrl::ControllerConfig robustnessControllerConfig() {
+  ctrl::ControllerConfig cfg;
+  cfg.maxDzLength = 10;
+  cfg.maxCellsPerRequest = 6;
+  return cfg;
+}
+
+/// Workload of the robustness benches: 2 attributes, 20%-selective
+/// subscriptions.
+inline workload::WorkloadConfig robustnessWorkload(std::uint64_t seed) {
+  workload::WorkloadConfig wcfg;
+  wcfg.numAttributes = 2;
+  wcfg.subscriptionSelectivity = 0.2;
+  wcfg.seed = seed;
+  return wcfg;
+}
+
+/// The shared fault schedule of the lossy-control-plane benches: async
+/// installs, per-attempt drop at `dropProb` (duplicates at a quarter of it,
+/// up to 1 ms extra delivery delay), `maxRetries` retransmissions with 1 ms
+/// initial timeout, and a fault-Rng seed derived deterministically from the
+/// bench seed.
+inline void applyFaultProfile(openflow::ControlChannel& channel,
+                              double dropProb, int maxRetries,
+                              std::uint64_t seed) {
+  channel.enableAsyncInstall();
+  openflow::ControlFaultModel faults;
+  faults.dropProbability = dropProb;
+  faults.duplicateProbability = dropProb / 4;
+  faults.maxExtraDelay = net::kMillisecond;
+  channel.setFaultModel(faults);
+  openflow::RetryPolicy retry;
+  retry.maxRetries = maxRetries;
+  retry.initialTimeout = net::kMillisecond;
+  channel.setRetryPolicy(retry);
+  channel.reseedFaults(seed * 6151 + 7);
+}
+
+/// Drop-probability sweep of the robustness benches (two points in smoke).
+inline std::vector<double> dropRateSweep() {
+  return smokeMode() ? std::vector<double>{0.0, 0.10}
+                     : std::vector<double>{0.0, 0.05, 0.10, 0.15, 0.20};
+}
+
+/// One deployed subscription with the ground truth needed to detect false
+/// negatives later: its host and its decomposed DZ.
+struct DeployedSub {
+  net::NodeId host = net::kInvalidNode;
+  dz::DzSet dz;
+};
+
+/// Deploys `n` generated subscriptions round-robin over `hosts` against a
+/// raw Controller, recording host + DZ per subscription.
+inline std::vector<DeployedSub> deployRecordedSubscriptions(
+    ctrl::Controller& controller, const std::vector<net::NodeId>& hosts,
+    workload::WorkloadGenerator& gen, std::size_t n) {
+  std::vector<DeployedSub> subs;
+  subs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId h = hosts[i % hosts.size()];
+    const ctrl::SubscriptionId id =
+        controller.subscribe(h, gen.makeSubscription());
+    subs.push_back({h, controller.subscriptionDz(id)});
+  }
+  return subs;
+}
+
 }  // namespace pleroma::bench

@@ -16,11 +16,6 @@ namespace {
 
 using namespace pleroma;
 
-struct SubRecord {
-  net::NodeId host;
-  dz::DzSet dz;
-};
-
 struct Numbers {
   double dropPct = 0;
   std::uint64_t modsSent = 0;
@@ -40,43 +35,23 @@ Numbers runOnce(double dropProb, int maxRetries, std::uint64_t seed) {
   net::Topology topo = net::Topology::testbedFatTree();
   net::Simulator sim;
   net::Network network(topo, sim, {});
-  ctrl::ControllerConfig cfg;
-  cfg.maxDzLength = 10;
-  cfg.maxCellsPerRequest = 6;
   ctrl::Controller controller(dz::EventSpace(2, 10), network,
-                              ctrl::Scope::wholeTopology(topo), cfg);
+                              ctrl::Scope::wholeTopology(topo),
+                              bench::robustnessControllerConfig());
   const auto hosts = topo.hosts();
 
   openflow::ControlChannel& channel = controller.channel();
-  channel.enableAsyncInstall();
-  openflow::ControlFaultModel faults;
-  faults.dropProbability = dropProb;
-  faults.duplicateProbability = dropProb / 4;
-  faults.maxExtraDelay = net::kMillisecond;
-  channel.setFaultModel(faults);
-  openflow::RetryPolicy retry;
-  retry.maxRetries = maxRetries;
-  retry.initialTimeout = net::kMillisecond;
-  channel.setRetryPolicy(retry);
-  channel.reseedFaults(seed * 6151 + 7);
+  bench::applyFaultProfile(channel, dropProb, maxRetries, seed);
 
   std::set<net::NodeId> got;
   network.setDeliverHandler(
       [&](net::NodeId h, const net::Packet&) { got.insert(h); });
 
-  workload::WorkloadConfig wcfg;
-  wcfg.numAttributes = 2;
-  wcfg.subscriptionSelectivity = 0.2;
-  wcfg.seed = seed;
-  workload::WorkloadGenerator gen(wcfg);
+  workload::WorkloadGenerator gen(bench::robustnessWorkload(seed));
 
   controller.advertise(hosts[0], controller.space().wholeSpace());
-  std::vector<SubRecord> subs;
-  for (std::size_t i = 0; i < 24; ++i) {
-    const net::NodeId h = hosts[i % hosts.size()];
-    const ctrl::SubscriptionId id = controller.subscribe(h, gen.makeSubscription());
-    subs.push_back({h, controller.subscriptionDz(id)});
-  }
+  const std::vector<bench::DeployedSub> subs =
+      bench::deployRecordedSubscriptions(controller, hosts, gen, 24);
   sim.run();  // drain installs, retries, and abandonments
   const net::SimTime settled = sim.now();
 
@@ -97,7 +72,7 @@ Numbers runOnce(double dropProb, int maxRetries, std::uint64_t seed) {
       got.clear();
       network.sendFromHost(hosts[0], controller.makeEventPacket(hosts[0], e, 1));
       sim.runUntil(sim.now() + 2 * net::kMillisecond);
-      for (const SubRecord& s : subs) {
+      for (const bench::DeployedSub& s : subs) {
         if (s.host != hosts[0] && s.dz.overlaps(eDz) && !got.contains(s.host)) {
           anyMiss = true;
         }
@@ -144,9 +119,7 @@ int main() {
                                    {"reconcile_rounds", "rounds"},
                                    {"repair_mods", "mods"},
                                    {"loss_window_ms", "ms"}});
-  const std::vector<double> drops =
-      smokeMode() ? std::vector<double>{0.0, 0.10}
-                  : std::vector<double>{0.0, 0.05, 0.10, 0.15, 0.20};
+  const std::vector<double> drops = dropRateSweep();
   const int retryBudgets[] = {3, 0};  // 0 = fire-and-forget, anti-entropy only
   for (const int retries : retryBudgets) {
     for (const double d : drops) {

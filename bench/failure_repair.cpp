@@ -25,16 +25,11 @@ struct Numbers {
 Numbers runOnce(net::Topology topo, std::uint64_t seed) {
   core::PleromaOptions opts;
   opts.numAttributes = 2;
-  opts.controller.maxDzLength = 10;
-  opts.controller.maxCellsPerRequest = 6;
+  opts.controller = bench::robustnessControllerConfig();
   core::Pleroma p(std::move(topo), opts);
   const auto hosts = p.topology().hosts();
 
-  workload::WorkloadConfig wcfg;
-  wcfg.numAttributes = 2;
-  wcfg.subscriptionSelectivity = 0.2;
-  wcfg.seed = seed;
-  workload::WorkloadGenerator gen(wcfg);
+  workload::WorkloadGenerator gen(bench::robustnessWorkload(seed));
 
   p.advertise(hosts[0], p.controller().space().wholeSpace());
   p.advertise(hosts[1 % hosts.size()], gen.makeAdvertisement());

@@ -62,6 +62,16 @@ PublisherId Controller::advertiseEndpoint(const Endpoint& endpoint,
     mergeTreesIfNeeded();
   }
   endOp(snapshot);
+  if (intentObserver_) {
+    const AdvRecord& record = advertisements_.at(id);
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kAdvertise;
+    cmd.id = id;
+    cmd.endpoint = record.endpoint;
+    cmd.dzSet = record.dzSet;
+    cmd.rect = record.rect;
+    logIntent(std::move(cmd));
+  }
   return id;
 }
 
@@ -81,6 +91,16 @@ SubscriptionId Controller::subscribeEndpoint(const Endpoint& endpoint,
     runSubscribe(id);
   }
   endOp(snapshot);
+  if (intentObserver_) {
+    const SubRecord& record = subscriptions_.at(id);
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kSubscribe;
+    cmd.id = id;
+    cmd.endpoint = record.endpoint;
+    cmd.dzSet = record.dzSet;
+    cmd.rect = record.rect;
+    logIntent(std::move(cmd));
+  }
   return id;
 }
 
@@ -97,6 +117,12 @@ void Controller::unsubscribe(SubscriptionId id) {
   }
   subscriptions_.erase(it);
   endOp(snapshot);
+  if (intentObserver_) {
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kUnsubscribe;
+    cmd.id = id;
+    logIntent(std::move(cmd));
+  }
 }
 
 void Controller::unadvertise(PublisherId id) {
@@ -115,6 +141,12 @@ void Controller::unadvertise(PublisherId id) {
   });
   advertisements_.erase(it);
   endOp(snapshot);
+  if (intentObserver_) {
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kUnadvertise;
+    cmd.id = id;
+    logIntent(std::move(cmd));
+  }
 }
 
 // ---- Algorithm 1 -------------------------------------------------------
@@ -236,6 +268,7 @@ void Controller::mergeTreesIfNeeded() {
 
 void Controller::mergeTreePair(std::size_t idxA, std::size_t idxB) {
   assert(idxA != idxB);
+  MutationScope mutationScope(*this);
   if (obsTreeMerges_ != nullptr) obsTreeMerges_->inc();
   SpanningTree& ta = *trees_[idxA];
   SpanningTree& tb = *trees_[idxB];
@@ -358,6 +391,12 @@ void Controller::onLinkDown(net::LinkId link) {
     }
   }
   rebuildTrees(affectedTrees);
+  if (intentObserver_) {
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kLinkDown;
+    cmd.link = link;
+    logIntent(std::move(cmd));
+  }
 }
 
 void Controller::onLinkUp(net::LinkId link) {
@@ -371,6 +410,12 @@ void Controller::onLinkUp(net::LinkId link) {
   ids.reserve(trees_.size());
   for (const auto& tree : trees_) ids.emplace_back(tree->id(), tree->root());
   rebuildTrees(ids);
+  if (intentObserver_) {
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kLinkUp;
+    cmd.link = link;
+    logIntent(std::move(cmd));
+  }
 }
 
 // ---- failure handling (switch node down/up) --------------------------------
@@ -402,6 +447,12 @@ void Controller::onSwitchDown(net::NodeId switchNode) {
     if (hit) affected.emplace_back(tree->id(), pickActiveRoot(*tree));
   }
   rebuildTrees(affected);
+  if (intentObserver_) {
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kSwitchDown;
+    cmd.node = switchNode;
+    logIntent(std::move(cmd));
+  }
 }
 
 void Controller::onSwitchUp(net::NodeId switchNode) {
@@ -427,6 +478,12 @@ void Controller::onSwitchUp(net::NodeId switchNode) {
   // Catch-all resync from registered intent for anything the rebuilds did
   // not touch on this switch.
   installer_.reconcileSwitch(switchNode, registry_.requiredFlows(switchNode));
+  if (intentObserver_) {
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kSwitchUp;
+    cmd.node = switchNode;
+    logIntent(std::move(cmd));
+  }
 }
 
 net::NodeId Controller::pickActiveRoot(const SpanningTree& tree) const {
@@ -457,6 +514,9 @@ void Controller::rebuildTreeAt(int treeId, net::NodeId root) {
 void Controller::rebuildTrees(
     const std::vector<std::pair<int, net::NodeId>>& idRoots) {
   if (idRoots.empty()) return;
+  // Plan + commit rewrite trees/registry/mirror as one batch; hold off any
+  // Reconciler audit pass until the batch has fully committed.
+  MutationScope mutationScope(*this);
 
   // Plan of one tree's rebuild: everything derivable without mutating
   // controller state. The fresh tree is constructed and its routes derived
@@ -616,6 +676,7 @@ net::Packet Controller::makeEventPacket(net::NodeId publisherHost,
 
 void Controller::reindex(const std::vector<int>& dims) {
   FlowInstaller::BatchScope batchScope(installer_);
+  MutationScope mutationScope(*this);
   if (obsReindexes_ != nullptr) obsReindexes_->inc();
   space_.setIndexedDimensions(dims);
 
@@ -638,6 +699,12 @@ void Controller::reindex(const std::vector<int>& dims) {
   for (const net::NodeId sw : switches) installer_.reconcileSwitch(sw, {});
   for (const auto& [id, adv] : advertisements_) runAdvertise(id);
   mergeTreesIfNeeded();
+  if (intentObserver_) {
+    IntentCommand cmd;
+    cmd.kind = IntentCommand::Kind::kReindex;
+    cmd.dims = dims;
+    logIntent(std::move(cmd));
+  }
 }
 
 // ---- misc ----------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "controller/flow_installer.hpp"
+#include "controller/intent_log.hpp"
 #include "controller/path_registry.hpp"
 #include "dz/dz_trie.hpp"
 #include "controller/tree.hpp"
@@ -191,6 +192,39 @@ class Controller {
   /// Results are identical either way; the pool only changes wall-clock.
   void setWorkerPool(util::WorkerPool* pool) noexcept { pool_ = pool; }
 
+  // ---- high availability (controller failover) --------------------------
+
+  /// Registers the observer that mirrors this controller's command stream
+  /// (normally a ctrl::StandbyController). Every state-changing request —
+  /// registrations, link/switch failure notifications, re-indexing — is
+  /// reported after it was applied. One observer at most; pass nullptr to
+  /// detach.
+  void setIntentObserver(IntentObserver observer) {
+    intentObserver_ = std::move(observer);
+  }
+
+  /// True while a multi-step mutation batch is rewriting tree / registry /
+  /// mirror state: a rebuildTrees commit, a tree merge, a re-index, or a
+  /// standby's promotion replay. The Reconciler defers audit passes that
+  /// would otherwise diff against the half-committed state.
+  bool mutationInProgress() const noexcept { return mutationDepth_ > 0; }
+
+  /// RAII marker of such a batch. Held internally by rebuildTrees /
+  /// mergeTreePair / reindex; StandbyController holds one across its whole
+  /// promotion replay. Nestable.
+  class MutationScope {
+   public:
+    explicit MutationScope(Controller& controller) : controller_(controller) {
+      ++controller_.mutationDepth_;
+    }
+    ~MutationScope() { --controller_.mutationDepth_; }
+    MutationScope(const MutationScope&) = delete;
+    MutationScope& operator=(const MutationScope&) = delete;
+
+   private:
+    Controller& controller_;
+  };
+
   net::Network& network() noexcept { return network_; }
   /// The control channel to this partition's switches (e.g. to enable
   /// asynchronous flow installation or inject control-plane faults).
@@ -238,6 +272,10 @@ class Controller {
   dz::DzSet coarsen(dz::DzSet dzSet, const SpanningTree* exclude) const;
   OpStats beginOp(const char* opName);
   void endOp(OpStats& snapshot);
+  /// Reports a completed state-changing request to the intent observer.
+  void logIntent(IntentCommand command) {
+    if (intentObserver_) intentObserver_(command);
+  }
 
   dz::EventSpace space_;
   net::Network& network_;
@@ -259,6 +297,8 @@ class Controller {
   PublisherId nextPublisher_ = 0;
   SubscriptionId nextSubscription_ = 0;
   util::WorkerPool* pool_ = nullptr;
+  IntentObserver intentObserver_;
+  int mutationDepth_ = 0;
   OpStats lastOp_;
   /// Recycles (control block + EventPayload) allocations across publishes;
   /// mutable because stamping a packet does not change controller state.

@@ -1,0 +1,56 @@
+// The replicated command log of the controller high-availability layer.
+// Every state-changing request a Controller processes — registrations,
+// topology-failure notifications, re-indexing — is summarised as one
+// IntentCommand and handed to the registered observer (normally a
+// StandbyController appending to its log). Because the controller handles
+// requests strictly sequentially and assigns ids from monotonic counters,
+// replaying the log against a fresh Controller over the same network
+// reproduces the original's trees, path registry, and installer mirror
+// exactly — the property standby promotion rests on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "controller/types.hpp"
+#include "dz/dz_set.hpp"
+#include "dz/event_space.hpp"
+#include "net/topology.hpp"
+
+namespace pleroma::ctrl {
+
+/// One mirrored controller request. Only the fields of the given kind are
+/// meaningful; the rest stay at their defaults.
+struct IntentCommand {
+  enum class Kind {
+    kAdvertise,    ///< endpoint, dzSet, rect; id = assigned PublisherId
+    kUnadvertise,  ///< id = PublisherId
+    kSubscribe,    ///< endpoint, dzSet, rect; id = assigned SubscriptionId
+    kUnsubscribe,  ///< id = SubscriptionId
+    kLinkDown,     ///< link
+    kLinkUp,       ///< link
+    kSwitchDown,   ///< node
+    kSwitchUp,     ///< node
+    kReindex,      ///< dims
+  };
+
+  Kind kind = Kind::kAdvertise;
+  /// Registration id: the id the primary *assigned* (kAdvertise /
+  /// kSubscribe — replay asserts it reproduces the same one) or the id the
+  /// request targeted (kUnadvertise / kUnsubscribe).
+  std::int64_t id = -1;
+  Endpoint endpoint;
+  dz::DzSet dzSet;
+  std::optional<dz::Rectangle> rect;
+  net::LinkId link = net::kInvalidLink;
+  net::NodeId node = net::kInvalidNode;
+  std::vector<int> dims;
+};
+
+/// Receiver of the primary's command stream (see
+/// Controller::setIntentObserver). Invoked after the command was applied.
+using IntentObserver = std::function<void(const IntentCommand&)>;
+
+}  // namespace pleroma::ctrl

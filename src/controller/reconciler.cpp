@@ -94,6 +94,18 @@ ReconcileReport Reconciler::reconcileSwitch(net::NodeId sw) {
 
 ReconcileReport Reconciler::reconcileAll() {
   ReconcileReport total;
+  // A periodic tick can land between a rebuildTrees plan and its commit
+  // (or inside a merge / re-index / promotion replay): the mirror is then
+  // half-rewritten and diffing against it would issue repairs that the
+  // commit immediately contradicts. Abandon the pass; the next tick (or
+  // convergence round) retries against settled state.
+  if (controller_.mutationInProgress()) {
+    total.deferredForMutation = true;
+    ++mutationSkips_;
+    if (obsMutationSkips_ != nullptr) obsMutationSkips_->inc();
+    last_ = total;
+    return total;
+  }
   for (const net::NodeId sw : controller_.scope().switches) {
     const ReconcileReport r = reconcileSwitch(sw);
     total.switchesAudited += r.switchesAudited;
@@ -123,6 +135,7 @@ std::size_t Reconciler::runToConvergence(std::size_t maxRounds) {
 void Reconciler::attachMetrics(obs::MetricsRegistry& reg) {
   obsAudits_ = &reg.counter("reconciler.audits");
   obsSkips_ = &reg.counter("reconciler.skips");
+  obsMutationSkips_ = &reg.counter("reconciler.mutation_skips");
   obsRepairs_ = &reg.counter("reconciler.repairs");
   obsMatchedPackets_ = &reg.gauge("reconciler.matched_packets_seen");
 }

@@ -24,6 +24,19 @@ Pleroma::Pleroma(net::Topology topology, PleromaOptions options)
 
   network_->attachObservability(metrics_, &tracer_);
   controller_->attachObservability(metrics_, &tracer_);
+  if (options.failover.enableStandby) {
+    // The standby must attach before any registration (its replay starts
+    // from an empty history); constructing it here guarantees that.
+    standby_ = std::make_unique<ctrl::StandbyController>(*controller_);
+    failover_ = std::make_unique<ctrl::FailoverManager>(
+        *controller_, *standby_, options.failover.config);
+    if (pool_) failover_->setWorkerPool(pool_.get());
+    failover_->attachMetrics(metrics_);
+    failover_->setPromotionCallback([this](ctrl::Controller& promoted) {
+      promoted.attachObservability(metrics_, &tracer_);
+    });
+    if (options.failover.autoStart) failover_->start();
+  }
   obsPublishes_ = &metrics_.counter("core.publishes");
   obsDeliveries_ = &metrics_.counter("core.deliveries");
   obsFalsePositives_ = &metrics_.counter("core.false_positive_deliveries");
@@ -31,14 +44,14 @@ Pleroma::Pleroma(net::Topology topology, PleromaOptions options)
 }
 
 ctrl::PublisherId Pleroma::advertise(net::NodeId host, const dz::Rectangle& rect) {
-  return controller_->advertise(host, rect);
+  return controller().advertise(host, rect);
 }
 
-void Pleroma::unadvertise(ctrl::PublisherId id) { controller_->unadvertise(id); }
+void Pleroma::unadvertise(ctrl::PublisherId id) { controller().unadvertise(id); }
 
 ctrl::SubscriptionId Pleroma::subscribe(net::NodeId host,
                                         const dz::Rectangle& rect) {
-  const ctrl::SubscriptionId id = controller_->subscribe(host, rect);
+  const ctrl::SubscriptionId id = controller().subscribe(host, rect);
   const auto [it, inserted] = subs_.emplace(id, std::make_pair(host, rect));
   (void)inserted;
   subsByHost_[static_cast<std::size_t>(host)].push_back(
@@ -47,7 +60,7 @@ ctrl::SubscriptionId Pleroma::subscribe(net::NodeId host,
 }
 
 void Pleroma::unsubscribe(ctrl::SubscriptionId id) {
-  controller_->unsubscribe(id);
+  controller().unsubscribe(id);
   const auto it = subs_.find(id);
   if (it != subs_.end()) {
     auto& list = subsByHost_[static_cast<std::size_t>(it->second.first)];
@@ -60,7 +73,7 @@ net::EventId Pleroma::publish(net::NodeId host, const dz::Event& event,
                               net::EventId id) {
   if (id == 0) id = nextEventId_++;
   obsPublishes_->inc();
-  net::Packet packet = controller_->makeEventPacket(host, event, id);
+  net::Packet packet = controller().makeEventPacket(host, event, id);
   if (tracer_.enabled()) {
     // Root of the event's data-plane span tree: traceId = event id.
     const obs::SpanId root = tracer_.instant(id, obs::kNoSpan, "publish",
@@ -141,6 +154,12 @@ obs::JsonValue Pleroma::snapshotMetrics() {
       .set(static_cast<double>(nc.packetsDroppedLinkDown));
   metrics_.gauge("net.drops_node_down")
       .set(static_cast<double>(nc.packetsDroppedNodeDown));
+  metrics_.gauge("net.miss_buffered")
+      .set(static_cast<double>(nc.packetsBufferedOnMiss));
+  metrics_.gauge("net.drops_miss_buffer")
+      .set(static_cast<double>(nc.packetsDroppedMissBuffer));
+  metrics_.gauge("net.miss_replayed")
+      .set(static_cast<double>(nc.packetsReplayedFromMissBuffer));
   metrics_.gauge("net.link_bytes_total")
       .set(static_cast<double>(network_->totalLinkBytes()));
   return metrics_.toJson();
@@ -152,14 +171,14 @@ std::vector<int> Pleroma::runDimensionSelection(double threshold) {
   for (const auto& [id, hostRect] : subs_) rects.push_back(hostRect.second);
   const std::vector<dz::Event> window(eventWindow_.begin(), eventWindow_.end());
   std::vector<int> dims = dimsel::selectDimensions(
-      window, rects, controller_->space().numAttributes(), threshold);
+      window, rects, controller().space().numAttributes(), threshold);
   if (dims.empty()) return dims;
   std::vector<int> sorted = dims;
   std::sort(sorted.begin(), sorted.end());
-  std::vector<int> current = controller_->space().indexedDimensions();
+  std::vector<int> current = controller().space().indexedDimensions();
   std::sort(current.begin(), current.end());
   if (sorted != current) {
-    controller_->reindex(dims);
+    controller().reindex(dims);
     ++reindexes_;
   }
   return dims;

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "controller/controller.hpp"
+#include "controller/failover.hpp"
+#include "controller/standby.hpp"
 #include "dimsel/dimension_selection.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -26,11 +28,25 @@
 
 namespace pleroma::core {
 
+/// Controller high-availability options (DESIGN.md §11). When enabled, the
+/// instance constructs a hot-standby replica that mirrors the controller's
+/// command stream plus a FailoverManager that heartbeats it; on detection
+/// of a controller death the standby is promoted and reconciles the
+/// switches' surviving TCAM state against the mirrored intent.
+struct FailoverOptions {
+  bool enableStandby = false;
+  /// Arm the heartbeat at construction (otherwise call
+  /// failover()->start() explicitly).
+  bool autoStart = true;
+  ctrl::FailoverConfig config;
+};
+
 struct PleromaOptions {
   int numAttributes = 2;
   int bitsPerDim = 10;
   ctrl::ControllerConfig controller;
   net::NetworkConfig network;
+  FailoverOptions failover;
   /// Size of the sliding event window kept for dimension selection (eta).
   std::size_t dimensionWindow = 256;
   /// Apply flow-mods asynchronously (each takes flowModLatency of simulated
@@ -103,7 +119,7 @@ class Pleroma {
   std::vector<int> runDimensionSelection(double threshold = 0.9);
 
   /// Explicitly re-index on the given dimensions.
-  void reindex(const std::vector<int>& dims) { controller_->reindex(dims); }
+  void reindex(const std::vector<int>& dims) { controller().reindex(dims); }
 
   /// Enables the paper's periodic adaptation: every `everyNEvents`
   /// publications the controller re-runs dimension selection over the
@@ -149,7 +165,14 @@ class Pleroma {
 
   // ---- access to the layers ---------------------------------------------
 
-  ctrl::Controller& controller() noexcept { return *controller_; }
+  /// The controller currently in charge: the original until a failover
+  /// promotion, the promoted replica after.
+  ctrl::Controller& controller() noexcept {
+    return failover_ ? failover_->active() : *controller_;
+  }
+  /// Failover layer, present only with FailoverOptions::enableStandby.
+  ctrl::FailoverManager* failover() noexcept { return failover_.get(); }
+  ctrl::StandbyController* standby() noexcept { return standby_.get(); }
   net::Network& network() noexcept { return *network_; }
   net::Simulator& simulator() noexcept { return sim_; }
   const net::Topology& topology() const { return network_->topology(); }
@@ -166,6 +189,10 @@ class Pleroma {
   net::Simulator sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<ctrl::Controller> controller_;
+  /// Failover layer (optional). Declared after controller_ / network_: the
+  /// standby and manager reference both.
+  std::unique_ptr<ctrl::StandbyController> standby_;
+  std::unique_ptr<ctrl::FailoverManager> failover_;
   std::map<ctrl::SubscriptionId, std::pair<net::NodeId, dz::Rectangle>> subs_;
   /// Per-host view of subs_, indexed by NodeId for the delivery hot path.
   /// Rectangle pointers alias subs_ map nodes (stable across insert/erase).

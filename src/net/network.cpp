@@ -12,6 +12,7 @@ Network::Network(Topology topology, Simulator& sim, NetworkConfig config)
     tables_.emplace_back(topo_.isSwitch(id) ? config_.flowTableCapacity : 0);
   }
   hostState_.resize(static_cast<std::size_t>(topo_.nodeCount()));
+  missBuffers_.resize(static_cast<std::size_t>(topo_.nodeCount()));
   linkCounters_.resize(static_cast<std::size_t>(topo_.linkCount()));
   linkUp_.assign(static_cast<std::size_t>(topo_.linkCount()), true);
   nodeUp_.assign(static_cast<std::size_t>(topo_.nodeCount()), true);
@@ -136,6 +137,27 @@ void Network::switchPipeline(NodeId switchNode, PortId inPort,
   const FlowEntry* entry =
       tables_[static_cast<std::size_t>(switchNode)].lookup(packet.dst);
   if (entry == nullptr) {
+    if (failSoft_) {
+      // Fail-soft: park the miss for replay after the failover repair
+      // instead of dropping. The buffer is this switch's own state, so
+      // the per-node sharding contract holds.
+      auto& buffer = missBuffers_[static_cast<std::size_t>(switchNode)];
+      if (buffer.size() < config_.missBufferCapacity) {
+        ++counters_.packetsBufferedOnMiss;
+        if (tracing) {
+          tracer_->instant(packet.eventId(), packet.traceSpan,
+                           "tcam_miss_buffered", sim_.now(), switchNode);
+        }
+        buffer.push_back(ParkedMiss{inPort, std::move(packet)});
+      } else {
+        ++counters_.packetsDroppedMissBuffer;
+        if (tracing) {
+          tracer_->instant(packet.eventId(), packet.traceSpan,
+                           "drop.miss_buffer_full", sim_.now(), switchNode);
+        }
+      }
+      return;
+    }
     ++counters_.packetsDroppedNoMatch;
     if (tracing) {
       tracer_->instant(packet.eventId(), packet.traceSpan, "tcam_miss",
@@ -233,10 +255,39 @@ void Network::setLinkUp(LinkId link, bool up) {
 
 void Network::setNodeUp(NodeId node, bool up) {
   nodeUp_[static_cast<std::size_t>(node)] = up;
-  // A failed switch loses its TCAM contents; it reboots empty.
+  // A failed switch loses its TCAM contents; it reboots empty. Packets it
+  // had parked in fail-soft mode die with it.
   if (!up && topo_.isSwitch(node)) {
     tables_[static_cast<std::size_t>(node)].clear();
+    auto& buffer = missBuffers_[static_cast<std::size_t>(node)];
+    counters_.packetsDroppedNodeDown += buffer.size();
+    buffer.clear();
   }
+}
+
+std::size_t Network::releaseMissBuffers() {
+  std::size_t replayed = 0;
+  for (NodeId node = 0; node < topo_.nodeCount(); ++node) {
+    auto& buffer = missBuffers_[static_cast<std::size_t>(node)];
+    if (buffer.empty()) continue;
+    // Move the buffer out first: if the flow is *still* missing and
+    // fail-soft is still on, the replayed packet re-parks into a fresh
+    // buffer instead of extending the one being drained.
+    std::vector<ParkedMiss> parked;
+    parked.swap(buffer);
+    for (ParkedMiss& miss : parked) {
+      ++replayed;
+      ++counters_.packetsReplayedFromMissBuffer;
+      processAtSwitch(node, miss.inPort, std::move(miss.packet));
+    }
+  }
+  return replayed;
+}
+
+std::size_t Network::missBufferedPackets() const {
+  std::size_t total = 0;
+  for (const auto& buffer : missBuffers_) total += buffer.size();
+  return total;
 }
 
 void Network::transmit(NodeId fromNode, PortId outPort, Packet&& packet) {

@@ -38,6 +38,9 @@ struct NetworkConfig {
   std::size_t hostQueueCapacity = 1024;
   /// TCAM capacity per switch; 0 = unlimited.
   std::size_t flowTableCapacity = 0;
+  /// Per-switch miss-buffer budget (packets) while fail-soft mode is
+  /// engaged; misses beyond the budget fall back to counted drops.
+  std::size_t missBufferCapacity = 128;
 };
 
 /// Network-wide counters. Multi-writer relaxed atomics: during parallel
@@ -52,6 +55,10 @@ struct NetworkCounters {
   util::RelaxedCounter packetsDroppedLinkDown = 0;
   util::RelaxedCounter packetsDroppedNodeDown = 0;
   util::RelaxedCounter packetsDeliveredToHosts = 0;
+  // ---- fail-soft (controller failover window) --------------------------
+  util::RelaxedCounter packetsBufferedOnMiss = 0;
+  util::RelaxedCounter packetsDroppedMissBuffer = 0;  ///< budget exceeded
+  util::RelaxedCounter packetsReplayedFromMissBuffer = 0;
 };
 
 /// Per-link counters. Multi-writer: a link's two endpoints may live on
@@ -114,6 +121,24 @@ class Network : public PacketSink {
     return nodeUp_[static_cast<std::size_t>(node)];
   }
 
+  /// Fail-soft mode (controller failover): while enabled, a switch keeps
+  /// forwarding on its existing TCAM entries but a miss no longer drops
+  /// the packet — it is parked in the switch's finite miss buffer
+  /// (NetworkConfig::missBufferCapacity per switch) for replay once the
+  /// promoted controller has repaired the tables; misses beyond the budget
+  /// are dropped and counted. This replaces the implicit fail-open
+  /// behaviour (drop every miss) for the duration of a failover window.
+  void setFailSoft(bool on) noexcept { failSoft_ = on; }
+  bool failSoft() const noexcept { return failSoft_; }
+
+  /// Replays every parked packet through its switch's pipeline, in the
+  /// order the switches buffered them (switch id, then arrival). Call
+  /// after the repair converged — replayed packets re-run the full lookup
+  /// and pay the processing delay again. Returns the number replayed.
+  std::size_t releaseMissBuffers();
+  /// Packets currently parked across all miss buffers.
+  std::size_t missBufferedPackets() const;
+
   /// Wires the data plane into the observability layer: every switch table
   /// resolves its metric handles against `reg` (all tables share the
   /// "flow_table.*" names, so the counters aggregate fleet-wide), and — when
@@ -164,6 +189,11 @@ class Network : public PacketSink {
     SimTime busyUntil = 0;
     std::size_t queued = 0;
   };
+  /// One parked TCAM miss awaiting replay (fail-soft mode).
+  struct ParkedMiss {
+    PortId inPort = kInvalidPort;
+    Packet packet;
+  };
 
   Topology topo_;
   Simulator& sim_;
@@ -172,6 +202,11 @@ class Network : public PacketSink {
   std::vector<HostState> hostState_;
   std::vector<bool> linkUp_;
   std::vector<bool> nodeUp_;
+  bool failSoft_ = false;
+  /// Per-node miss buffers (only switch slots are ever used). A buffer is
+  /// the parking switch's own state, so fail-soft buffering stays within
+  /// the per-node sharding contract of packetShardKey.
+  std::vector<std::vector<ParkedMiss>> missBuffers_;
   std::vector<LinkCounters> linkCounters_;
   NetworkCounters counters_;
   PacketInHandler packetIn_;

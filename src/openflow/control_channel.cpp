@@ -79,6 +79,7 @@ void ControlChannel::countSent(const FlowMod& mod) {
 }
 
 bool ControlChannel::send(const FlowMod& mod) {
+  if (muted_) return true;  // promotion replay: intent only, no wire traffic
   countSent(mod);
   const bool tracing = tracer_ != nullptr && tracer_->enabled();
 
@@ -165,6 +166,7 @@ std::size_t ControlChannel::sendBatch(std::span<const FlowMod> mods) {
 
 std::size_t ControlChannel::sendBatchToSwitch(net::NodeId sw,
                                               std::vector<FlowMod> mods) {
+  if (muted_) return mods.size();
   ++stats_.flowModBatches;
   stats_.batchedMods += mods.size();
   for (const FlowMod& mod : mods) countSent(mod);
@@ -413,6 +415,11 @@ void ControlChannel::resolve(std::uint64_t xid, bool ok) {
 
 std::uint64_t ControlChannel::sendBarrier(net::NodeId switchNode,
                                           BarrierCallback onReply) {
+  if (muted_) {
+    // Nothing can be outstanding on a muted channel; reply immediately.
+    if (onReply) onReply(true);
+    return nextXid_++;
+  }
   ++stats_.barrierRequests;
   if (obsBarrierRequests_ != nullptr) obsBarrierRequests_->inc();
   const std::uint64_t xid = nextXid_++;
@@ -441,9 +448,7 @@ std::size_t ControlChannel::outstandingMods() const {
   return total;
 }
 
-FlowStatsReply ControlChannel::requestFlowStats(net::NodeId switchNode) {
-  ++stats_.flowStatsRequests;
-  if (obsFlowStatsRequests_ != nullptr) obsFlowStatsRequests_->inc();
+FlowStatsReply ControlChannel::readFlowStats(net::NodeId switchNode) {
   FlowStatsReply reply;
   reply.switchNode = switchNode;
   reply.xid = nextXid_++;
@@ -452,6 +457,48 @@ FlowStatsReply ControlChannel::requestFlowStats(net::NodeId switchNode) {
   reply.entries = network_.flowTable(switchNode).entries();
   ++stats_.flowStatsReplies;
   return reply;
+}
+
+FlowStatsReply ControlChannel::requestFlowStats(net::NodeId switchNode) {
+  ++stats_.flowStatsRequests;
+  if (obsFlowStatsRequests_ != nullptr) obsFlowStatsRequests_->inc();
+  return readFlowStats(switchNode);
+}
+
+std::vector<FlowStatsReply> ControlChannel::requestFlowStatsBatch(
+    std::span<const net::NodeId> switches) {
+  ++stats_.flowStatsBatches;
+  if (obsFlowStatsRequests_ != nullptr) obsFlowStatsRequests_->inc();
+  std::vector<FlowStatsReply> replies;
+  replies.reserve(switches.size());
+  for (const net::NodeId sw : switches) replies.push_back(readFlowStats(sw));
+  return replies;
+}
+
+bool ControlChannel::sendEcho(bool peerResponds) {
+  ++stats_.echoRequests;
+  // Request direction: one drop draw.
+  if (faults_.dropProbability > 0.0 && rng_.chance(faults_.dropProbability)) {
+    ++stats_.echoesDropped;
+    return false;
+  }
+  if (!peerResponds) return false;  // the peer is dead: no reply exists
+  // Reply direction: a second independent draw.
+  if (faults_.dropProbability > 0.0 && rng_.chance(faults_.dropProbability)) {
+    ++stats_.echoesDropped;
+    return false;
+  }
+  ++stats_.echoReplies;
+  return true;
+}
+
+bool ControlChannel::sendRoleRequest(net::NodeId switchNode,
+                                     ControllerRole role) {
+  ++stats_.roleRequests;
+  if (!switchConnected(switchNode)) return false;
+  roles_[switchNode] = role;
+  ++stats_.roleReplies;
+  return true;
 }
 
 void ControlChannel::attachObservability(obs::MetricsRegistry& reg,
@@ -467,6 +514,7 @@ void ControlChannel::attachObservability(obs::MetricsRegistry& reg,
 }
 
 void ControlChannel::sendPacketOut(const PacketOut& out) {
+  if (muted_) return;
   ++stats_.packetOuts;
   if (!switchConnected(out.switchNode) || rng_.chance(faults_.dropProbability)) {
     ++stats_.packetOutsDropped;

@@ -93,6 +93,16 @@ class ControlChannel {
   void enableBatching(bool on = true) { batching_ = on; }
   bool batchingEnabled() const noexcept { return batching_; }
 
+  /// Mutes the channel: sends become silent no-ops (nothing transmitted,
+  /// applied, counted, or drawn from the fault Rng) while reads still work.
+  /// Used during standby promotion — the fresh controller replays the
+  /// primary's command history to rebuild its *intent* (trees, registry,
+  /// installer mirror) without touching the switches, whose TCAMs already
+  /// hold the primary's installs; the post-replay reconcile pass then
+  /// repairs only the true delta.
+  void setMuted(bool on) noexcept { muted_ = on; }
+  bool muted() const noexcept { return muted_; }
+
   // ---- fault injection -------------------------------------------------
 
   void setFaultModel(const ControlFaultModel& model) { faults_ = model; }
@@ -164,6 +174,37 @@ class ControlChannel {
   /// request is counted in the control-plane stats either way).
   FlowStatsReply requestFlowStats(net::NodeId switchNode);
 
+  /// Batched flow-stats read: one multipart sweep over `switches`, counted
+  /// as a single request on the channel. Each switch still answers
+  /// individually (a dead control session yields ok == false for its
+  /// reply). The promotion audit uses this to snapshot every TCAM in one
+  /// round instead of one request per switch.
+  std::vector<FlowStatsReply> requestFlowStatsBatch(
+      std::span<const net::NodeId> switches);
+
+  // ---- liveness & role (failover support) ------------------------------
+
+  /// One echo round trip over the control network (OFPT_ECHO_REQUEST /
+  /// REPLY) — the failover layer's heartbeat towards the primary
+  /// controller. Each direction is exposed to one drop draw of the fault
+  /// model; `peerResponds` is false when the probed peer is dead (its
+  /// reply then never enters the channel). Returns true when the reply
+  /// arrives.
+  bool sendEcho(bool peerResponds = true);
+
+  /// Claims `role` towards a switch (OFPT_ROLE_REQUEST). Role messages are
+  /// control-session RPCs: they fail only when the session is down (no
+  /// random loss — OpenFlow runs them over TCP). Returns true on the
+  /// switch's reply.
+  bool sendRoleRequest(net::NodeId switchNode, ControllerRole role);
+
+  /// The role most recently acknowledged by `switchNode` (kEqual before
+  /// any request — OpenFlow's default role).
+  ControllerRole roleOf(net::NodeId switchNode) const {
+    const auto it = roles_.find(switchNode);
+    return it == roles_.end() ? ControllerRole::kEqual : it->second;
+  }
+
   /// Resolves metric handles under "ctrl_channel.*" and (when `tracer` is
   /// non-null) records per-flow-mod trace spans parented by the tracer's
   /// current controller-op context.
@@ -206,6 +247,9 @@ class ControlChannel {
   };
 
   bool applyNow(const FlowMod& mod);
+  /// One switch's share of a flow-stats read, without counting a request
+  /// (requestFlowStats and the batched sweep count differently).
+  FlowStatsReply readFlowStats(net::NodeId switchNode);
   /// At-least-once apply: re-delivery of an already-applied mod succeeds
   /// (add of an identical entry, delete of an absent entry).
   bool applyIdempotent(const FlowMod& mod);
@@ -235,12 +279,14 @@ class ControlChannel {
   /// Completion time of the last scheduled async mod, so installs on the
   /// same channel never reorder even when sends burst.
   net::SimTime lastScheduled_ = 0;
+  bool muted_ = false;
   ControlPlaneStats stats_;
 
   ControlFaultModel faults_;
   RetryPolicy retry_;
   util::Rng rng_{0x5DC0DE5ULL};
   std::unordered_set<net::NodeId> disconnected_;
+  std::unordered_map<net::NodeId, ControllerRole> roles_;
   std::uint64_t nextXid_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::unordered_map<net::NodeId, std::set<std::uint64_t>> outstanding_;

@@ -14,6 +14,11 @@ namespace pleroma::openflow {
 
 enum class FlowModType { kAdd, kModify, kDelete };
 
+/// OpenFlow controller role towards one switch (OFPT_ROLE_REQUEST). A
+/// switch accepts state-changing messages from its master; a promoted
+/// standby claims mastership switch by switch before repairing.
+enum class ControllerRole { kEqual, kMaster, kSlave };
+
 struct FlowMod {
   FlowModType type = FlowModType::kAdd;
   net::NodeId switchNode = net::kInvalidNode;
@@ -93,6 +98,22 @@ struct ControlPlaneStats {
   /// Flow-stats reads (the Reconciler's data-plane audit channel).
   std::uint64_t flowStatsRequests = 0;
   std::uint64_t flowStatsReplies = 0;
+  /// Batched flow-stats sweeps (one multipart request covering many
+  /// switches — the promotion audit's read pattern). The per-switch
+  /// replies count into flowStatsReplies; the sweep itself is one request.
+  std::uint64_t flowStatsBatches = 0;
+  // ---- liveness / failover ---------------------------------------------
+  /// Echo round trips attempted (OFPT_ECHO_REQUEST; the failover layer's
+  /// heartbeat probe).
+  std::uint64_t echoRequests = 0;
+  /// Echo replies that actually arrived.
+  std::uint64_t echoReplies = 0;
+  /// Echo requests or replies lost to the fault model (a dead peer's
+  /// missing replies are not counted here — only channel loss is).
+  std::uint64_t echoesDropped = 0;
+  /// Controller-role claims sent (OFPT_ROLE_REQUEST) and their replies.
+  std::uint64_t roleRequests = 0;
+  std::uint64_t roleReplies = 0;
 };
 
 }  // namespace pleroma::openflow
