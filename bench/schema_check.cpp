@@ -9,6 +9,11 @@
 // rows, skipping columns named in --ignore-column (wall-clock measurements
 // that legitimately vary run to run). The determinism CI job runs benches
 // with --threads 1 and --threads 4 and feeds both artifacts through this.
+//
+// Third mode:
+//   schema_check --scenario FILE.json...
+// lints pleroma-scenario-v1 files (scenarios/ catalog): strict parse plus
+// deep validation (scenario::Scenario::validate), without running them.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "obs/report.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -98,6 +104,25 @@ int compareSeries(const char* pathA, const char* pathB,
   return 0;
 }
 
+/// Lints scenario files: strict parse + deep validation, no execution.
+int lintScenarios(int count, char** paths) {
+  for (int i = 0; i < count; ++i) {
+    std::string error;
+    auto s = pleroma::scenario::Scenario::loadFile(paths[i], &error);
+    if (!s.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (!s->validate(&error)) {
+      std::fprintf(stderr, "%s: %s\n", paths[i], error.c_str());
+      return 1;
+    }
+    std::printf("%s: ok (%s, %zu phase(s))\n", paths[i],
+                s->topologyLabel().c_str(), s->phases.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,9 +130,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s BENCH_<name>.json...\n"
                  "       %s --compare-series A.json B.json"
-                 " [--ignore-column=NAME]...\n",
-                 argv[0], argv[0]);
+                 " [--ignore-column=NAME]...\n"
+                 "       %s --scenario FILE.json...\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
+  }
+  if (std::strcmp(argv[1], "--scenario") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "--scenario needs at least one file\n");
+      return 2;
+    }
+    return lintScenarios(argc - 2, argv + 2);
   }
   if (std::strcmp(argv[1], "--compare-series") == 0) {
     if (argc < 4) {

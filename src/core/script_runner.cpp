@@ -1,7 +1,10 @@
 #include "core/script_runner.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include "scenario/scenario.hpp"
 
 namespace pleroma::core {
 
@@ -9,11 +12,16 @@ ScriptRunner::ScriptRunner(OutputSink sink) : sink_(std::move(sink)) {
   reset(net::Topology::testbedFatTree(), 2, 10);
 }
 
-void ScriptRunner::reset(net::Topology topo, int attrs, int bits) {
+void ScriptRunner::reset(net::Topology topo, int attrs, int bits,
+                         std::optional<ctrl::ControllerConfig> controller) {
   PleromaOptions options;
   options.numAttributes = attrs;
   options.bitsPerDim = bits;
-  options.controller.maxCellsPerRequest = 32;
+  if (controller.has_value()) {
+    options.controller = *controller;
+  } else {
+    options.controller.maxCellsPerRequest = 32;
+  }
   middleware_ = std::make_unique<Pleroma>(std::move(topo), options);
   attrs_ = attrs;
   pendingDeliveries_.clear();
@@ -234,9 +242,105 @@ bool ScriptRunner::executeLine(const std::string& line) {
         static_cast<unsigned long long>(ds.falsePositives), ds.meanLatencyUs(),
         flows, static_cast<unsigned long long>(cs.flowModsSent),
         middleware_->controller().treeCount());
+  } else if (cmd == "scenario") {
+    std::string path;
+    in >> path;
+    if (path.empty()) {
+      emit("error: scenario FILE.json");
+      return true;
+    }
+    std::string error;
+    auto s = scenario::Scenario::loadFile(path, &error);
+    if (!s.has_value()) {
+      emitf("error: %s", error.c_str());
+      return true;
+    }
+    if (!s->validate(&error)) {
+      emitf("error: %s: %s", path.c_str(), error.c_str());
+      return true;
+    }
+    if (s->partitions > 1) {
+      emit("error: multi-partition scenarios need the scenario_run tool");
+      return true;
+    }
+    ctrl::ControllerConfig cfg;
+    if (s->maxDzLength.has_value()) cfg.maxDzLength = *s->maxDzLength;
+    if (s->maxCellsPerRequest.has_value()) {
+      cfg.maxCellsPerRequest = *s->maxCellsPerRequest;
+    }
+    reset(s->buildTopology(), s->numAttributes, s->bitsPerDim, cfg);
+    const auto hosts = middleware_->topology().hosts();
+    struct Live {
+      std::size_t slot;
+      dz::Rectangle rect;
+      ctrl::SubscriptionId id;
+    };
+    std::vector<Live> ledger;
+    std::vector<std::size_t> advSlots;
+    std::size_t published = 0;
+    for (std::size_t p = 0; p < s->phases.size(); ++p) {
+      const scenario::PhasePlan plan = scenario::buildPhasePlan(
+          *s, p, hosts.size(), ledger.size(), /*smoke=*/false);
+      std::vector<std::size_t> phaseAdv;
+      for (const auto& [slot, rect] : plan.advertisements) {
+        middleware_->advertise(hosts[slot], rect);
+        advSlots.push_back(slot);
+        phaseAdv.push_back(slot);
+      }
+      for (const auto& [slot, rect] : plan.subscriptions) {
+        ledger.push_back({slot, rect, middleware_->subscribe(hosts[slot], rect)});
+      }
+      for (const workload::ChurnStep& step : plan.churnMoves) {
+        Live& sub = ledger[step.subIndex];
+        const std::size_t slot = (sub.slot + step.hostOffset) % hosts.size();
+        middleware_->unsubscribe(sub.id);
+        sub.id = middleware_->subscribe(hosts[slot], sub.rect);
+        sub.slot = slot;
+      }
+      const std::vector<std::size_t>& pubs =
+          phaseAdv.empty() ? advSlots : phaseAdv;
+      for (const dz::Event& e : plan.events) {
+        middleware_->publish(hosts[pubs[published % pubs.size()]], e);
+        ++published;
+      }
+      emitf("  phase %zu (%s, %s): %zu adv, %zu sub, %zu moves, %zu events",
+            p, s->phases[p].name.c_str(), scenario::toString(s->phases[p].family),
+            plan.advertisements.size(), plan.subscriptions.size(),
+            plan.churnMoves.size(), plan.events.size());
+    }
+    if (!s->faults.empty()) {
+      emitf("  note: %zu fault(s) not applied (fault schedules need "
+            "scenario_run)",
+            s->faults.size());
+    }
+    emitf("ok: scenario %s deployed (%zu phases, %zu events in flight; "
+          "type 'run' to settle)",
+          s->name.c_str(), s->phases.size(), published);
+  } else if (cmd == "source") {
+    std::string path;
+    in >> path;
+    if (path.empty()) {
+      emit("error: source FILE");
+      return true;
+    }
+    if (sourceDepth_ >= 8) {
+      emit("error: source nesting too deep");
+      return true;
+    }
+    std::ifstream file(path);
+    if (!file) {
+      emitf("error: cannot open '%s'", path.c_str());
+      return true;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    ++sourceDepth_;
+    executeScript(buf.str());
+    --sourceDepth_;
+    emitf("ok: sourced %s", path.c_str());
   } else if (cmd == "help") {
     emit("commands: topo attrs adv sub unadv unsub pub fail restore run "
-         "trees flows dimsel stats [metrics|json] quit");
+         "trees flows dimsel stats [metrics|json] scenario source quit");
   } else {
     emitf("error: unknown command '%s' (try help)", cmd.c_str());
   }

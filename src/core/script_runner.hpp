@@ -15,6 +15,11 @@
 //   stats metrics               metrics registry, one line per metric
 //   stats json                  metrics snapshot as single-line JSON
 //   dimsel [THRESHOLD]          run dimension selection and re-index
+//   scenario FILE.json          load a pleroma-scenario-v1 file: reset to
+//                               its topology/schema and deploy every
+//                               phase's workload (single-partition only;
+//                               fault schedules need scenario_run)
+//   source FILE                 execute a plain command script from a file
 #pragma once
 
 #include <functional>
@@ -44,7 +49,8 @@ class ScriptRunner {
   Pleroma& middleware() noexcept { return *middleware_; }
 
  private:
-  void reset(net::Topology topo, int attrs, int bits);
+  void reset(net::Topology topo, int attrs, int bits,
+             std::optional<ctrl::ControllerConfig> controller = std::nullopt);
   net::NodeId hostByName(const std::string& name) const;
   net::NodeId switchByName(const std::string& name) const;
   bool parseRanges(std::istream& in, dz::Rectangle& rect) const;
@@ -60,6 +66,8 @@ class ScriptRunner {
   std::unique_ptr<Pleroma> middleware_;
   int attrs_ = 2;
   std::vector<DeliveryRecord> pendingDeliveries_;
+  /// `source` nesting depth; bounded so a file sourcing itself terminates.
+  int sourceDepth_ = 0;
 };
 
 }  // namespace pleroma::core

@@ -6,6 +6,16 @@
 
 namespace pleroma::workload {
 
+std::uint64_t derivePhaseSeed(std::uint64_t seed, std::size_t phaseIndex) noexcept {
+  // splitmix64 finalizer over seed + GOLDEN * (index + 1); see the header
+  // for why phase 0 must not reuse the raw seed.
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(phaseIndex) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
@@ -32,6 +42,11 @@ dz::AttributeValue WorkloadGenerator::clampToDomain(double v) const noexcept {
   return static_cast<dz::AttributeValue>(std::llround(clamped));
 }
 
+double WorkloadGenerator::crowdCentreFraction(int dim) const noexcept {
+  const auto d = static_cast<std::size_t>(dim);
+  return d < config_.crowdCentre.size() ? config_.crowdCentre[d] : 0.5;
+}
+
 dz::Rectangle WorkloadGenerator::makeRectangle(double widthFraction) {
   const auto dmax = static_cast<double>(domainMax());
   dz::Rectangle rect;
@@ -54,6 +69,10 @@ dz::Rectangle WorkloadGenerator::makeRectangle(double widthFraction) {
       const double c =
           static_cast<double>(hotspots_[hotspot][static_cast<std::size_t>(d)]);
       centre = c + rng_.uniformReal(-1.0, 1.0) * config_.hotspotRadius * dmax;
+    } else if (config_.model == Model::kFlashCrowd) {
+      centre = (crowdCentreFraction(d) +
+                rng_.uniformReal(-1.0, 1.0) * config_.crowdRadius) *
+               dmax;
     } else {
       centre = rng_.uniformReal(0.0, dmax);
     }
@@ -92,6 +111,10 @@ dz::Event WorkloadGenerator::makeEvent() {
       const double c =
           static_cast<double>(hotspots_[hotspot][static_cast<std::size_t>(d)]);
       v = clampToDomain(c + rng_.uniformReal(-1.0, 1.0) * config_.hotspotRadius * dmax);
+    } else if (config_.model == Model::kFlashCrowd) {
+      v = clampToDomain((crowdCentreFraction(d) +
+                         rng_.uniformReal(-1.0, 1.0) * config_.crowdRadius) *
+                        dmax);
     } else {
       v = static_cast<dz::AttributeValue>(rng_.uniformInt(0, domainMax()));
     }
@@ -111,6 +134,22 @@ std::vector<dz::Rectangle> WorkloadGenerator::makeAdvertisements(std::size_t n) 
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) out.push_back(makeAdvertisement());
   return out;
+}
+
+std::vector<ChurnStep> WorkloadGenerator::makeChurnSteps(std::size_t numSubs,
+                                                         std::size_t numMoves,
+                                                         std::size_t numHostSlots) {
+  assert(numSubs >= 1);
+  std::vector<ChurnStep> steps;
+  steps.reserve(numMoves);
+  for (std::size_t i = 0; i < numMoves; ++i) {
+    ChurnStep s;
+    s.subIndex = rng_.uniformInt(0, numSubs - 1);
+    s.hostOffset =
+        numHostSlots < 2 ? 0 : rng_.uniformInt(1, numHostSlots - 1);
+    steps.push_back(s);
+  }
+  return steps;
 }
 
 std::vector<dz::Event> WorkloadGenerator::makeEvents(std::size_t n) {

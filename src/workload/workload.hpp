@@ -17,7 +17,34 @@
 
 namespace pleroma::workload {
 
-enum class Model { kUniform, kZipfian };
+/// Sampling families:
+///   * kUniform / kZipfian — the paper's Sec 6.1 interest models;
+///   * kFlashCrowd — subscriptions *and* events concentrate inside one
+///     rectangular region of the event space (the crowd), producing the
+///     subscription-burst-on-one-dz-region workload of the scenario
+///     engine's flash-crowd family;
+///   * kWideEventSpace — uniform sampling intended for schemas with many
+///     attributes where `uninformativeDims` marks the dimensions that
+///     carry no filtering information (the Fig 7e mechanism generalised
+///     to uninformative-dimension sweeps).
+enum class Model { kUniform, kZipfian, kFlashCrowd, kWideEventSpace };
+
+/// One churn/mobility move: subscription `subIndex` re-homes from its
+/// current host slot to `(slot + hostOffset) % numHostSlots`. The offset is
+/// drawn in [1, numHostSlots-1], so the new host is always different.
+struct ChurnStep {
+  std::size_t subIndex = 0;
+  std::size_t hostOffset = 1;
+};
+
+/// Derives the independent seed of workload phase `phaseIndex` from a
+/// scenario-level seed. The derivation is the splitmix64 finalizer applied
+/// to `seed + GOLDEN * (phaseIndex + 1)` (GOLDEN = 0x9e3779b97f4a7c15):
+/// phase 0 already differs from the raw seed, so no phase shares a stream
+/// with another phase or with a generator seeded directly with `seed`.
+/// Reports that record (seed, phase index) are therefore reproducible
+/// without recording every phase's derived seed.
+std::uint64_t derivePhaseSeed(std::uint64_t seed, std::size_t phaseIndex) noexcept;
 
 struct WorkloadConfig {
   Model model = Model::kUniform;
@@ -37,9 +64,17 @@ struct WorkloadConfig {
   /// Extent of a hotspot region as a fraction of the domain.
   double hotspotRadius = 0.08;
 
+  // --- flash-crowd model ---
+  /// Centre of the crowd region, one fraction of the domain per attribute.
+  /// Empty = mid-domain (0.5 everywhere); a shorter vector is padded with
+  /// 0.5.
+  std::vector<double> crowdCentre;
+  /// Half-extent of the crowd region as a fraction of the domain.
+  double crowdRadius = 0.05;
+
   /// Dimensions along which events barely vary and subscriptions are
   /// unselective (span the whole domain): useless for filtering. Used by
-  /// the Fig 7e workloads.
+  /// the Fig 7e workloads and the wide-event-space family.
   std::vector<int> uninformativeDims;
 
   std::uint64_t seed = 42;
@@ -65,6 +100,16 @@ class WorkloadGenerator {
   std::vector<dz::Rectangle> makeAdvertisements(std::size_t n);
   std::vector<dz::Event> makeEvents(std::size_t n);
 
+  /// A deterministic churn/mobility plan: `numMoves` timed unsub+resub
+  /// moves over a population of `numSubs` subscriptions spread across
+  /// `numHostSlots` hosts. Each step picks a subscription uniformly and a
+  /// non-zero host offset, so the re-homed subscription always lands on a
+  /// different host (see ChurnStep). Requires numSubs >= 1; with a single
+  /// host slot every offset degenerates to 0.
+  std::vector<ChurnStep> makeChurnSteps(std::size_t numSubs,
+                                        std::size_t numMoves,
+                                        std::size_t numHostSlots);
+
   /// The hotspot centres (zipfian model; empty for uniform). Exposed so
   /// tests can verify the clustering.
   const std::vector<dz::Event>& hotspots() const noexcept { return hotspots_; }
@@ -75,6 +120,7 @@ class WorkloadGenerator {
   dz::Rectangle makeRectangle(double widthFraction);
   bool isUninformative(int dim) const noexcept;
   dz::AttributeValue clampToDomain(double v) const noexcept;
+  double crowdCentreFraction(int dim) const noexcept;
 
   WorkloadConfig config_;
   util::Rng rng_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -177,6 +179,88 @@ TEST_F(RunnerFixture, StatsJsonIsParseableSnapshot) {
 TEST_F(RunnerFixture, StatsRejectsUnknownMode) {
   runner.executeLine("stats bogus");
   EXPECT_TRUE(outputContains("error: stats [metrics|json]"));
+}
+
+namespace {
+std::string writeTempFile(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+}  // namespace
+
+TEST_F(RunnerFixture, ScenarioCommandDeploysFile) {
+  const std::string path = writeTempFile("runner_scenario.json", R"({
+    "schema": "pleroma-scenario-v1",
+    "name": "cli_demo",
+    "seed": 4,
+    "topology": { "kind": "ring", "switches": 5 },
+    "phases": [
+      { "name": "main", "family": "uniform",
+        "advertisements": 2, "subscriptions": 6, "events": 8 }
+    ]
+  })");
+  runner.executeLine("scenario " + path);
+  EXPECT_TRUE(outputContains("phase 0 (main, uniform): 2 adv, 6 sub"));
+  EXPECT_TRUE(outputContains("ok: scenario cli_demo deployed"));
+  runner.executeLine("run");
+  EXPECT_TRUE(outputContains("deliveries"));
+  std::remove(path.c_str());
+}
+
+TEST_F(RunnerFixture, ScenarioCommandReportsValidationErrors) {
+  const std::string path = writeTempFile("runner_bad_scenario.json", R"({
+    "schema": "pleroma-scenario-v1",
+    "name": "bad",
+    "topology": { "kind": "ring", "switches": 4 },
+    "phases": [ { "name": "p", "family": "uniform", "events": 5 } ]
+  })");
+  runner.executeLine("scenario " + path);
+  EXPECT_TRUE(outputContains("error:"));
+  EXPECT_TRUE(outputContains("phases[0]"));
+  std::remove(path.c_str());
+}
+
+TEST_F(RunnerFixture, ScenarioCommandRejectsMultiPartition) {
+  const std::string path = writeTempFile("runner_multi_scenario.json", R"({
+    "schema": "pleroma-scenario-v1",
+    "name": "multi",
+    "topology": { "kind": "ring", "switches": 6 },
+    "partitions": 2,
+    "phases": [
+      { "name": "p", "family": "uniform",
+        "advertisements": 1, "subscriptions": 2, "events": 3 }
+    ]
+  })");
+  runner.executeLine("scenario " + path);
+  EXPECT_TRUE(
+      outputContains("multi-partition scenarios need the scenario_run tool"));
+  std::remove(path.c_str());
+}
+
+TEST_F(RunnerFixture, SourceExecutesCommandFile) {
+  const std::string path = writeTempFile("runner_commands.txt",
+                                         "adv h1 0:1023 0:1023\n"
+                                         "sub h6 0:1023 0:1023\n"
+                                         "pub h1 100 100\n"
+                                         "run\n");
+  runner.executeLine("source " + path);
+  EXPECT_TRUE(outputContains("ok: 1 deliveries"));
+  EXPECT_TRUE(outputContains("ok: sourced " + path));
+  std::remove(path.c_str());
+}
+
+TEST_F(RunnerFixture, SourceNestingBounded) {
+  // A file sourcing itself must terminate at the depth bound.
+  const std::string path = ::testing::TempDir() + "/runner_self_source.txt";
+  {
+    std::ofstream out(path);
+    out << "source " << path << "\n";
+  }
+  runner.executeLine("source " + path);
+  EXPECT_TRUE(outputContains("error: source nesting too deep"));
+  std::remove(path.c_str());
 }
 
 }  // namespace

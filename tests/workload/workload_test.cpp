@@ -160,5 +160,65 @@ TEST(Workload, UninformativeDimsLowEventVariance) {
   EXPECT_LT(variance(0) * 10, variance(1));
 }
 
+TEST(Workload, FlashCrowdEventsConcentrateAroundCentre) {
+  WorkloadConfig cfg;
+  cfg.model = Model::kFlashCrowd;
+  cfg.numAttributes = 2;
+  cfg.crowdCentre = {0.7, 0.3};
+  cfg.crowdRadius = 0.05;
+  WorkloadGenerator gen(cfg);
+  const double domain = static_cast<double>(gen.domainMax());
+  for (const auto& e : gen.makeEvents(200)) {
+    EXPECT_NEAR(static_cast<double>(e[0]), 0.7 * domain, 0.06 * domain);
+    EXPECT_NEAR(static_cast<double>(e[1]), 0.3 * domain, 0.06 * domain);
+  }
+}
+
+TEST(Workload, FlashCrowdSubscriptionsOverlapTheCrowd) {
+  WorkloadConfig cfg;
+  cfg.model = Model::kFlashCrowd;
+  cfg.numAttributes = 2;
+  cfg.crowdCentre = {0.5, 0.5};
+  cfg.crowdRadius = 0.05;
+  WorkloadGenerator gen(cfg);
+  // Every crowd subscription must match events at the crowd centre.
+  const double domain = static_cast<double>(gen.domainMax());
+  const dz::Event centre{static_cast<dz::AttributeValue>(0.5 * domain),
+                         static_cast<dz::AttributeValue>(0.5 * domain)};
+  int matching = 0;
+  for (const auto& r : gen.makeSubscriptions(100)) {
+    matching += r.contains(centre) ? 1 : 0;
+  }
+  EXPECT_GT(matching, 60);
+}
+
+TEST(Workload, ChurnStepsDeterministicAndRehoming) {
+  WorkloadConfig cfg;
+  cfg.seed = 31;
+  WorkloadGenerator a(cfg), b(cfg);
+  const auto planA = a.makeChurnSteps(40, 25, 8);
+  const auto planB = b.makeChurnSteps(40, 25, 8);
+  ASSERT_EQ(planA.size(), 25u);
+  for (std::size_t i = 0; i < planA.size(); ++i) {
+    EXPECT_EQ(planA[i].subIndex, planB[i].subIndex);
+    EXPECT_EQ(planA[i].hostOffset, planB[i].hostOffset);
+    EXPECT_LT(planA[i].subIndex, 40u);
+    // A non-zero offset modulo the slot count: the move always lands on a
+    // different host.
+    EXPECT_GE(planA[i].hostOffset, 1u);
+    EXPECT_LT(planA[i].hostOffset, 8u);
+  }
+}
+
+TEST(Workload, DerivePhaseSeedSeparatesStreams) {
+  const std::uint64_t seed = 42;
+  EXPECT_NE(derivePhaseSeed(seed, 0), seed);
+  EXPECT_NE(derivePhaseSeed(seed, 0), derivePhaseSeed(seed, 1));
+  EXPECT_NE(derivePhaseSeed(seed, 1), derivePhaseSeed(seed, 2));
+  EXPECT_NE(derivePhaseSeed(seed, 0), derivePhaseSeed(seed + 1, 0));
+  // Same inputs, same derivation — reports only need (seed, phase).
+  EXPECT_EQ(derivePhaseSeed(seed, 3), derivePhaseSeed(seed, 3));
+}
+
 }  // namespace
 }  // namespace pleroma::workload
