@@ -81,11 +81,20 @@ void installLaneFlows(net::Network& net,
 void BM_ParallelFanout(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   std::unique_ptr<util::WorkerPool> pool;
-  if (threads > 1) pool = std::make_unique<util::WorkerPool>(threads);
+  // Pinned workers + block shard placement: the cache-topology-aware
+  // configuration PleromaOptions{.shardPlacement=kBlock, .pinWorkers=true}
+  // selects (DESIGN.md §13).
+  if (threads > 1) {
+    pool = std::make_unique<util::WorkerPool>(threads, /*pinThreads=*/true);
+  }
 
   net::Simulator sim;
   sim.setWorkerPool(pool.get());
   net::Network net(laneTopology(), sim, {});
+  if (pool) {
+    sim.setShardPlacement(
+        net::blockShardPlacement(net.topology(), pool->threads()));
+  }
   // hosts() is in creation order: p0, c0, p1, c1, ...
   const auto hosts = net.topology().hosts();
   std::vector<net::NodeId> publishers, consumers;

@@ -7,11 +7,16 @@ namespace pleroma::core {
 Pleroma::Pleroma(net::Topology topology, PleromaOptions options)
     : dimensionWindow_(options.dimensionWindow) {
   if (options.threads > 1) {
-    pool_ = std::make_unique<util::WorkerPool>(options.threads);
+    pool_ = std::make_unique<util::WorkerPool>(options.threads,
+                                               options.pinWorkers);
     sim_.setWorkerPool(pool_.get());
   }
   network_ = std::make_unique<net::Network>(std::move(topology), sim_,
                                             options.network);
+  if (pool_ && options.shardPlacement == util::ShardPlacement::kBlock) {
+    sim_.setShardPlacement(
+        net::blockShardPlacement(network_->topology(), pool_->threads()));
+  }
   subsByHost_.resize(
       static_cast<std::size_t>(network_->topology().nodeCount()));
   controller_ = std::make_unique<ctrl::Controller>(

@@ -57,6 +57,15 @@ struct PleromaOptions {
   /// pool). Any value produces byte-identical results; only wall-clock
   /// changes.
   int threads = 1;
+  /// How node shards map onto workers (DESIGN.md §13). kBlock gives each
+  /// worker a contiguous range of switches (and of hosts), keeping its
+  /// FlowTable working set cache-resident; kStrided is the historical
+  /// `node % threads` interleaving. Either way results are byte-identical —
+  /// placement never changes replay order.
+  util::ShardPlacement shardPlacement = util::ShardPlacement::kBlock;
+  /// Pin pool workers (including the calling thread, as worker 0) to cores.
+  /// Off by default because it mutates the caller's thread affinity.
+  bool pinWorkers = false;
 };
 
 /// One delivered (event, host) pair as observed at the application layer.

@@ -108,12 +108,11 @@ class DzExpression {
   int length_ = 0;
 };
 
-/// Hash support for unordered containers.
+/// Hash support for unordered containers; delegates to the one shared U128
+/// hash routine, salted with the length so "10" and "100" differ.
 struct DzHash {
   std::size_t operator()(const DzExpression& d) const noexcept {
-    const std::uint64_t h = d.bits().hi * 0x9e3779b97f4a7c15ULL;
-    const std::uint64_t l = d.bits().lo * 0xc2b2ae3d27d4eb4fULL;
-    return static_cast<std::size_t>(h ^ (l + static_cast<std::uint64_t>(d.length())));
+    return u128Hash(d.bits(), static_cast<std::uint64_t>(d.length()));
   }
 };
 

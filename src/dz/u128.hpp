@@ -73,4 +73,29 @@ struct U128 {
   }
 };
 
+/// The splitmix64 finalizer: the one 64-bit bit-mixer used repo-wide for
+/// hashing and seed derivation (workload phase seeds use the identical
+/// constants — keep them in sync bit-for-bit or recorded runs change).
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash of a 128-bit value plus an optional salt (e.g. a prefix length).
+/// The single U128 hash routine — unordered containers keyed on dz bits,
+/// flow-table probe placement, and anything else hashing a U128 go through
+/// here instead of rolling their own multiply-xor mix.
+constexpr std::size_t u128Hash(U128 v, std::uint64_t salt = 0) noexcept {
+  return static_cast<std::size_t>(mix64(v.lo ^ mix64(v.hi ^ salt)));
+}
+
+/// Branchless strict less-than. operator<=> compiles to two compare+branch
+/// chains; this form is pure boolean arithmetic the compiler lowers to
+/// cmp/setcc (or cmov at the call site), which is what keeps a binary
+/// search over packed U128 keys free of branch mispredictions.
+constexpr bool u128Less(U128 a, U128 b) noexcept {
+  return (a.hi < b.hi) | ((a.hi == b.hi) & (a.lo < b.lo));
+}
+
 }  // namespace pleroma::dz

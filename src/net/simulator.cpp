@@ -205,8 +205,14 @@ std::size_t Simulator::tryRunParallel() {
           ev.sink->packetShardKey(ev.kind, ev.node, ev.port, ev.packet);
       if (key < 0) return 0;
       runSlots_.push_back(tagged);
-      shardOf_.push_back(static_cast<int>(
-          key % static_cast<std::int64_t>(workers)));
+      int w = -1;
+      if (static_cast<std::uint64_t>(key) < placement_.size()) {
+        w = placement_[static_cast<std::size_t>(key)];
+      }
+      if (w < 0 || w >= workers) {
+        w = static_cast<int>(key % static_cast<std::int64_t>(workers));
+      }
+      shardOf_.push_back(w);
     }
   }
   const std::size_t n = runSlots_.size();

@@ -143,6 +143,18 @@ class Simulator {
   }
   std::size_t parallelThreshold() const noexcept { return parallelThreshold_; }
 
+  /// Installs an explicit shard-key -> worker placement table, indexed by
+  /// shard key (node id); see net::blockShardPlacement. Keys beyond the
+  /// table and entries outside [0, pool threads) fall back to the strided
+  /// `key % threads` mapping, so a table built for one topology/pool pair
+  /// degrades gracefully rather than misassigning. Placement only selects
+  /// the executing worker — staged effects replay in canonical order
+  /// regardless — so any table is determinism-safe. Empty vector restores
+  /// pure strided placement.
+  void setShardPlacement(std::vector<int> workerOfKey) {
+    placement_ = std::move(workerOfKey);
+  }
+
   /// How many runs / events went through the parallel path (test hook for
   /// asserting the machinery actually engaged).
   std::uint64_t parallelRunsExecuted() const noexcept { return parallelRuns_; }
@@ -349,6 +361,9 @@ class Simulator {
   /// order and the worker each one is assigned to.
   std::vector<std::uint32_t> runSlots_;
   std::vector<int> shardOf_;
+  /// Optional shard-key -> worker table (setShardPlacement); empty means
+  /// strided key % threads.
+  std::vector<int> placement_;
   std::vector<WorkerStage> stages_;
   std::vector<std::size_t> mergeCursor_;
   /// The staging buffer of the worker running on this thread (null outside

@@ -454,7 +454,11 @@ FlowStatsReply ControlChannel::readFlowStats(net::NodeId switchNode) {
   reply.xid = nextXid_++;
   if (!switchConnected(switchNode)) return reply;  // ok stays false
   reply.ok = true;
-  reply.entries = network_.flowTable(switchNode).entries();
+  const net::FlowTable& table = network_.flowTable(switchNode);
+  reply.entries.reserve(table.size());
+  // Template forEach: the lambda is called directly during the bucket scan,
+  // with no std::function type-erasure per entry.
+  table.forEach([&reply](const net::FlowEntry& e) { reply.entries.push_back(e); });
   ++stats_.flowStatsReplies;
   return reply;
 }

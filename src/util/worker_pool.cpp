@@ -1,11 +1,41 @@
 #include "util/worker_pool.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace pleroma::util {
 
-WorkerPool::WorkerPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+namespace {
+
+/// Best-effort pin of the current thread to `core` (mod the online core
+/// count). Placement is a performance hint only; failures (restricted
+/// cpusets, exotic platforms) are silently ignored.
+void pinCurrentThread(int core) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core) % hw, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(int threads, bool pinThreads)
+    : threads_(threads < 1 ? 1 : threads), pinThreads_(pinThreads) {
+  if (pinThreads_) pinCurrentThread(0);  // the caller participates as worker 0
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this, i] { workerLoop(i); });
+    workers_.emplace_back([this, i] {
+      if (pinThreads_) pinCurrentThread(i);
+      workerLoop(i);
+    });
   }
 }
 

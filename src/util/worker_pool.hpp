@@ -27,17 +27,36 @@
 
 namespace pleroma::util {
 
+/// How node shards are placed onto workers (DESIGN.md §13). Placement only
+/// decides which worker executes a shard — side effects are replayed in
+/// canonical order either way, so any policy is determinism-safe.
+enum class ShardPlacement {
+  /// Historical `key % workers` striping: adjacent node ids land on
+  /// different workers, so every worker touches FlowTables from all over
+  /// the topology.
+  kStrided,
+  /// Contiguous rank ranges per node class: each worker owns a block of
+  /// neighbouring switches (and separately of hosts), keeping its working
+  /// set of FlowTables resident in its private cache across runs.
+  kBlock,
+};
+
 class WorkerPool {
  public:
   /// A pool of `threads` workers total, including the calling thread;
   /// values < 1 are clamped to 1 (inline execution, no background threads).
-  explicit WorkerPool(int threads);
+  /// With `pinThreads` set, worker i (including the caller, as worker 0) is
+  /// pinned to core i mod hardware_concurrency — best effort, Linux only,
+  /// failures are ignored. Pinning the caller mutates the calling thread's
+  /// affinity, which is why it is opt-in.
+  explicit WorkerPool(int threads, bool pinThreads = false);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   int threads() const noexcept { return threads_; }
+  bool pinned() const noexcept { return pinThreads_; }
 
   /// Runs `job(worker)` once per worker (0 <= worker < threads()), the
   /// caller executing worker 0, and returns when all invocations finished.
@@ -52,6 +71,7 @@ class WorkerPool {
   void workerLoop(int index);
 
   int threads_;
+  bool pinThreads_;
   std::vector<std::thread> workers_;
   /// Region generation counter: bumped (release) to start a region, waited
   /// on by idle workers. Odd trick not needed — any change wakes them.

@@ -4,16 +4,16 @@
 #include <cassert>
 #include <cmath>
 
+#include "dz/u128.hpp"
+
 namespace pleroma::workload {
 
 std::uint64_t derivePhaseSeed(std::uint64_t seed, std::size_t phaseIndex) noexcept {
-  // splitmix64 finalizer over seed + GOLDEN * (index + 1); see the header
-  // for why phase 0 must not reuse the raw seed.
-  std::uint64_t z =
-      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(phaseIndex) + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  // splitmix64 finalizer (dz::mix64 — identical constants, so recorded
+  // phase seeds are unchanged) over seed + GOLDEN * (index + 1); see the
+  // header for why phase 0 must not reuse the raw seed.
+  return dz::mix64(
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(phaseIndex) + 1));
 }
 
 WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)

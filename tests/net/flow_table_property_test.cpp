@@ -19,6 +19,18 @@ class ReferenceTable {
     entries_.push_back(e);
     return true;
   }
+  bool insertOrReplace(const FlowEntry& e) {
+    for (auto& x : entries_) {
+      if (x.match == e.match) {
+        const std::uint64_t kept = x.matchedPackets;  // modify keeps counters
+        x = e;
+        x.matchedPackets = kept;
+        return true;
+      }
+    }
+    entries_.push_back(e);
+    return true;
+  }
   bool remove(const dz::Ipv6Prefix& match) {
     const auto it = std::find_if(entries_.begin(), entries_.end(),
                                  [&](const FlowEntry& e) { return e.match == match; });
@@ -41,6 +53,13 @@ class ReferenceTable {
         best = &e;
       }
     }
+    return best;
+  }
+  /// lookup + the per-flow counter bump the real table performs on a hit
+  /// (matchedPackets is mutable, mirroring the real entry).
+  const FlowEntry* lookupCounting(dz::Ipv6Address a) const {
+    const FlowEntry* best = lookup(a);
+    if (best != nullptr) ++best->matchedPackets;
     return best;
   }
   std::size_t size() const { return entries_.size(); }
@@ -118,6 +137,115 @@ TEST_P(FlowTablePropertyTest, FindAgreesWithReference) {
     const auto probe = dz::dzToPrefix(randomDz(rng, 8));
     EXPECT_EQ(table.find(probe) == nullptr, reference.find(probe) == nullptr);
   }
+}
+
+// Full-surface churn: insert, insertOrReplace, remove, and lookup against
+// the reference, asserting identical winners, identical per-flow
+// matchedPackets counters (modify must preserve them, lookup must bump
+// exactly the winner's), and an exactly-predicted stats block. Enough
+// volume per length that buckets cross the sorted->flat threshold and
+// shrink back, exercising both representations and the rebuild hysteresis.
+TEST_P(FlowTablePropertyTest, ModifyAndCountersMatchReference) {
+  util::Rng rng(GetParam() + 4242);
+  FlowTable table;
+  ReferenceTable reference;
+  std::vector<dz::Ipv6Prefix> live;
+
+  std::uint64_t expectInserts = 0;
+  std::uint64_t expectModifies = 0;
+  std::uint64_t expectRemoves = 0;
+  std::uint64_t expectDuplicates = 0;
+  std::uint64_t expectLookups = 0;
+  std::uint64_t expectHits = 0;
+  std::uint64_t expectMisses = 0;
+
+  const auto randomEntry = [&] {
+    FlowEntry e;
+    e.match = dz::dzToPrefix(randomDz(rng, 6));  // short: force collisions
+    e.priority = static_cast<int>(rng.uniformInt(0, 5));
+    e.actions.push_back(
+        FlowAction{static_cast<PortId>(rng.uniformInt(1, 4)), std::nullopt});
+    // Sometimes spill past the inline action buffer.
+    if (rng.chance(0.2)) {
+      e.actions.push_back(FlowAction{5, std::nullopt});
+      e.actions.push_back(FlowAction{6, std::nullopt});
+    }
+    return e;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto dice = rng.uniformInt(0, 9);
+    if (dice < 3) {
+      const FlowEntry e = randomEntry();
+      const bool a = table.insert(e);
+      ASSERT_EQ(a, reference.insert(e));
+      if (a) {
+        live.push_back(e.match);
+        ++expectInserts;
+      } else {
+        ++expectDuplicates;
+      }
+    } else if (dice < 5) {
+      // Half the time target a live prefix so the modify path is hit.
+      FlowEntry e = randomEntry();
+      if (!live.empty() && rng.chance(0.5)) {
+        e.match = live[rng.uniformInt(0, live.size() - 1)];
+      }
+      const bool existed = reference.find(e.match) != nullptr;
+      ASSERT_TRUE(table.insertOrReplace(e));
+      ASSERT_TRUE(reference.insertOrReplace(e));
+      if (existed) {
+        ++expectModifies;
+      } else {
+        live.push_back(e.match);
+        ++expectInserts;
+      }
+    } else if (dice < 7 && !live.empty()) {
+      const std::size_t victim = rng.uniformInt(0, live.size() - 1);
+      ASSERT_TRUE(table.remove(live[victim]));
+      ASSERT_TRUE(reference.remove(live[victim]));
+      ++expectRemoves;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const dz::Ipv6Address probe = dz::dzToAddress(randomDz(rng, 8));
+      const FlowEntry* a = table.lookup(probe);
+      const FlowEntry* b = reference.lookupCounting(probe);
+      ++expectLookups;
+      ASSERT_EQ(a == nullptr, b == nullptr) << "step " << step;
+      if (a != nullptr) {
+        ++expectHits;
+        EXPECT_EQ(a->priority, b->priority);
+        EXPECT_EQ(a->match.length, b->match.length);
+      } else {
+        ++expectMisses;
+      }
+    }
+    ASSERT_EQ(table.size(), reference.size());
+  }
+
+  // Every surviving entry agrees field-for-field, including the per-flow
+  // counter, when read back through find().
+  std::size_t checked = 0;
+  for (const dz::Ipv6Prefix& m : live) {
+    const FlowEntry* a = table.find(m);
+    const FlowEntry* b = reference.find(m);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(*a == *b);
+    EXPECT_EQ(a->matchedPackets, b->matchedPackets) << m.toString();
+    ++checked;
+  }
+  EXPECT_EQ(checked, table.size());
+
+  const FlowTableStats& s = table.stats();
+  EXPECT_EQ(s.inserts.value(), expectInserts);
+  EXPECT_EQ(s.modifies.value(), expectModifies);
+  EXPECT_EQ(s.removes.value(), expectRemoves);
+  EXPECT_EQ(s.rejectedDuplicate.value(), expectDuplicates);
+  EXPECT_EQ(s.lookups.value(), expectLookups);
+  EXPECT_EQ(s.hits.value(), expectHits);
+  EXPECT_EQ(s.misses.value(), expectMisses);
+  EXPECT_EQ(s.rejectedCapacity.value(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowTablePropertyTest,

@@ -71,12 +71,16 @@ struct RunLog {
 /// reference.
 RunLog runLineFanout(util::WorkerPool* pool, std::size_t threshold,
                      NetworkConfig config = {}, int rounds = 3,
-                     int burst = 32, bool republishFromCallback = false) {
+                     int burst = 32, bool republishFromCallback = false,
+                     bool blockPlacement = false) {
   Topology topo = Topology::line(4, 100 * kMicrosecond);
   Simulator sim;
   if (pool != nullptr) {
     sim.setWorkerPool(pool);
     sim.setParallelThreshold(threshold);
+    if (blockPlacement) {
+      sim.setShardPlacement(blockShardPlacement(topo, pool->threads()));
+    }
   }
   Network net(topo, sim, config);
 
@@ -140,6 +144,63 @@ TEST(ParallelSim, FanoutIsByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(withoutEngagement(par), withoutEngagement(seq))
         << "thread count " << threads << " changed observable behaviour";
   }
+}
+
+TEST(ParallelSim, BlockPlacementWithPinnedWorkersIsByteIdentical) {
+  // Placement decides only which worker executes a shard; effects replay in
+  // canonical order regardless, so the cache-topology-aware configuration
+  // (block placement + pinned workers) must be byte-identical to both the
+  // sequential build and the strided default.
+  const RunLog seq = runLineFanout(nullptr, 2);
+  for (const int threads : {2, 4}) {
+    util::WorkerPool pool(threads, /*pinThreads=*/true);
+    const RunLog par = runLineFanout(&pool, 2, {}, 3, 32,
+                                     /*republishFromCallback=*/false,
+                                     /*blockPlacement=*/true);
+    EXPECT_GT(par.parallelRuns, 0u) << threads << " threads never forked";
+    EXPECT_EQ(withoutEngagement(par), withoutEngagement(seq))
+        << "block placement at " << threads << " threads changed behaviour";
+  }
+}
+
+TEST(ParallelSim, OutOfRangePlacementEntriesFallBackToStrided) {
+  // A placement table built for a different pool size (entries >= threads)
+  // or a smaller topology (keys beyond the table) must degrade to the
+  // strided mapping, not crash or misassign.
+  const RunLog seq = runLineFanout(nullptr, 2);
+  util::WorkerPool pool(2, false);
+  Topology topo = Topology::line(4, 100 * kMicrosecond);
+  std::vector<int> bogus(static_cast<std::size_t>(topo.nodeCount() / 2), 99);
+  Simulator sim;
+  sim.setWorkerPool(&pool);
+  sim.setParallelThreshold(2);
+  sim.setShardPlacement(std::move(bogus));
+  Network net(topo, sim, {});
+  const auto switches = topo.switches();
+  const auto hosts = topo.hosts();
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    std::vector<FlowAction> actions;
+    const auto att = topo.hostAttachment(hosts[i]);
+    actions.push_back({att.switchPort, hostAddress(hosts[i])});
+    if (i + 1 < switches.size()) {
+      actions.push_back(
+          {portToward(topo, switches[i], switches[i + 1]), std::nullopt});
+    }
+    net.flowTable(switches[i]).insert(entry("1", std::move(actions)));
+  }
+  std::vector<std::tuple<NodeId, EventId, SimTime>> deliveries;
+  net.setDeliverHandler([&](NodeId host, const Packet& p) {
+    deliveries.emplace_back(host, p.eventId(), sim.now());
+  });
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      net.sendFromHost(hosts[0], eventPacket("1", hosts[0],
+                                             static_cast<EventId>(round * 100 + i)));
+    }
+    sim.run();
+  }
+  EXPECT_GT(sim.parallelRunsExecuted(), 0u);
+  EXPECT_EQ(deliveries, seq.deliveries);
 }
 
 TEST(ParallelSim, HostServiceQueueIsByteIdenticalAcrossThreadCounts) {

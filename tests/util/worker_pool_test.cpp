@@ -7,8 +7,28 @@
 #include <numeric>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace pleroma::util {
 namespace {
+
+/// Pinned pools pin the calling thread too (it is worker 0); restore the
+/// test runner's affinity on scope exit so later tests are unaffected.
+struct AffinityRestore {
+#if defined(__linux__)
+  cpu_set_t saved;
+  bool ok;
+  AffinityRestore() {
+    ok = pthread_getaffinity_np(pthread_self(), sizeof(saved), &saved) == 0;
+  }
+  ~AffinityRestore() {
+    if (ok) pthread_setaffinity_np(pthread_self(), sizeof(saved), &saved);
+  }
+#endif
+};
 
 TEST(WorkerPool, SingleThreadRunsInline) {
   WorkerPool pool(1);
@@ -83,6 +103,48 @@ TEST(WorkerPool, ParallelForEmptyAndSingle) {
 TEST(WorkerPool, DestructionWithoutEverRunning) {
   WorkerPool pool(8);
   // Destructor must cleanly stop workers that never saw a region.
+}
+
+TEST(WorkerPool, PinnedPoolRunsEveryWorkerAndReportsPinned) {
+  const AffinityRestore restore;
+  WorkerPool pool(3, /*pinThreads=*/true);
+  EXPECT_TRUE(pool.pinned());
+  std::vector<std::atomic<int>> hits(3);
+  for (int round = 0; round < 20; ++round) {
+    pool.run([&](int w) { hits[static_cast<std::size_t>(w)].fetch_add(1); });
+  }
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(w)].load(), 20) << "worker " << w;
+  }
+}
+
+#if defined(__linux__)
+TEST(WorkerPool, PinnedWorkersHaveSingleCoreAffinity) {
+  const AffinityRestore restore;
+  WorkerPool pool(2, /*pinThreads=*/true);
+  std::vector<int> cpusInMask(2, 0);
+  pool.run([&](int w) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+      cpusInMask[static_cast<std::size_t>(w)] = CPU_COUNT(&set);
+    }
+  });
+  // Best-effort: pinning may be refused under restricted cpusets, in which
+  // case the mask stays wider. When it took effect it must be exactly one.
+  for (int w = 0; w < 2; ++w) {
+    EXPECT_GE(cpusInMask[w], 1) << "affinity unreadable for worker " << w;
+    if (cpusInMask[w] > 1) {
+      GTEST_LOG_(INFO) << "pinning not applied for worker " << w
+                       << " (restricted environment?)";
+    }
+  }
+}
+#endif
+
+TEST(WorkerPool, UnpinnedIsTheDefault) {
+  WorkerPool pool(2);
+  EXPECT_FALSE(pool.pinned());
 }
 
 TEST(WorkerPool, MorePoolThreadsThanIndices) {
