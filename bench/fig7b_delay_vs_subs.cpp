@@ -9,6 +9,12 @@
 // hotspot never fires receive nothing and delays vary slightly.
 //
 // Expected shape: delay essentially flat in the number of subscriptions.
+//
+// Alongside the delay series, each sweep point reports the installed
+// flow-entry count and accounted controller flow-state bytes for the
+// zipfian workload, with and without subscription aggregation — the
+// aggregated-vs-naive comparison is a first-class series, not a derived
+// number.
 #include "bench_common.hpp"
 
 #include "util/stats.hpp"
@@ -17,11 +23,19 @@ namespace {
 
 using namespace pleroma;
 
-double runOnce(std::size_t numSubs, workload::Model model, std::uint64_t seed) {
+struct RunResult {
+  double delayMs = 0.0;
+  std::size_t flowEntries = 0;
+  std::size_t stateBytes = 0;
+};
+
+RunResult runOnce(std::size_t numSubs, workload::Model model,
+                  std::uint64_t seed, bool aggregated) {
   core::PleromaOptions opts;
   opts.numAttributes = 2;
   opts.controller.maxDzLength = 12;
   opts.controller.maxCellsPerRequest = 4;
+  opts.controller.aggregateSubscriptions = aggregated;
   core::Pleroma p(net::Topology::testbedFatTree(), opts);
   const auto hosts = p.topology().hosts();
 
@@ -64,8 +78,13 @@ double runOnce(std::size_t numSubs, workload::Model model, std::uint64_t seed) {
     });
   }
   p.settle();
-  return delay.count() == 0 ? 0.0
-                            : delay.mean() / static_cast<double>(net::kMillisecond);
+  RunResult result;
+  result.delayMs = delay.count() == 0
+                       ? 0.0
+                       : delay.mean() / static_cast<double>(net::kMillisecond);
+  result.flowEntries = p.network().totalFlowEntries();
+  result.stateBytes = p.controller().flowStateBytes();
+  return result;
 }
 
 }  // namespace
@@ -77,15 +96,41 @@ int main() {
   bench.meta("seed", 11);
   bench.meta("topology", "testbed_fat_tree");
   bench.meta("workload", "uniform_and_zipfian_subscriptions");
-  bench.beginSeries("delay_vs_subs", {{"subscriptions", "count"},
-                                      {"delay_ms_uniform", "ms"},
-                                      {"delay_ms_zipfian", "ms"}});
   const std::vector<std::size_t> sweep =
       smokeMode() ? std::vector<std::size_t>{500}
                   : std::vector<std::size_t>{1000, 2000, 4000, 8000, 16000};
+
+  bench.beginSeries("delay_vs_subs", {{"subscriptions", "count"},
+                                      {"delay_ms_uniform", "ms"},
+                                      {"delay_ms_zipfian", "ms"}});
+  std::vector<RunResult> zipfNaive;
   for (const std::size_t n : sweep) {
-    bench.row({n, cell(runOnce(n, workload::Model::kUniform, 11), 3),
-               cell(runOnce(n, workload::Model::kZipfian, 12), 3)});
+    const RunResult uniform =
+        runOnce(n, workload::Model::kUniform, 11, /*aggregated=*/false);
+    const RunResult zipf =
+        runOnce(n, workload::Model::kZipfian, 12, /*aggregated=*/false);
+    bench.row({n, cell(uniform.delayMs, 3), cell(zipf.delayMs, 3)});
+    zipfNaive.push_back(zipf);
+  }
+
+  // Installed flow entries per sweep point (zipfian), naive vs aggregated.
+  bench.beginSeries("entries_vs_subs",
+                    {{"subscriptions", "count"},
+                     {"entries_naive", "count"},
+                     {"entries_aggregated", "count"},
+                     {"entry_reduction", "x"},
+                     {"state_bytes_naive", "bytes"},
+                     {"state_bytes_aggregated", "bytes"}});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const RunResult& naive = zipfNaive[i];
+    const RunResult agg =
+        runOnce(sweep[i], workload::Model::kZipfian, 12, /*aggregated=*/true);
+    const double reduction =
+        agg.flowEntries == 0 ? 0.0
+                             : static_cast<double>(naive.flowEntries) /
+                                   static_cast<double>(agg.flowEntries);
+    bench.row({sweep[i], naive.flowEntries, agg.flowEntries,
+               cell(reduction, 2), naive.stateBytes, agg.stateBytes});
   }
   return 0;
 }

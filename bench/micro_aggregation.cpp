@@ -1,0 +1,93 @@
+// Micro-benchmarks of the subscription aggregation index (the tentpole of
+// the sublinear flow-state work): insert with covering/merging, and the
+// incremental uncover path taken on unsubscribe. Both sit on the
+// controller's per-subscription hot path in aggregated mode, so their cost
+// bounds registration throughput at million-subscriber scale.
+#include <benchmark/benchmark.h>
+
+#include "micro_common.hpp"
+
+#include "dz/aggregation_index.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pleroma;
+
+dz::DzExpression randomDz(util::Rng& rng, int maxLen) {
+  const int len =
+      static_cast<int>(rng.uniformInt(1, static_cast<std::uint64_t>(maxLen)));
+  dz::U128 bits;
+  for (int i = 0; i < len; ++i) bits.setBitFromMsb(i, rng.chance(0.5));
+  return dz::DzExpression(bits, len);
+}
+
+std::vector<dz::DzExpression> randomSubs(std::uint64_t seed, int count,
+                                         int maxLen) {
+  util::Rng rng(seed);
+  std::vector<dz::DzExpression> subs;
+  subs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) subs.push_back(randomDz(rng, maxLen));
+  return subs;
+}
+
+/// Register `range(0)` random subscriptions into a fresh index. Short dz
+/// lengths make covering/merging dense — the regime aggregation targets.
+void BM_AggregateInsert(benchmark::State& state) {
+  const auto subs =
+      randomSubs(1, static_cast<int>(state.range(0)), /*maxLen=*/12);
+  for (auto _ : state) {
+    dz::AggregationIndex index;
+    for (const dz::DzExpression& d : subs) {
+      benchmark::DoNotOptimize(index.add(d));
+    }
+    benchmark::DoNotOptimize(index.representativeCount());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AggregateInsert)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// Steady churn: remove one live member and re-add it. The remove walks the
+/// trie path, re-exposes covered members and emits the exact uncover delta;
+/// the re-add collapses them again.
+void BM_AggregateUncover(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto subs = randomSubs(2, n, /*maxLen=*/12);
+  dz::AggregationIndex index;
+  for (const dz::DzExpression& d : subs) index.add(d);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const dz::DzExpression& d = subs[i % static_cast<std::size_t>(n)];
+    benchmark::DoNotOptimize(index.remove(d));
+    benchmark::DoNotOptimize(index.add(d));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_AggregateUncover)->Arg(1024)->Arg(4096);
+
+/// Bulk delta path: one add(DzSet) per subscription, the exact call shape
+/// the controller makes (subscriptions arrive as decomposed rectangles).
+void BM_AggregateInsertSets(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<dz::DzSet> sets;
+  for (int i = 0; i < 512; ++i) {
+    dz::DzSet s;
+    const int cells = 1 + static_cast<int>(rng.uniformInt(0, 3));
+    for (int c = 0; c < cells; ++c) s.insert(randomDz(rng, 12));
+    sets.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    dz::AggregationIndex index;
+    for (const dz::DzSet& s : sets) benchmark::DoNotOptimize(index.add(s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sets.size()));
+}
+BENCHMARK(BM_AggregateInsertSets);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pleroma::bench::runMicroBench("micro_aggregation", argc, argv);
+}

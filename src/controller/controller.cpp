@@ -28,7 +28,9 @@ Controller::Controller(dz::EventSpace space, net::Network& network, Scope scope,
       scope_(std::move(scope)),
       config_(config),
       channel_(network_, config.flowModLatency),
-      installer_(channel_) {}
+      installer_(channel_) {
+  if (config_.tcamBudget != 0) installer_.setTcamBudget(config_.tcamBudget);
+}
 
 int Controller::effectiveMaxDzLength() const noexcept {
   return std::min(config_.maxDzLength, space_.maxDzLength());
@@ -85,10 +87,25 @@ SubscriptionId Controller::subscribeEndpoint(const Endpoint& endpoint,
   OpStats snapshot = beginOp("op.subscribe");
   const SubscriptionId id = nextSubscription_++;
   subscriptions_.emplace(id, SubRecord{endpoint, dzSet, std::move(rect)});
-  for (const dz::DzExpression& d : dzSet) subscriptionIndex_.insert(d, id);
-  {
-    FlowInstaller::BatchScope batchScope(installer_);
-    runSubscribe(id);
+  if (config_.aggregateSubscriptions) {
+    EndpointAggregate& agg = aggregateFor(endpoint);
+    ++agg.liveSubs;
+    subAggregate_.emplace(id, &agg);
+    dz::AggregationDelta delta = agg.index.add(dzSet);
+    if (delta.empty()) {
+      // Covered subscription: the endpoint's installed flows already
+      // forward a superset of this interest — zero flow mods.
+      ++coveredSubscribes_;
+    } else {
+      FlowInstaller::BatchScope batchScope(installer_);
+      applyAggregateDelta(agg, delta);
+    }
+  } else {
+    for (const dz::DzExpression& d : dzSet) subscriptionIndex_.insert(d, id);
+    {
+      FlowInstaller::BatchScope batchScope(installer_);
+      runSubscribe(id);
+    }
   }
   endOp(snapshot);
   if (intentObserver_) {
@@ -108,14 +125,29 @@ void Controller::unsubscribe(SubscriptionId id) {
   const auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return;
   OpStats snapshot = beginOp("op.unsubscribe");
-  {
-    FlowInstaller::BatchScope batchScope(installer_);
-    removePaths(registry_.pathsOfSubscription(id));
+  if (config_.aggregateSubscriptions) {
+    EndpointAggregate& agg = *subAggregate_.at(id);
+    // Incremental uncover: only the representatives actually released by
+    // this member's refcounts leave the switches; a still-covered interest
+    // costs zero flow mods.
+    const dz::AggregationDelta delta = agg.index.remove(it->second.dzSet);
+    --agg.liveSubs;
+    if (!delta.empty()) {
+      FlowInstaller::BatchScope batchScope(installer_);
+      applyAggregateDelta(agg, delta);
+    }
+    subAggregate_.erase(id);
+    subscriptions_.erase(it);
+  } else {
+    {
+      FlowInstaller::BatchScope batchScope(installer_);
+      removePaths(registry_.pathsOfSubscription(id));
+    }
+    for (const dz::DzExpression& d : it->second.dzSet) {
+      subscriptionIndex_.erase(d, id);
+    }
+    subscriptions_.erase(it);
   }
-  for (const dz::DzExpression& d : it->second.dzSet) {
-    subscriptionIndex_.erase(d, id);
-  }
-  subscriptions_.erase(it);
   endOp(snapshot);
   if (intentObserver_) {
     IntentCommand cmd;
@@ -136,8 +168,11 @@ void Controller::unadvertise(PublisherId id) {
   for (auto& tree : trees_) tree->removePublisher(id);
   // Trees left without any publisher carry no traffic; retire them so their
   // subspaces become available to future advertisements.
+  for (auto& tree : trees_) {
+    if (tree->publishers().empty()) retireTree(std::move(tree));
+  }
   std::erase_if(trees_, [](const std::unique_ptr<SpanningTree>& t) {
-    return t->publishers().empty();
+    return t == nullptr;
   });
   advertisements_.erase(it);
   endOp(snapshot);
@@ -170,9 +205,9 @@ void Controller::runAdvertise(PublisherId id) {
     // the publisher (lines 10-15).
     const dz::DzSet uncovered = dziSet.subtract(covered);
     if (!uncovered.empty()) {
-      trees_.push_back(std::make_unique<SpanningTree>(
-          nextTreeId_++, uncovered, adv.endpoint.attachSwitch,
-          network_.topology(), activeInternalLinks()));
+      trees_.push_back(acquireTree(nextTreeId_++, uncovered,
+                                   adv.endpoint.attachSwitch,
+                                   activeInternalLinks()));
       ++lastOp_.treesCreated;
       if (obsTreesCreated_ != nullptr) obsTreesCreated_->inc();
       SpanningTree& tn = *trees_.back();
@@ -213,7 +248,7 @@ void Controller::addFlowMultSub(PublisherId p, const dz::DzSet& dzSet,
         });
   }
   for (const SubscriptionId subId : candidates) {
-    const dz::DzSet overlap = dzSet.intersect(subscriptions_.at(subId).dzSet);
+    const dz::DzSet overlap = dzSet.intersect(interestDz(subId));
     if (overlap.empty()) continue;
     installPathRecord(p, subId, t, overlap);
   }
@@ -223,12 +258,12 @@ void Controller::installPathRecord(PublisherId p, SubscriptionId s,
                                    SpanningTree& t, const dz::DzSet& overlap) {
   if (registry_.alreadyCovered(p, s, t.id(), overlap)) return;
   const AdvRecord& adv = advertisements_.at(p);
-  const SubRecord& sub = subscriptions_.at(s);
+  const Endpoint& subEndpoint = interestEndpoint(s);
   // A subscriber is not connected to itself: identical endpoints would
   // yield a route reflecting packets out of their ingress port.
-  if (adv.endpoint == sub.endpoint) return;
+  if (adv.endpoint == subEndpoint) return;
   std::vector<RouteHop> hops =
-      t.route(adv.endpoint, sub.endpoint, network_.topology());
+      t.route(adv.endpoint, subEndpoint, network_.topology());
   if (hops.empty()) return;  // endpoints not connected within this partition
   installer_.installPath(overlap, hops);
   registry_.add(InstalledPath{-1, p, s, t.id(), overlap, std::move(hops)});
@@ -241,6 +276,136 @@ void Controller::removePaths(const std::vector<PathId>& ids) {
   for (const net::NodeId sw : affected) {
     installer_.reconcileSwitch(sw, registry_.requiredFlows(sw));
   }
+}
+
+// ---- tree pooling ----------------------------------------------------------
+
+namespace {
+/// Retired trees kept around for reuse; beyond this the pool drops them.
+constexpr std::size_t kTreePoolCap = 64;
+}  // namespace
+
+std::unique_ptr<SpanningTree> Controller::acquireTree(
+    int id, dz::DzSet dzSet, net::NodeId root,
+    const std::vector<net::LinkId>& allowedLinks) {
+  if (!treePool_.empty()) {
+    std::unique_ptr<SpanningTree> t = std::move(treePool_.back());
+    treePool_.pop_back();
+    t->rebuild(id, std::move(dzSet), root, network_.topology(), allowedLinks);
+    return t;
+  }
+  return std::make_unique<SpanningTree>(id, std::move(dzSet), root,
+                                        network_.topology(), allowedLinks);
+}
+
+void Controller::retireTree(std::unique_ptr<SpanningTree> tree) {
+  if (tree == nullptr) return;
+  if (treePool_.size() < kTreePoolCap) treePool_.push_back(std::move(tree));
+}
+
+// ---- subscription aggregation (tentpole) ----------------------------------
+
+Controller::EndpointAggregate& Controller::aggregateFor(const Endpoint& endpoint) {
+  const EndpointKey key = endpointKey(endpoint);
+  auto it = aggregates_.find(key);
+  if (it == aggregates_.end()) {
+    it = aggregates_.try_emplace(key).first;
+    it->second.endpoint = endpoint;
+    // Ids from the negative range, assigned in endpoint-first-seen order —
+    // replaying the same subscribe sequence (standby promotion) reproduces
+    // the identical assignment.
+    it->second.aggId = nextAggregateId_--;
+    aggById_.emplace(it->second.aggId, &it->second);
+  }
+  return it->second;
+}
+
+void Controller::applyAggregateDelta(EndpointAggregate& agg,
+                                     const dz::AggregationDelta& delta) {
+  // The spatial index tracks the aggregate's representatives, keyed by the
+  // endpoint's aggregate id; deltas are exact piece identities, so erase
+  // hits precisely what a prior insert added.
+  for (const dz::DzExpression& d : delta.removed) {
+    subscriptionIndex_.erase(d, agg.aggId);
+  }
+  for (const dz::DzExpression& d : delta.added) {
+    subscriptionIndex_.insert(d, agg.aggId);
+  }
+
+  // Shrink (or drop) installed paths carrying the removed pieces. Hops are
+  // unchanged by a shrink, so the path is edited in place; switches whose
+  // flows referenced the removed subspaces are reconciled below.
+  std::vector<net::NodeId> affected;
+  if (!delta.removed.empty()) {
+    dz::DzSet removedSet;
+    for (const dz::DzExpression& d : delta.removed) removedSet.insert(d);
+    for (const PathId id : registry_.pathsOfSubscription(agg.aggId)) {
+      const InstalledPath& p = registry_.at(id);
+      dz::DzSet shrunk = p.dz.subtract(removedSet);
+      if (shrunk == p.dz) continue;
+      for (const RouteHop& hop : p.hops) affected.push_back(hop.switchNode);
+      if (shrunk.empty()) {
+        registry_.remove(id);
+      } else {
+        registry_.setDz(id, std::move(shrunk));
+      }
+    }
+  }
+
+  // Install the added pieces — runSubscribe over the aggregate delta
+  // instead of one rule-set per subscription.
+  if (!delta.added.empty()) {
+    dz::DzSet addedSet;
+    for (const dz::DzExpression& d : delta.added) addedSet.insert(d);
+    for (auto& tree : trees_) {
+      const dz::DzSet treeOverlap = tree->dzSet().intersect(addedSet);
+      if (treeOverlap.empty()) continue;
+      for (const auto& [pub, pubOverlap] : tree->publishers()) {
+        const dz::DzSet overlap = treeOverlap.intersect(pubOverlap);
+        if (overlap.empty()) continue;
+        installPathRecord(pub, agg.aggId, *tree, overlap);
+      }
+    }
+  }
+
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+  for (const net::NodeId sw : affected) {
+    installer_.reconcileSwitch(sw, registry_.requiredFlows(sw));
+  }
+}
+
+const dz::DzSet& Controller::interestDz(std::int64_t sid) const {
+  if (isAggregateId(sid)) return aggById_.at(sid)->index.aggregate();
+  return subscriptions_.at(sid).dzSet;
+}
+
+const Endpoint& Controller::interestEndpoint(std::int64_t sid) const {
+  if (isAggregateId(sid)) return aggById_.at(sid)->endpoint;
+  return subscriptions_.at(sid).endpoint;
+}
+
+bool Controller::interestActive(std::int64_t sid) const {
+  if (isAggregateId(sid)) {
+    const auto it = aggById_.find(sid);
+    return it != aggById_.end() && !it->second->index.aggregate().empty();
+  }
+  return subscriptions_.contains(sid);
+}
+
+std::size_t Controller::aggregateRepresentatives() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [key, agg] : aggregates_) n += agg.index.representativeCount();
+  return n;
+}
+
+std::size_t Controller::flowStateBytes() const noexcept {
+  std::size_t bytes = registry_.stateBytes();
+  bytes += installer_.stateBytes();
+  for (const auto& [key, agg] : aggregates_) {
+    bytes += sizeof(EndpointAggregate) + agg.index.stateBytes();
+  }
+  return bytes;
 }
 
 // ---- tree merging (Sec 3.2) ---------------------------------------------
@@ -302,28 +467,33 @@ void Controller::mergeTreePair(std::size_t idxA, std::size_t idxB) {
   // Root at the tree that carried more paths: fewer routes move.
   const net::NodeId root = pathCountA >= pathCountB ? ta.root() : tb.root();
 
-  std::map<PublisherId, dz::DzSet> publishers = ta.publishers();
+  std::map<PublisherId, dz::DzSet> publishers(ta.publishers().begin(),
+                                              ta.publishers().end());
   for (const auto& [pub, overlap] : tb.publishers()) {
     publishers[pub].unionWith(overlap);
   }
 
   const int removeIdA = ta.id();
   const int removeIdB = tb.id();
-  std::erase_if(trees_, [&](const std::unique_ptr<SpanningTree>& t) {
-    return t->id() == removeIdA || t->id() == removeIdB;
+  for (auto& tree : trees_) {
+    if (tree->id() == removeIdA || tree->id() == removeIdB) {
+      retireTree(std::move(tree));
+    }
+  }
+  std::erase_if(trees_, [](const std::unique_ptr<SpanningTree>& t) {
+    return t == nullptr;
   });
 
   if (config_.coarsenOnMerge) mergedDz = coarsen(std::move(mergedDz), nullptr);
 
-  trees_.push_back(std::make_unique<SpanningTree>(
-      nextTreeId_++, std::move(mergedDz), root, network_.topology(),
-      activeInternalLinks()));
+  trees_.push_back(acquireTree(nextTreeId_++, std::move(mergedDz), root,
+                               activeInternalLinks()));
   SpanningTree& tm = *trees_.back();
   for (const auto& [pub, overlap] : publishers) tm.addPublisher(pub, overlap);
 
   // Re-embed the collected paths along the merged tree.
   for (const OldPath& old : oldPaths) {
-    if (!advertisements_.contains(old.pub) || !subscriptions_.contains(old.sub)) {
+    if (!advertisements_.contains(old.pub) || !interestActive(old.sub)) {
       continue;
     }
     installPathRecord(old.pub, old.sub, tm, old.dz);
@@ -549,6 +719,12 @@ void Controller::rebuildTrees(
     plan.oldId = treeId;
     plan.newId = nextTreeId_++;
     plan.root = root;
+    // Pool pops mutate treePool_ and must stay out of the concurrent plan
+    // phase: hand each plan its recycled tree (if any) here, sequentially.
+    if (!treePool_.empty()) {
+      plan.fresh = std::move(treePool_.back());
+      treePool_.pop_back();
+    }
     plans.push_back(std::move(plan));
   }
 
@@ -565,9 +741,15 @@ void Controller::rebuildTrees(
     // paths that were dropped while endpoints were unreachable heal here.
     plan.oldPaths = registry_.pathsOfTree(plan.oldId);
     plan.affected = registry_.switchesOf(plan.oldPaths);
-    plan.fresh = std::make_unique<SpanningTree>(plan.newId, old.dzSet(),
-                                                plan.root, network_.topology(),
-                                                activeLinks);
+    if (plan.fresh != nullptr) {
+      plan.fresh->rebuild(plan.newId, old.dzSet(), plan.root,
+                          network_.topology(), activeLinks);
+    } else {
+      plan.fresh = std::make_unique<SpanningTree>(plan.newId, old.dzSet(),
+                                                  plan.root,
+                                                  network_.topology(),
+                                                  activeLinks);
+    }
     for (const auto& [pub, overlap] : old.publishers()) {
       if (!advertisements_.contains(pub)) continue;
       plan.fresh->addPublisher(pub, overlap);
@@ -582,12 +764,12 @@ void Controller::rebuildTrees(
       }
       const AdvRecord& adv = advertisements_.at(pub);
       for (const SubscriptionId subId : candidates) {
-        dz::DzSet pairDz = overlap.intersect(subscriptions_.at(subId).dzSet);
+        dz::DzSet pairDz = overlap.intersect(interestDz(subId));
         if (pairDz.empty()) continue;
-        const SubRecord& sub = subscriptions_.at(subId);
-        if (adv.endpoint == sub.endpoint) continue;
+        const Endpoint& subEndpoint = interestEndpoint(subId);
+        if (adv.endpoint == subEndpoint) continue;
         std::vector<RouteHop> hops =
-            plan.fresh->route(adv.endpoint, sub.endpoint, network_.topology());
+            plan.fresh->route(adv.endpoint, subEndpoint, network_.topology());
         if (hops.empty()) continue;  // not connected within this partition
         plan.paths.push_back(
             PlannedPath{pub, subId, std::move(pairDz), std::move(hops)});
@@ -606,6 +788,7 @@ void Controller::rebuildTrees(
   for (TreePlan& plan : plans) {
     for (const PathId id : plan.oldPaths) registry_.remove(id);
     const auto it = findTree(trees_, plan.oldId);
+    retireTree(std::move(*it));
     trees_.erase(it);
     trees_.push_back(std::move(plan.fresh));
     SpanningTree& fresh = *trees_.back();
@@ -686,15 +869,31 @@ void Controller::reindex(const std::vector<int>& dims) {
     if (adv.rect) adv.dzSet = decompose(*adv.rect);
   }
   subscriptionIndex_.clear();
-  for (auto& [id, sub] : subscriptions_) {
-    if (sub.rect) sub.dzSet = decompose(*sub.rect);
-    for (const dz::DzExpression& d : sub.dzSet) subscriptionIndex_.insert(d, id);
+  if (config_.aggregateSubscriptions) {
+    // Rebuild every endpoint aggregate from the re-decomposed interests;
+    // aggregate ids are stable, so the index keys don't change identity.
+    for (auto& [key, agg] : aggregates_) agg.index.clear();
+    for (auto& [id, sub] : subscriptions_) {
+      if (sub.rect) sub.dzSet = decompose(*sub.rect);
+      subAggregate_.at(id)->index.add(sub.dzSet);
+    }
+    for (const auto& [key, agg] : aggregates_) {
+      for (const dz::DzExpression& d : agg.index.aggregate()) {
+        subscriptionIndex_.insert(d, agg.aggId);
+      }
+    }
+  } else {
+    for (auto& [id, sub] : subscriptions_) {
+      if (sub.rect) sub.dzSet = decompose(*sub.rect);
+      for (const dz::DzExpression& d : sub.dzSet) subscriptionIndex_.insert(d, id);
+    }
   }
 
   // Tear down all trees and flows, then replay advertisements in id order;
   // subscriptions re-attach inside addFlowMultSub.
   const std::vector<net::NodeId> switches = registry_.allSwitches();
   registry_.clear();
+  for (auto& tree : trees_) retireTree(std::move(tree));
   trees_.clear();
   for (const net::NodeId sw : switches) installer_.reconcileSwitch(sw, {});
   for (const auto& [id, adv] : advertisements_) runAdvertise(id);

@@ -13,14 +13,18 @@
 // and without a pool.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "controller/flow_installer.hpp"
 #include "controller/intent_log.hpp"
 #include "controller/path_registry.hpp"
+#include "dz/aggregation_index.hpp"
 #include "dz/dz_trie.hpp"
 #include "controller/tree.hpp"
 #include "controller/types.hpp"
@@ -44,6 +48,18 @@ struct ControllerConfig {
   bool coarsenOnMerge = true;
   /// Modelled switch-side latency of one flow-mod (reconfiguration delay).
   net::SimTime flowModLatency = net::kMillisecond;
+  /// Aggregate same-endpoint subscriptions through a dz::AggregationIndex
+  /// before flow install: a subscription covered by its endpoint's
+  /// aggregate installs nothing, sibling interests merge into one coarser
+  /// flow, and unsubscription uncovers incrementally. Installed flow state
+  /// then grows with the number of *distinct interest regions* instead of
+  /// the number of subscriptions (sublinear under skew).
+  bool aggregateSubscriptions = false;
+  /// Per-switch TCAM entry budget handed to the FlowInstaller (0 =
+  /// unlimited): exceeding installs coarsen the switch's flows (supersets,
+  /// never misses) instead of failing. Part of the replicated config, so a
+  /// promoted standby reproduces the same coarsening decisions.
+  std::size_t tcamBudget = 0;
 };
 
 /// The slice of the physical topology one controller manages: its switches
@@ -180,6 +196,21 @@ class Controller {
   /// pre-existing interest towards newly arrived external advertisements).
   dz::DzSet subscriptionUnion() const;
 
+  // ---- subscription aggregation (when config().aggregateSubscriptions) --
+
+  /// Distinct subscriber endpoints holding an aggregate.
+  std::size_t aggregateCount() const noexcept { return aggregates_.size(); }
+  /// Representatives across all endpoint aggregates — the interest regions
+  /// actually driving installed flows.
+  std::size_t aggregateRepresentatives() const noexcept;
+  /// Subscribes whose interest was already covered by their endpoint's
+  /// aggregate and therefore installed nothing.
+  std::uint64_t coveredSubscribes() const noexcept { return coveredSubscribes_; }
+  /// Deterministic byte accounting of controller flow state (registry
+  /// paths + aggregation indexes + installer mirrors), element counts only
+  /// — identical across thread counts, for the bench memory series.
+  std::size_t flowStateBytes() const noexcept;
+
   /// Wires this controller, its control channel, and its flow installer
   /// into the observability layer. Registration ops (advertise/subscribe/
   /// un-*) become tracer spans that parent the flow-mod records they cause;
@@ -246,6 +277,23 @@ class Controller {
     std::optional<dz::Rectangle> rect;
   };
 
+  /// One subscriber endpoint's aggregated interest. Flow install in
+  /// aggregated mode is keyed by `aggId` — a pseudo-subscription id from a
+  /// separate (negative) range, assigned in endpoint-first-seen order so
+  /// standby replay reproduces it — and the registry/subscription index
+  /// hold the aggregate's representatives instead of per-subscription dz.
+  struct EndpointAggregate {
+    Endpoint endpoint;
+    SubscriptionId aggId = kInvalidSubscription;
+    dz::AggregationIndex index;
+    std::size_t liveSubs = 0;
+  };
+  /// Stable identity of a subscriber endpoint.
+  using EndpointKey = std::tuple<net::NodeId, net::PortId, net::NodeId>;
+  static EndpointKey endpointKey(const Endpoint& e) {
+    return {e.attachSwitch, e.port, e.host};
+  }
+
   dz::DzSet decompose(const dz::Rectangle& rect) const;
   void runAdvertise(PublisherId id);
   void runSubscribe(SubscriptionId id);
@@ -255,6 +303,34 @@ class Controller {
   void installPathRecord(PublisherId p, SubscriptionId s, SpanningTree& t,
                          const dz::DzSet& overlap);
   void removePaths(const std::vector<PathId>& ids);
+
+  // ---- tree pooling ----------------------------------------------------
+  /// A ready-to-use tree: a recycled pool object rebuilt in place when one
+  /// is available (allocation-free on an unchanged topology), a fresh
+  /// SpanningTree otherwise. Pool pops mutate treePool_, so callers inside
+  /// a parallel section must pop sequentially beforehand.
+  std::unique_ptr<SpanningTree> acquireTree(
+      int id, dz::DzSet dzSet, net::NodeId root,
+      const std::vector<net::LinkId>& allowedLinks);
+  /// Returns a no-longer-listed tree to the pool (dropped once the pool is
+  /// at capacity). Null-safe.
+  void retireTree(std::unique_ptr<SpanningTree> tree);
+
+  // ---- aggregated-mode plumbing ---------------------------------------
+  /// The aggregate of `endpoint`, created (with a fresh aggId) on demand.
+  EndpointAggregate& aggregateFor(const Endpoint& endpoint);
+  /// Pushes an aggregate delta into spatial index, registry and switches:
+  /// shrinks/removes paths carrying removed pieces, installs added pieces
+  /// through the Algorithm-1 machinery, reconciles affected switches.
+  void applyAggregateDelta(EndpointAggregate& agg,
+                           const dz::AggregationDelta& delta);
+  /// Interest lookups valid for real subscription ids and aggregate ids
+  /// (negative range) alike — every flow-install path resolves through
+  /// these so both modes share Algorithm 1.
+  bool isAggregateId(std::int64_t sid) const noexcept { return sid < -1; }
+  const dz::DzSet& interestDz(std::int64_t sid) const;
+  const Endpoint& interestEndpoint(std::int64_t sid) const;
+  bool interestActive(std::int64_t sid) const;
   void mergeTreesIfNeeded();
   void mergeTreePair(std::size_t idxA, std::size_t idxB);
   /// Rebuilds a tree in place (same root, DZ and publishers) over the
@@ -286,11 +362,23 @@ class Controller {
   PathRegistry registry_;
 
   std::vector<std::unique_ptr<SpanningTree>> trees_;
+  /// Retired SpanningTree objects kept for reuse: acquireTree() pops one and
+  /// rebuild()s it in place, so steady-state tree churn (merge, rebuild,
+  /// reindex) recycles parent arrays and Dijkstra scratch instead of
+  /// allocating. Bounded by kTreePoolCap.
+  std::vector<std::unique_ptr<SpanningTree>> treePool_;
   std::vector<net::LinkId> downLinks_;
   std::vector<net::NodeId> downSwitches_;
   int nextTreeId_ = 0;
   std::map<PublisherId, AdvRecord> advertisements_;
   std::map<SubscriptionId, SubRecord> subscriptions_;
+  /// Aggregated mode: per-endpoint aggregates (map nodes are stable, so
+  /// the id/sub lookaside tables hold plain pointers).
+  std::map<EndpointKey, EndpointAggregate> aggregates_;
+  std::unordered_map<SubscriptionId, EndpointAggregate*> subAggregate_;
+  std::unordered_map<SubscriptionId, EndpointAggregate*> aggById_;
+  SubscriptionId nextAggregateId_ = -2;
+  std::uint64_t coveredSubscribes_ = 0;
   /// Spatial index over subscription dz members, so addFlowMultSub touches
   /// only subscriptions overlapping the advertised subspaces.
   dz::DzTrie<SubscriptionId> subscriptionIndex_;

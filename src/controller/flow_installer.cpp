@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <optional>
 
 namespace pleroma::ctrl {
@@ -70,10 +71,15 @@ void FlowInstaller::installPath(const dz::DzSet& dzSet,
   for (const dz::DzExpression& d : dzSet) {
     for (const RouteHop& hop : hops) installOne(d, hop);
   }
+  // Within-budget switches exit on a size check; over-budget ones coarsen.
+  for (const RouteHop& hop : hops) enforceBudget(hop.switchNode);
   maybeFlush();
 }
 
-void FlowInstaller::installOne(const dz::DzExpression& d, const RouteHop& hop) {
+void FlowInstaller::installOne(const dz::DzExpression& dRaw, const RouteHop& hop) {
+  // A coarsened switch accepts no entry finer than its truncation length:
+  // the piece folds into its prefix (actions merge below via case 4).
+  const dz::DzExpression d = dRaw.truncated(lengthCapFor(hop.switchNode));
   net::FlowEntry fln;
   fln.match = dz::dzToPrefix(d);
   fln.priority = d.length();
@@ -177,6 +183,7 @@ void FlowInstaller::attachMetrics(obs::MetricsRegistry& reg) {
   obsCase4_ = &reg.counter("flow_installer.case4_extend");
   obsCase5_ = &reg.counter("flow_installer.case5_shadow_modify");
   obsReconciles_ = &reg.counter("flow_installer.reconcile_passes");
+  obsCoarsens_ = &reg.counter("flow_installer.coarsen_passes");
 }
 
 void FlowInstaller::reconcileSwitch(net::NodeId sw,
@@ -184,11 +191,22 @@ void FlowInstaller::reconcileSwitch(net::NodeId sw,
   if (obsReconciles_ != nullptr) obsReconciles_->inc();
   SwitchMirror& m = mirrors_[sw];
 
-  std::map<dz::DzExpression, const net::FlowEntry*> wanted;
+  // Required flows are exact intent; a coarsened switch holds their
+  // length-capped projection instead (actions union per truncated key), so
+  // a reconcile pass never resurrects entries past the budget.
+  const int cap = lengthCapFor(sw);
+  std::map<dz::DzExpression, net::FlowEntry> wanted;
   for (const net::FlowEntry& e : required) {
-    const auto d = dz::prefixToDz(e.match);
-    assert(d.has_value());
-    wanted.emplace(*d, &e);
+    const auto dOpt = dz::prefixToDz(e.match);
+    assert(dOpt.has_value());
+    const dz::DzExpression d = dOpt->truncated(cap);
+    const auto [it, fresh] = wanted.try_emplace(d, e);
+    if (d.length() != dOpt->length() && fresh) {
+      it->second.match = dz::dzToPrefix(d);
+      it->second.priority = d.length();
+    } else if (!fresh) {
+      mergeActions(it->second, e);
+    }
   }
 
   std::vector<dz::DzExpression> toDelete;
@@ -197,8 +215,8 @@ void FlowInstaller::reconcileSwitch(net::NodeId sw,
     const auto it = wanted.find(d);
     if (it == wanted.end()) {
       toDelete.push_back(d);
-    } else if (*it->second != entry) {
-      toModify.emplace_back(d, it->second);
+    } else if (it->second != entry) {
+      toModify.emplace_back(d, &it->second);
     }
   }
   for (const dz::DzExpression& d : toDelete) {
@@ -208,9 +226,115 @@ void FlowInstaller::reconcileSwitch(net::NodeId sw,
     apply(openflow::FlowModType::kModify, sw, d, *entry);
   }
   for (const auto& [d, entry] : wanted) {
-    if (!m.contains(d)) apply(openflow::FlowModType::kAdd, sw, d, *entry);
+    if (!m.contains(d)) apply(openflow::FlowModType::kAdd, sw, d, entry);
   }
+  enforceBudget(sw);
   maybeFlush();
+}
+
+// ---- TCAM budget / coarsening (Sec 3 + Sec 5) -----------------------------
+
+std::size_t FlowInstaller::tcamBudget(net::NodeId sw) const {
+  const auto it = budgetOverride_.find(sw);
+  return it != budgetOverride_.end() ? it->second : defaultBudget_;
+}
+
+int FlowInstaller::coarsenLength(net::NodeId sw) const {
+  const auto it = coarsenLen_.find(sw);
+  return it != coarsenLen_.end() ? it->second : -1;
+}
+
+int FlowInstaller::lengthCapFor(net::NodeId sw) const {
+  const auto it = coarsenLen_.find(sw);
+  return it != coarsenLen_.end() ? it->second : dz::kMaxDzLength;
+}
+
+std::size_t FlowInstaller::totalMirrorEntries() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [sw, m] : mirrors_) total += m.size();
+  return total;
+}
+
+std::size_t FlowInstaller::stateBytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& [sw, m] : mirrors_) {
+    for (const auto& [d, entry] : m) {
+      bytes += sizeof(dz::DzExpression) + sizeof(net::FlowEntry);
+      bytes += entry.actions.size() * sizeof(net::FlowAction);
+    }
+  }
+  return bytes;
+}
+
+void FlowInstaller::enforceBudget(net::NodeId sw) {
+  const std::size_t budget = tcamBudget(sw);
+  if (budget == 0) return;
+  const auto mit = mirrors_.find(sw);
+  if (mit == mirrors_.end() || mit->second.size() <= budget) return;
+  const SwitchMirror& m = mit->second;
+
+  // Entries sharing a length-L prefix are adjacent in trie order, so the
+  // projected entry count is the number of truncation-distinct neighbours.
+  const auto projectedCount = [&m](int len) {
+    std::size_t count = 0;
+    std::optional<dz::DzExpression> prev;
+    for (const auto& [d, e] : m) {
+      dz::DzExpression t = d.truncated(len);
+      if (!prev.has_value() || !(*prev == t)) ++count;
+      prev = t;
+    }
+    return count;
+  };
+
+  int maxLen = 0;
+  for (const auto& [d, e] : m) maxLen = std::max(maxLen, d.length());
+  // The longest truncation length that fits: precision degrades no more
+  // than the budget demands. projectedCount(0) == 1, so the loop ends.
+  int cap = maxLen - 1;
+  while (cap > 0 && projectedCount(cap) > budget) --cap;
+  coarsenTo(sw, cap);
+}
+
+void FlowInstaller::coarsenTo(net::NodeId sw, int cap) {
+  SwitchMirror& m = mirrors_[sw];
+  const std::size_t before = m.size();
+  double volumeBefore = 0.0;
+  std::map<dz::DzExpression, net::FlowEntry> projected;
+  for (const auto& [d, e] : m) {
+    volumeBefore += std::ldexp(1.0, -d.length());
+    const dz::DzExpression t = d.truncated(cap);
+    const auto [it, fresh] = projected.try_emplace(t, e);
+    if (fresh) {
+      it->second.match = dz::dzToPrefix(t);
+      it->second.priority = t.length();
+    } else {
+      mergeActions(it->second, e);
+    }
+  }
+  double volumeAfter = 0.0;
+  for (const auto& [d, e] : projected) volumeAfter += std::ldexp(1.0, -d.length());
+
+  std::vector<dz::DzExpression> toDelete;
+  for (const auto& [d, e] : m) {
+    if (!projected.contains(d)) toDelete.push_back(d);
+  }
+  for (const dz::DzExpression& d : toDelete) {
+    apply(openflow::FlowModType::kDelete, sw, d, m.at(d));
+  }
+  for (const auto& [d, e] : projected) {
+    const auto cur = m.find(d);
+    if (cur == m.end()) {
+      apply(openflow::FlowModType::kAdd, sw, d, e);
+    } else if (cur->second != e) {
+      apply(openflow::FlowModType::kModify, sw, d, e);
+    }
+  }
+
+  coarsenLen_[sw] = cap;
+  ++coarsenStats_.events;
+  coarsenStats_.entriesCollapsed += before - m.size();
+  coarsenStats_.addedVolume += volumeAfter - volumeBefore;
+  if (obsCoarsens_ != nullptr) obsCoarsens_->inc();
 }
 
 }  // namespace pleroma::ctrl

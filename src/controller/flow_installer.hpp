@@ -58,6 +58,46 @@ class FlowInstaller {
     FlowInstaller& installer_;
   };
 
+  // ---- per-switch TCAM entry budget (Sec 3 coarsening) -----------------
+  //
+  // When a switch's mirror would exceed its budget, the installer coarsens
+  // that switch's flows: the switch gets a sticky truncation length L, and
+  // every entry longer than L collapses into its length-L prefix carrying
+  // the union of the collapsed actions. Forwarding becomes a spatial
+  // superset — false positives, never misses — exactly the shortened-dz
+  // degradation of the paper's Sec 3 case logic, instead of a failed
+  // install. The length is chosen deterministically (the longest L whose
+  // projected entry count fits), so standby promotion replay and
+  // Reconciler audits reproduce the identical coarsened mirror.
+
+  /// Default budget for every switch (0 = unlimited).
+  void setTcamBudget(std::size_t entries) { defaultBudget_ = entries; }
+  /// Per-switch override (0 = unlimited for that switch).
+  void setTcamBudget(net::NodeId sw, std::size_t entries) {
+    budgetOverride_[sw] = entries;
+  }
+  std::size_t tcamBudget(net::NodeId sw) const;
+
+  /// The switch's current truncation length; -1 while uncoarsened.
+  int coarsenLength(net::NodeId sw) const;
+
+  struct CoarsenStats {
+    std::uint64_t events = 0;            ///< budget-triggered coarsen passes
+    std::uint64_t entriesCollapsed = 0;  ///< mirror entries merged away
+    /// Σ per-entry subspace volume gained by truncation — an analytic
+    /// proxy for the induced false-positive overhead (Sec 5).
+    double addedVolume = 0.0;
+  };
+  const CoarsenStats& coarsenStats() const noexcept { return coarsenStats_; }
+
+  /// Installed entries across all switch mirrors (the fig7b/7d-class
+  /// entry-count series).
+  std::size_t totalMirrorEntries() const noexcept;
+
+  /// Deterministic byte accounting of the mirrors' element payload
+  /// (entries + their action lists; no container overhead or capacity).
+  std::size_t stateBytes() const noexcept;
+
   /// The controller-side view of a switch's flows, keyed by dz.
   const std::map<dz::DzExpression, net::FlowEntry>& mirror(net::NodeId sw) const;
 
@@ -78,6 +118,14 @@ class FlowInstaller {
   void installOne(const dz::DzExpression& d, const RouteHop& hop);
   void apply(openflow::FlowModType type, net::NodeId sw, const dz::DzExpression& d,
              const net::FlowEntry& entry);
+  /// The dz length cap installs to `sw` are truncated to (kMaxDzLength
+  /// while the switch is uncoarsened).
+  int lengthCapFor(net::NodeId sw) const;
+  /// Coarsens `sw` until its mirror fits the budget (no-op within budget).
+  void enforceBudget(net::NodeId sw);
+  /// Rewrites `sw`'s mirror as the length-`cap` projection and emits the
+  /// resulting flow-mod diff.
+  void coarsenTo(net::NodeId sw, int cap);
   /// Sends the mods accumulated while the channel had batching enabled as
   /// coalesced per-switch batch messages. No-op otherwise.
   void flushBatch();
@@ -95,6 +143,12 @@ class FlowInstaller {
   std::vector<openflow::FlowMod> batch_;
   int batchDepth_ = 0;
 
+  std::size_t defaultBudget_ = 0;  ///< 0 = unlimited
+  std::unordered_map<net::NodeId, std::size_t> budgetOverride_;
+  /// Sticky per-switch truncation lengths; absent while uncoarsened.
+  std::unordered_map<net::NodeId, int> coarsenLen_;
+  CoarsenStats coarsenStats_;
+
   /// Per-case counters of Algorithm 1's flowAddition (null until attached):
   /// 1 = fresh add, 2 = covered by an existing flow, 3 = finer flow
   /// subsumed and deleted, 4 = new/exact flow extended with coarser or new
@@ -105,6 +159,7 @@ class FlowInstaller {
   obs::Counter* obsCase4_ = nullptr;
   obs::Counter* obsCase5_ = nullptr;
   obs::Counter* obsReconciles_ = nullptr;
+  obs::Counter* obsCoarsens_ = nullptr;
 };
 
 }  // namespace pleroma::ctrl

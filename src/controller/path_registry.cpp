@@ -53,6 +53,24 @@ void PathRegistry::remove(PathId id) {
   treeOf_.erase(ti);
 }
 
+void PathRegistry::setDz(PathId id, dz::DzSet dz) {
+  const auto ti = treeOf_.find(id);
+  assert(ti != treeOf_.end());
+  shards_.at(ti->second).at(id).dz = std::move(dz);
+}
+
+std::size_t PathRegistry::stateBytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& [treeId, shard] : shards_) {
+    for (const auto& [id, path] : shard) {
+      bytes += sizeof(InstalledPath);
+      bytes += path.hops.size() * sizeof(RouteHop);
+      bytes += path.dz.size() * sizeof(dz::DzExpression);
+    }
+  }
+  return bytes;
+}
+
 void PathRegistry::clear() {
   shards_.clear();
   treeOf_.clear();

@@ -57,6 +57,16 @@ class PathRegistry {
   std::size_t size() const noexcept { return treeOf_.size(); }
   void clear();
 
+  /// Replaces the dz set a path forwards (its hops are unchanged, so no
+  /// index maintenance is needed). Used by aggregated-mode uncover to
+  /// shrink a path in place instead of remove + re-add.
+  void setDz(PathId id, dz::DzSet dz);
+
+  /// Deterministic byte accounting of the registry's element payload
+  /// (paths, hops, dz members — no container overhead or capacity), for
+  /// the bench memory series.
+  std::size_t stateBytes() const noexcept;
+
   std::vector<PathId> pathsOfSubscription(SubscriptionId s) const;
   std::vector<PathId> pathsOfPublisher(PublisherId p) const;
   std::vector<PathId> pathsOfTree(int treeId) const;

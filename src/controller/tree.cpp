@@ -11,35 +11,54 @@ namespace pleroma::ctrl {
 SpanningTree::SpanningTree(int id, dz::DzSet dzSet, net::NodeId root,
                            const net::Topology& topology,
                            const std::vector<net::LinkId>& allowedLinks)
-    : id_(id), dzSet_(std::move(dzSet)), root_(root) {
+    : id_(id), root_(root) {
+  rebuild(id, std::move(dzSet), root, topology, allowedLinks);
+}
+
+void SpanningTree::rebuild(int id, dz::DzSet dzSet, net::NodeId root,
+                           const net::Topology& topology,
+                           const std::vector<net::LinkId>& allowedLinks) {
   assert(topology.isSwitch(root));
+  id_ = id;
+  dzSet_ = std::move(dzSet);
+  root_ = root;
+  publishers_.clear();
   const auto n = static_cast<std::size_t>(topology.nodeCount());
   parentNode_.assign(n, net::kInvalidNode);
   parentLink_.assign(n, net::kInvalidLink);
 
-  std::unordered_set<net::LinkId> allowed(allowedLinks.begin(), allowedLinks.end());
+  allowed_.assign(static_cast<std::size_t>(topology.linkCount()), 0);
+  for (const net::LinkId lid : allowedLinks) {
+    allowed_[static_cast<std::size_t>(lid)] = 1;
+  }
 
   // Dijkstra over switches restricted to the partition's internal links.
-  std::vector<net::SimTime> dist(n, std::numeric_limits<net::SimTime>::max());
-  using Item = std::pair<net::SimTime, net::NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  dist[static_cast<std::size_t>(root)] = 0;
-  heap.emplace(0, root);
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist[static_cast<std::size_t>(u)]) continue;
-    for (const auto& [port, lid] : topology.portsOf(u)) {
-      if (!allowed.contains(lid)) continue;
+  // Scratch vectors are members: assign() reuses their capacity, so a
+  // pooled tree's rebuild on an unchanged topology allocates nothing.
+  dist_.assign(n, std::numeric_limits<net::SimTime>::max());
+  heap_.clear();
+  dist_[static_cast<std::size_t>(root)] = 0;
+  heap_.emplace_back(0, root);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (d > dist_[static_cast<std::size_t>(u)]) continue;
+    // Walk portLinks directly: portsOf() materialises a vector per call,
+    // which would defeat the allocation-free rebuild.
+    for (const net::LinkId lid : topology.node(u).portLinks) {
+      if (lid == net::kInvalidLink) continue;
+      if (allowed_[static_cast<std::size_t>(lid)] == 0) continue;
       const net::Link& l = topology.link(lid);
       const net::NodeId v = l.peerOf(u).node;
       if (!topology.isSwitch(v)) continue;
       const net::SimTime nd = d + l.latency;
-      if (nd < dist[static_cast<std::size_t>(v)]) {
-        dist[static_cast<std::size_t>(v)] = nd;
+      if (nd < dist_[static_cast<std::size_t>(v)]) {
+        dist_[static_cast<std::size_t>(v)] = nd;
         parentNode_[static_cast<std::size_t>(v)] = u;
         parentLink_[static_cast<std::size_t>(v)] = lid;
-        heap.emplace(nd, v);
+        heap_.emplace_back(nd, v);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
     }
   }
@@ -52,7 +71,28 @@ SpanningTree::SpanningTree(int id, dz::DzSet dzSet, net::NodeId root,
 }
 
 void SpanningTree::addPublisher(PublisherId p, const dz::DzSet& overlap) {
-  publishers_[p].unionWith(overlap);
+  const auto it = std::lower_bound(
+      publishers_.begin(), publishers_.end(), p,
+      [](const PublisherEntry& e, PublisherId v) { return e.first < v; });
+  if (it != publishers_.end() && it->first == p) {
+    it->second.unionWith(overlap);
+  } else {
+    publishers_.emplace(it, p, overlap);
+  }
+}
+
+void SpanningTree::removePublisher(PublisherId p) {
+  const auto it = std::lower_bound(
+      publishers_.begin(), publishers_.end(), p,
+      [](const PublisherEntry& e, PublisherId v) { return e.first < v; });
+  if (it != publishers_.end() && it->first == p) publishers_.erase(it);
+}
+
+bool SpanningTree::hasPublisher(PublisherId p) const {
+  const auto it = std::lower_bound(
+      publishers_.begin(), publishers_.end(), p,
+      [](const PublisherEntry& e, PublisherId v) { return e.first < v; });
+  return it != publishers_.end() && it->first == p;
 }
 
 bool SpanningTree::reaches(net::NodeId switchNode) const noexcept {

@@ -27,11 +27,26 @@ struct RouteHop {
 
 class SpanningTree {
  public:
+  /// Publishers are kept as a vector of (id, DZ^t(p)) pairs sorted by id:
+  /// iteration order matches the former std::map, and — unlike map nodes —
+  /// the storage survives clear() with its capacity, so a pooled tree's
+  /// steady-state rebuild allocates nothing.
+  using PublisherEntry = std::pair<PublisherId, dz::DzSet>;
+
   /// Builds a shortest-path tree rooted at `root` over the switches of the
   /// partition, using only `allowedLinks` (switch-switch links internal to
   /// the partition). Hosts are not part of the tree; routes reach them via
   /// their access link in the terminal hop.
   SpanningTree(int id, dz::DzSet dzSet, net::NodeId root,
+               const net::Topology& topology,
+               const std::vector<net::LinkId>& allowedLinks);
+
+  /// Re-runs the construction in place, reusing every internal buffer
+  /// (parent arrays, Dijkstra distance/heap scratch, allowed-link bitmap).
+  /// Publishers are cleared. On an unchanged topology the steady-state
+  /// rebuild performs zero heap allocations — the arena behaviour the
+  /// controller's tree pool relies on.
+  void rebuild(int id, dz::DzSet dzSet, net::NodeId root,
                const net::Topology& topology,
                const std::vector<net::LinkId>& allowedLinks);
 
@@ -42,13 +57,13 @@ class SpanningTree {
   void setDzSet(dz::DzSet dzSet) { dzSet_ = std::move(dzSet); }
 
   /// Publishers attached to this tree and the part of their advertisement
-  /// this tree carries: DZ^t(p).
-  const std::map<PublisherId, dz::DzSet>& publishers() const noexcept {
+  /// this tree carries: DZ^t(p). Sorted by publisher id.
+  const std::vector<PublisherEntry>& publishers() const noexcept {
     return publishers_;
   }
   void addPublisher(PublisherId p, const dz::DzSet& overlap);
-  void removePublisher(PublisherId p) { publishers_.erase(p); }
-  bool hasPublisher(PublisherId p) const { return publishers_.contains(p); }
+  void removePublisher(PublisherId p);
+  bool hasPublisher(PublisherId p) const;
 
   bool reaches(net::NodeId switchNode) const noexcept;
 
@@ -73,7 +88,13 @@ class SpanningTree {
   net::NodeId root_;
   std::vector<net::NodeId> parentNode_;  // toward root; kInvalidNode at root
   std::vector<net::LinkId> parentLink_;
-  std::map<PublisherId, dz::DzSet> publishers_;
+  std::vector<PublisherEntry> publishers_;
+
+  // Dijkstra scratch, reused across rebuild() calls (assign() keeps the
+  // capacity, so pooled trees rebuild allocation-free).
+  std::vector<net::SimTime> dist_;
+  std::vector<std::pair<net::SimTime, net::NodeId>> heap_;
+  std::vector<char> allowed_;  // indexed by LinkId
 };
 
 }  // namespace pleroma::ctrl

@@ -1,0 +1,223 @@
+#include "dz/aggregation_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pleroma::dz {
+
+namespace {
+
+/// Exact-cancel bookkeeping: recording the removal of a piece that is
+/// pending as an add (or vice versa) annihilates the pair instead of
+/// letting it appear on both sides of the delta.
+void noteRemoved(AggregationDelta& delta, const DzExpression& d) {
+  const auto it = std::find(delta.added.begin(), delta.added.end(), d);
+  if (it != delta.added.end()) {
+    delta.added.erase(it);
+  } else {
+    delta.removed.push_back(d);
+  }
+}
+
+void noteAdded(AggregationDelta& delta, const DzExpression& d) {
+  const auto it = std::find(delta.removed.begin(), delta.removed.end(), d);
+  if (it != delta.removed.end()) {
+    delta.removed.erase(it);
+  } else {
+    delta.added.push_back(d);
+  }
+}
+
+}  // namespace
+
+void AggregationDelta::merge(AggregationDelta&& later) {
+  for (const DzExpression& d : later.removed) noteRemoved(*this, d);
+  for (const DzExpression& d : later.added) noteAdded(*this, d);
+}
+
+void AggregationIndex::clear() {
+  nodes_.clear();
+  free_.clear();
+  nodes_.push_back(Node{});  // root
+  liveNodes_ = 1;
+  members_ = 0;
+  aggregate_ = DzSet{};
+}
+
+std::uint32_t AggregationIndex::allocNode() {
+  ++liveNodes_;
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    nodes_[idx] = Node{};
+    return idx;
+  }
+  nodes_.push_back(Node{});
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void AggregationIndex::releaseNode(std::uint32_t idx) {
+  assert(idx != 0 && "the root is never released");
+  --liveNodes_;
+  free_.push_back(idx);
+}
+
+std::uint32_t AggregationIndex::findNode(const DzExpression& d) const noexcept {
+  std::uint32_t cur = 0;
+  for (int i = 0; i < d.length(); ++i) {
+    cur = nodes_[cur].child[d.bit(i) ? 1 : 0];
+    if (cur == kNil) return kNil;
+  }
+  return cur;
+}
+
+std::size_t AggregationIndex::stateBytes() const noexcept {
+  return liveNodes_ * sizeof(Node) +
+         aggregate_.size() * sizeof(DzExpression);
+}
+
+AggregationDelta AggregationIndex::add(const DzExpression& d) {
+  // Record the member reference along its trie path.
+  std::uint32_t cur = 0;
+  ++nodes_[cur].subtree;
+  for (int i = 0; i < d.length(); ++i) {
+    const int b = d.bit(i) ? 1 : 0;
+    std::uint32_t next = nodes_[cur].child[b];
+    if (next == kNil) {
+      next = allocNode();
+      nodes_[cur].child[b] = next;
+    }
+    cur = next;
+    ++nodes_[cur].subtree;
+  }
+  ++nodes_[cur].self;
+  ++members_;
+
+  AggregationDelta delta;
+  if (aggregate_.covers(d)) return delta;  // covered: installs nothing
+
+  // d becomes a representative: drop the representatives it covers (a
+  // contiguous trie-order range right after d's slot) ...
+  std::vector<DzExpression>& items = aggregate_.items_;
+  auto lo = std::lower_bound(items.begin(), items.end(), d);
+  auto hi = lo;
+  while (hi != items.end() && d.covers(*hi)) ++hi;
+  for (auto it = lo; it != hi; ++it) noteRemoved(delta, *it);
+  auto pos = items.erase(lo, hi);
+  pos = items.insert(pos, d);
+  noteAdded(delta, d);
+
+  // ... then collapse complete sibling pairs upward. A present sibling is
+  // adjacent in trie order (canonical sets hold no descendants of members).
+  std::size_t idx = static_cast<std::size_t>(pos - items.begin());
+  DzExpression merged = d;
+  while (merged.length() > 0) {
+    const DzExpression sib = merged.sibling();
+    std::size_t sibIdx;
+    if (idx > 0 && items[idx - 1] == sib) {
+      sibIdx = idx - 1;
+    } else if (idx + 1 < items.size() && items[idx + 1] == sib) {
+      sibIdx = idx + 1;
+    } else {
+      break;
+    }
+    const DzExpression parent = merged.parent();
+    const std::size_t first = std::min(idx, sibIdx);
+    items.erase(items.begin() + static_cast<std::ptrdiff_t>(first),
+                items.begin() + static_cast<std::ptrdiff_t>(first) + 2);
+    items.insert(items.begin() + static_cast<std::ptrdiff_t>(first), parent);
+    noteRemoved(delta, merged);
+    noteRemoved(delta, sib);
+    noteAdded(delta, parent);
+    merged = parent;
+    idx = first;
+  }
+  return delta;
+}
+
+AggregationDelta AggregationIndex::add(const DzSet& set) {
+  AggregationDelta delta;
+  for (const DzExpression& d : set) delta.merge(add(d));
+  return delta;
+}
+
+bool AggregationIndex::coverUnder(std::uint32_t idx, const DzExpression& key,
+                                  std::vector<DzExpression>& out) const {
+  const Node& n = nodes_[idx];
+  if (n.self > 0) {
+    out.push_back(key);
+    return true;
+  }
+  const std::size_t mark = out.size();
+  const bool full0 =
+      n.child[0] != kNil && coverUnder(n.child[0], key.child(false), out);
+  const bool full1 =
+      n.child[1] != kNil && coverUnder(n.child[1], key.child(true), out);
+  if (full0 && full1) {
+    // Both halves fully covered: the sibling pair merges into `key`.
+    out.resize(mark);
+    out.push_back(key);
+    return true;
+  }
+  return false;
+}
+
+AggregationDelta AggregationIndex::remove(const DzExpression& d) {
+  AggregationDelta delta;
+
+  // Walk the member's path, remembering it for pruning.
+  std::uint32_t path[kMaxDzLength + 1];
+  path[0] = 0;
+  std::uint32_t cur = 0;
+  for (int i = 0; i < d.length(); ++i) {
+    cur = nodes_[cur].child[d.bit(i) ? 1 : 0];
+    if (cur == kNil) {
+      assert(false && "removing a dz that was never added");
+      return delta;
+    }
+    path[i + 1] = cur;
+  }
+  if (nodes_[cur].self == 0) {
+    assert(false && "removing a dz with no live reference");
+    return delta;
+  }
+  --nodes_[cur].self;
+  for (int i = 0; i <= d.length(); ++i) --nodes_[path[i]].subtree;
+  --members_;
+  // Prune emptied nodes bottom-up (the root stays).
+  for (int i = d.length(); i > 0; --i) {
+    if (nodes_[path[i]].subtree != 0) break;
+    nodes_[path[i - 1]].child[d.bit(i - 1) ? 1 : 0] = kNil;
+    releaseNode(path[i]);
+  }
+
+  // The unique representative covering d is the trie-order predecessor of
+  // d's slot (members between them would be its descendants — impossible
+  // in canonical form).
+  std::vector<DzExpression>& items = aggregate_.items_;
+  auto it = std::upper_bound(items.begin(), items.end(), d);
+  assert(it != items.begin() && "member not covered by the aggregate");
+  auto repIt = std::prev(it);
+  const DzExpression rep = *repIt;
+  assert(rep.covers(d) && "predecessor does not cover the removed member");
+
+  // Uncover: the canonical cover of the members remaining under rep.
+  std::vector<DzExpression> pieces;
+  const std::uint32_t repNode = findNode(rep);
+  if (repNode != kNil && coverUnder(repNode, rep, pieces)) {
+    return delta;  // still fully covered: nothing leaves the aggregate
+  }
+  noteRemoved(delta, rep);
+  for (const DzExpression& p : pieces) noteAdded(delta, p);
+  const auto pos = items.erase(repIt);
+  items.insert(pos, pieces.begin(), pieces.end());
+  return delta;
+}
+
+AggregationDelta AggregationIndex::remove(const DzSet& set) {
+  AggregationDelta delta;
+  for (const DzExpression& d : set) delta.merge(remove(d));
+  return delta;
+}
+
+}  // namespace pleroma::dz

@@ -75,6 +75,11 @@ class DzSet {
  private:
   void canonicalize();
 
+  /// The aggregation index edits `items_` in place with localized splices
+  /// (its operations preserve the canonical form by construction, so a full
+  /// re-canonicalisation per update would waste the incrementality).
+  friend class AggregationIndex;
+
   // Sorted in trie order, pairwise disjoint, sibling-merged.
   std::vector<DzExpression> items_;
 };

@@ -199,6 +199,7 @@ bool FlowTable::insert(FlowEntry entry) {
   const std::uint32_t slot = allocateSlot(std::move(entry));
   insertRecord(b, key, priority, slot);
   ++size_;
+  if (size_ > peakSize_) peakSize_ = size_;
   ++stats_.inserts;
   return true;
 }

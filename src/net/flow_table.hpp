@@ -271,6 +271,15 @@ class FlowTable {
 
   std::size_t size() const noexcept { return size_; }
   std::size_t capacity() const noexcept { return capacity_; }
+  /// High-water mark of size(): budget accounting for the TCAM series
+  /// (peak entries a switch ever held, even after later removals).
+  std::size_t peakSize() const noexcept { return peakSize_; }
+  /// Entries still installable before the hard capacity rejects inserts;
+  /// SIZE_MAX when the table is unlimited.
+  std::size_t headroom() const noexcept {
+    if (capacity_ == 0) return static_cast<std::size_t>(-1);
+    return capacity_ > size_ ? capacity_ - size_ : 0;
+  }
   bool empty() const noexcept { return size_ == 0; }
   const FlowTableStats& stats() const noexcept { return stats_; }
   void clear() noexcept;
@@ -413,6 +422,7 @@ class FlowTable {
   /// Bucket index per prefix length (0..128); -1 when absent.
   std::array<std::int16_t, 129> lengthBucket_;
   std::size_t size_ = 0;
+  std::size_t peakSize_ = 0;
   std::size_t capacity_;
 
   std::vector<std::unique_ptr<FlowEntry[]>> chunks_;

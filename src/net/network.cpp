@@ -28,6 +28,18 @@ const FlowTable& Network::flowTable(NodeId switchNode) const {
   return tables_[static_cast<std::size_t>(switchNode)];
 }
 
+std::size_t Network::totalFlowEntries() const noexcept {
+  std::size_t total = 0;
+  for (const FlowTable& t : tables_) total += t.size();
+  return total;
+}
+
+std::size_t Network::peakFlowEntries() const noexcept {
+  std::size_t total = 0;
+  for (const FlowTable& t : tables_) total += t.peakSize();
+  return total;
+}
+
 void Network::sendFromHost(NodeId host, Packet packet) {
   assert(topo_.isHost(host));
   // Stamp the departure time while the payload is (normally) still owned by

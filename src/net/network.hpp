@@ -87,6 +87,13 @@ class Network : public PacketSink {
   FlowTable& flowTable(NodeId switchNode);
   const FlowTable& flowTable(NodeId switchNode) const;
 
+  /// Budget accounting across the whole data plane: entries currently
+  /// installed / peak ever installed, summed over all switch TCAMs. These
+  /// are the ground-truth series the TCAM-budget benchmarks report
+  /// (installed entries as seen by the switches, not controller intent).
+  std::size_t totalFlowEntries() const noexcept;
+  std::size_t peakFlowEntries() const noexcept;
+
   void setPacketInHandler(PacketInHandler handler) { packetIn_ = std::move(handler); }
   void setDeliverHandler(DeliverHandler handler) { deliver_ = std::move(handler); }
 

@@ -1,0 +1,26 @@
+#include "obs/memory.hpp"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace pleroma::obs {
+
+MemoryUsage processMemory() noexcept {
+  MemoryUsage usage;
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return usage;
+  unsigned long long vmPages = 0;
+  unsigned long long rssPages = 0;
+  if (std::fscanf(f, "%llu %llu", &vmPages, &rssPages) == 2) {
+    const long pageSize = ::sysconf(_SC_PAGESIZE);
+    const auto page =
+        static_cast<std::size_t>(pageSize > 0 ? pageSize : 4096);
+    usage.virtualBytes = static_cast<std::size_t>(vmPages) * page;
+    usage.residentBytes = static_cast<std::size_t>(rssPages) * page;
+  }
+  std::fclose(f);
+  return usage;
+}
+
+}  // namespace pleroma::obs

@@ -1,0 +1,21 @@
+// Resident-memory probe for bench report *metadata*. Real RSS depends on
+// the allocator, the kernel and page luck, so it is never placed in a
+// compared series (those carry deterministic accounted-bytes like
+// Controller::flowStateBytes()); benches record it under metadata keys so
+// a human can sanity-check the accounted curve against reality.
+#pragma once
+
+#include <cstddef>
+
+namespace pleroma::obs {
+
+struct MemoryUsage {
+  std::size_t residentBytes = 0;  ///< RSS
+  std::size_t virtualBytes = 0;   ///< VSZ
+};
+
+/// Snapshot of the current process's memory, from /proc/self/statm.
+/// All-zero when the proc file is unavailable (non-Linux, sandbox).
+MemoryUsage processMemory() noexcept;
+
+}  // namespace pleroma::obs

@@ -59,6 +59,10 @@ class SingleBackend final : public Backend {
     if (s.maxCellsPerRequest.has_value()) {
       opts.controller.maxCellsPerRequest = *s.maxCellsPerRequest;
     }
+    if (s.aggregateSubscriptions.has_value()) {
+      opts.controller.aggregateSubscriptions = *s.aggregateSubscriptions;
+    }
+    if (s.tcamBudget.has_value()) opts.controller.tcamBudget = *s.tcamBudget;
     opts.threads = threads;
     if (s.needsFailover()) {
       // The heartbeat is armed at the kill instant, not at start-up: a
@@ -172,6 +176,10 @@ class MultiBackend final : public Backend {
     if (s.maxCellsPerRequest.has_value()) {
       cfg.maxCellsPerRequest = *s.maxCellsPerRequest;
     }
+    if (s.aggregateSubscriptions.has_value()) {
+      cfg.aggregateSubscriptions = *s.aggregateSubscriptions;
+    }
+    if (s.tcamBudget.has_value()) cfg.tcamBudget = *s.tcamBudget;
     partitions_ = s.partitions;
     domain_ = std::make_unique<interop::MultiDomain>(
         std::move(topo), std::move(partitionOf),

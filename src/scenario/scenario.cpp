@@ -401,11 +401,18 @@ obs::JsonValue Scenario::toJson() const {
   attrs.set("bits", bitsPerDim);
   o.set("attributes", std::move(attrs));
   o.set("partitions", partitions);
-  if (maxDzLength.has_value() || maxCellsPerRequest.has_value()) {
+  if (maxDzLength.has_value() || maxCellsPerRequest.has_value() ||
+      aggregateSubscriptions.has_value() || tcamBudget.has_value()) {
     JsonValue c = JsonValue::object();
     if (maxDzLength.has_value()) c.set("max_dz_length", *maxDzLength);
     if (maxCellsPerRequest.has_value()) {
       c.set("max_cells_per_request", static_cast<std::uint64_t>(*maxCellsPerRequest));
+    }
+    if (aggregateSubscriptions.has_value()) {
+      c.set("aggregate_subscriptions", *aggregateSubscriptions);
+    }
+    if (tcamBudget.has_value()) {
+      c.set("tcam_budget", static_cast<std::uint64_t>(*tcamBudget));
     }
     o.set("controller", std::move(c));
   }
@@ -514,7 +521,9 @@ std::optional<Scenario> Scenario::fromJson(const obs::JsonValue& doc,
       fail(error, "controller", "expected an object");
       return std::nullopt;
     }
-    if (!checkKeys(*c, "controller", {"max_dz_length", "max_cells_per_request"},
+    if (!checkKeys(*c, "controller",
+                   {"max_dz_length", "max_cells_per_request",
+                    "aggregate_subscriptions", "tcam_budget"},
                    error)) {
       return std::nullopt;
     }
@@ -531,6 +540,20 @@ std::optional<Scenario> Scenario::fromJson(const obs::JsonValue& doc,
         return std::nullopt;
       }
       s.maxCellsPerRequest = static_cast<std::size_t>(i);
+    }
+    if (const JsonValue* a = c->get("aggregate_subscriptions")) {
+      if (!a->isBool()) {
+        fail(error, "controller.aggregate_subscriptions", "expected a bool");
+        return std::nullopt;
+      }
+      s.aggregateSubscriptions = a->asBool();
+    }
+    if (c->contains("tcam_budget")) {
+      i = 0;
+      if (!readIntMin(*c, "tcam_budget", "controller", 0, &i, error)) {
+        return std::nullopt;
+      }
+      s.tcamBudget = static_cast<std::size_t>(i);
     }
   }
 

@@ -11,7 +11,8 @@
 //     "topology": { "kind": "testbed-fat-tree" },   // see TopologySpec
 //     "attributes": { "count": 2, "bits": 10 },
 //     "partitions": 1,                     // >1 => interop::MultiDomain
-//     "controller": { "max_dz_length": 24, "max_cells_per_request": 8 },
+//     "controller": { "max_dz_length": 24, "max_cells_per_request": 8,
+//                     "aggregate_subscriptions": true, "tcam_budget": 512 },
 //     "failover": { "heartbeat_ms": 10, "miss_threshold": 3 },  // optional
 //     "workload": { "selectivity": 0.1, ... },      // phase defaults
 //     "phases": [ { "name": "warmup", "family": "uniform",
@@ -142,6 +143,12 @@ struct Scenario {
   int partitions = 1;
   std::optional<int> maxDzLength;
   std::optional<std::size_t> maxCellsPerRequest;
+  /// Controller "aggregate_subscriptions" knob: per-endpoint
+  /// covering/merging aggregation in front of the flow installer.
+  std::optional<bool> aggregateSubscriptions;
+  /// Controller "tcam_budget" knob: per-switch flow-entry budget; over
+  /// budget the installer coarsens that switch's flows (0 = unlimited).
+  std::optional<std::size_t> tcamBudget;
   FailoverSpec failover;
   WorkloadDefaults workload;
   std::vector<PhaseSpec> phases;

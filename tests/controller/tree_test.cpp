@@ -134,7 +134,9 @@ TEST(SpanningTree, PublisherBookkeeping) {
   tree.addPublisher(3, set("010"));
   tree.addPublisher(3, set("011"));
   EXPECT_TRUE(tree.hasPublisher(3));
-  EXPECT_EQ(tree.publishers().at(3), set("01"));  // union merged siblings
+  ASSERT_EQ(tree.publishers().size(), 1u);
+  EXPECT_EQ(tree.publishers().front().first, 3);
+  EXPECT_EQ(tree.publishers().front().second, set("01"));  // union merged
   tree.removePublisher(3);
   EXPECT_FALSE(tree.hasPublisher(3));
 }

@@ -1,0 +1,211 @@
+#include "dz/aggregation_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pleroma::dz {
+namespace {
+
+DzExpression dz(std::string_view s) { return *DzExpression::fromString(s); }
+DzSet set(std::string_view s) { return *DzSet::fromString(s); }
+
+/// Applies a delta to a copy of `base` by exact piece identity.
+DzSet applied(const DzSet& base, const AggregationDelta& delta) {
+  std::vector<DzExpression> items(base.begin(), base.end());
+  for (const DzExpression& d : delta.removed) {
+    const auto it = std::find(items.begin(), items.end(), d);
+    EXPECT_NE(it, items.end()) << "removed piece absent: " << d.toString();
+    if (it != items.end()) items.erase(it);
+  }
+  for (const DzExpression& d : delta.added) {
+    EXPECT_EQ(std::find(items.begin(), items.end(), d), items.end())
+        << "added piece already present: " << d.toString();
+    items.push_back(d);
+  }
+  std::sort(items.begin(), items.end());
+  DzSet out;
+  for (const DzExpression& d : items) out.insert(d);
+  // insert() canonicalises; the delta must already be canonical, so the
+  // piece count must survive round-tripping through DzSet.
+  EXPECT_EQ(out.size(), items.size());
+  return out;
+}
+
+TEST(AggregationIndex, FirstMemberBecomesRepresentative) {
+  AggregationIndex idx;
+  const AggregationDelta delta = idx.add(dz("101"));
+  EXPECT_EQ(delta.added, std::vector<DzExpression>{dz("101")});
+  EXPECT_TRUE(delta.removed.empty());
+  EXPECT_EQ(idx.aggregate(), set("101"));
+}
+
+TEST(AggregationIndex, CoveredMemberAddsNothing) {
+  AggregationIndex idx;
+  idx.add(dz("10"));
+  const AggregationDelta delta = idx.add(dz("1011"));
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(idx.aggregate(), set("10"));
+  EXPECT_EQ(idx.memberCount(), 2u);
+}
+
+TEST(AggregationIndex, CoarserMemberReplacesCoveredRepresentatives) {
+  AggregationIndex idx;
+  idx.add(dz("100"));
+  idx.add(dz("1011"));
+  const AggregationDelta delta = idx.add(dz("10"));
+  EXPECT_EQ(delta.added, std::vector<DzExpression>{dz("10")});
+  EXPECT_EQ(delta.removed, (std::vector<DzExpression>{dz("100"), dz("1011")}));
+  EXPECT_EQ(idx.aggregate(), set("10"));
+}
+
+TEST(AggregationIndex, SiblingsMergeCascadesUpward) {
+  AggregationIndex idx;
+  idx.add(dz("00"));
+  idx.add(dz("011"));
+  idx.add(dz("010"));  // completes 01, which completes 0
+  EXPECT_EQ(idx.aggregate(), set("0"));
+  // Cascade delta: net effect replaces {00,010,011} with {0}.
+  AggregationIndex fresh;
+  fresh.add(dz("00"));
+  fresh.add(dz("011"));
+  AggregationDelta delta = fresh.add(dz("010"));
+  std::sort(delta.removed.begin(), delta.removed.end());
+  EXPECT_EQ(delta.added, std::vector<DzExpression>{dz("0")});
+  EXPECT_EQ(delta.removed, (std::vector<DzExpression>{dz("00"), dz("011")}));
+}
+
+TEST(AggregationIndex, RemoveOfCoveredMemberIsFree) {
+  AggregationIndex idx;
+  idx.add(dz("10"));
+  idx.add(dz("1011"));
+  const AggregationDelta delta = idx.remove(dz("1011"));
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(idx.aggregate(), set("10"));
+}
+
+TEST(AggregationIndex, UncoverSplitsRepresentative) {
+  AggregationIndex idx;
+  idx.add(dz("10"));
+  idx.add(dz("1011"));
+  const AggregationDelta delta = idx.remove(dz("10"));
+  EXPECT_EQ(delta.removed, std::vector<DzExpression>{dz("10")});
+  EXPECT_EQ(delta.added, std::vector<DzExpression>{dz("1011")});
+  EXPECT_EQ(idx.aggregate(), set("1011"));
+}
+
+TEST(AggregationIndex, RefcountKeepsDuplicateMembersAlive) {
+  AggregationIndex idx;
+  idx.add(dz("110"));
+  idx.add(dz("110"));
+  EXPECT_TRUE(idx.remove(dz("110")).empty());
+  EXPECT_EQ(idx.aggregate(), set("110"));
+  const AggregationDelta delta = idx.remove(dz("110"));
+  EXPECT_EQ(delta.removed, std::vector<DzExpression>{dz("110")});
+  EXPECT_TRUE(idx.aggregate().empty());
+  EXPECT_EQ(idx.memberCount(), 0u);
+}
+
+TEST(AggregationIndex, UncoverOfMergedSiblingsSplitsBack) {
+  AggregationIndex idx;
+  idx.add(dz("00"));
+  idx.add(dz("01"));
+  EXPECT_EQ(idx.aggregate(), set("0"));
+  const AggregationDelta delta = idx.remove(dz("01"));
+  EXPECT_EQ(delta.removed, std::vector<DzExpression>{dz("0")});
+  EXPECT_EQ(delta.added, std::vector<DzExpression>{dz("00")});
+  EXPECT_EQ(idx.aggregate(), set("00"));
+}
+
+TEST(AggregationIndex, WholeSpaceMember) {
+  AggregationIndex idx;
+  idx.add(dz("0101"));
+  const AggregationDelta delta = idx.add(DzExpression{});
+  EXPECT_EQ(delta.added, std::vector<DzExpression>{DzExpression{}});
+  EXPECT_EQ(delta.removed, std::vector<DzExpression>{dz("0101")});
+  const AggregationDelta back = idx.remove(DzExpression{});
+  EXPECT_EQ(back.added, std::vector<DzExpression>{dz("0101")});
+  EXPECT_TRUE(idx.remove(dz("0101")).removed.size() == 1);
+  EXPECT_TRUE(idx.aggregate().empty());
+  EXPECT_EQ(idx.nodeCount(), 1u);  // only the root remains after pruning
+}
+
+TEST(AggregationIndex, SetLevelAddAndRemoveCompose) {
+  AggregationIndex idx;
+  const AggregationDelta up = idx.add(set("00,01,11"));
+  EXPECT_EQ(applied(DzSet{}, up), set("0,11"));
+  const AggregationDelta down = idx.remove(set("00,01,11"));
+  EXPECT_EQ(applied(set("0,11"), down), DzSet{});
+  EXPECT_TRUE(idx.aggregate().empty());
+}
+
+// ---- randomized properties ------------------------------------------------
+
+DzExpression randomDz(util::Rng& rng, int maxLen) {
+  const int len =
+      static_cast<int>(rng.uniformInt(0, static_cast<std::uint64_t>(maxLen)));
+  DzExpression d;
+  for (int i = 0; i < len; ++i) d = d.child(rng.uniformInt(0, 1) == 1);
+  return d;
+}
+
+TEST(AggregationIndex, RandomChurnMatchesNaiveUnionAndDeltasCompose) {
+  util::Rng rng(0xA66E55u);
+  for (int round = 0; round < 20; ++round) {
+    AggregationIndex idx;
+    std::vector<DzExpression> live;  // member multiset, naive reference
+    DzSet shadow;                    // aggregate tracked via deltas
+    for (int step = 0; step < 400; ++step) {
+      AggregationDelta delta;
+      if (!live.empty() && rng.uniformInt(0, 99) < 40) {
+        const std::size_t pick = rng.uniformInt(0, live.size() - 1);
+        const DzExpression d = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        delta = idx.remove(d);
+      } else {
+        const DzExpression d = randomDz(rng, 10);
+        live.push_back(d);
+        delta = idx.add(d);
+      }
+      shadow = applied(shadow, delta);
+      ASSERT_EQ(shadow, idx.aggregate());
+      ASSERT_EQ(idx.memberCount(), live.size());
+    }
+    // The incremental aggregate equals the naive union of live members.
+    DzSet naive;
+    for (const DzExpression& d : live) naive.insert(d);
+    ASSERT_EQ(idx.aggregate(), naive);
+    // Volume sanity: the aggregate covers exactly the union's subspace.
+    ASSERT_DOUBLE_EQ(idx.aggregate().volume(), naive.volume());
+  }
+}
+
+TEST(AggregationIndex, ArenaRecyclesNodesAcrossChurn) {
+  util::Rng rng(77u);
+  AggregationIndex idx;
+  std::vector<DzExpression> live;
+  std::size_t peakNodes = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (!live.empty() && rng.uniformInt(0, 1) == 0) {
+      const std::size_t pick = rng.uniformInt(0, live.size() - 1);
+      idx.remove(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const DzExpression d = randomDz(rng, 12);
+      idx.add(d);
+      live.push_back(d);
+    }
+    peakNodes = std::max(peakNodes, idx.nodeCount());
+  }
+  for (const DzExpression& d : live) idx.remove(d);
+  EXPECT_EQ(idx.nodeCount(), 1u);
+  EXPECT_TRUE(idx.aggregate().empty());
+  EXPECT_GT(peakNodes, 1u);
+}
+
+}  // namespace
+}  // namespace pleroma::dz
