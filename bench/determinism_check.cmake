@@ -11,7 +11,7 @@
 #     `schema_check --compare-series`, ignoring only fig7f's wall-clock
 #     columns (controller_wall_us, subs_per_sec), which vary run to run
 #     even at a fixed thread count.
-foreach(v FIG7A FIG7F SCALE_AGG SCHEMA_CHECK WORK_DIR)
+foreach(v FIG7A FIG7F SCALE_AGG HOTSPOT SCHEMA_CHECK WORK_DIR)
   if(NOT DEFINED ${v})
     message(FATAL_ERROR "determinism_check.cmake: -D${v}=... is required")
   endif()
@@ -38,6 +38,8 @@ run_bench("${FIG7F}" 1 "${WORK_DIR}/t1" "${WORK_DIR}/fig7f_t1.tsv")
 run_bench("${FIG7F}" 4 "${WORK_DIR}/t4" "${WORK_DIR}/fig7f_t4.tsv")
 run_bench("${SCALE_AGG}" 1 "${WORK_DIR}/t1" "${WORK_DIR}/scale_agg_t1.tsv")
 run_bench("${SCALE_AGG}" 4 "${WORK_DIR}/t4" "${WORK_DIR}/scale_agg_t4.tsv")
+run_bench("${HOTSPOT}" 1 "${WORK_DIR}/t1" "${WORK_DIR}/hotspot_t1.tsv")
+run_bench("${HOTSPOT}" 4 "${WORK_DIR}/t4" "${WORK_DIR}/hotspot_t4.tsv")
 
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E compare_files
@@ -88,6 +90,29 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR
           "scale_aggregation BENCH json result fields differ across threads")
+endif()
+
+# hotspot_rebalance: queue depths, drop counters, and reroot decisions all
+# derive from virtual time, so the congested run too must be byte-stable.
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/hotspot_t1.tsv" "${WORK_DIR}/hotspot_t4.tsv"
+  RESULT_VARIABLE tsv_diff)
+if(NOT tsv_diff EQUAL 0)
+  message(FATAL_ERROR
+          "hotspot_rebalance TSV differs between --threads=1 and "
+          "--threads=4; the congestion/backpressure path lost determinism "
+          "(diff ${WORK_DIR}/hotspot_t1.tsv ${WORK_DIR}/hotspot_t4.tsv)")
+endif()
+
+execute_process(
+  COMMAND "${SCHEMA_CHECK}" --compare-series
+          "${WORK_DIR}/t1/BENCH_hotspot_rebalance.json"
+          "${WORK_DIR}/t4/BENCH_hotspot_rebalance.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "hotspot_rebalance BENCH json result fields differ across threads")
 endif()
 
 message(STATUS "determinism check passed: threads={1,4} byte-identical")

@@ -61,8 +61,8 @@ Result runOnce(double sentPerSec, std::uint64_t seed) {
       static_cast<double>(duration) / static_cast<double>(net::kSecond);
   return Result{
       static_cast<double>(p.deliveryStats().delivered) / seconds / 4.0,
-      p.network().counters().packetsDroppedNoMatch,
-      p.network().counters().packetsDroppedHostQueue,
+      p.network().counters().dropped(net::DropReason::kNoMatch),
+      p.network().counters().dropped(net::DropReason::kHostQueue),
   };
 }
 

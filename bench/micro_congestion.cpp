@@ -1,0 +1,104 @@
+// Micro-benchmark of the congested-link hot path (DESIGN.md §15): the
+// per-packet cost of the finite transmit queue (busy-until serialization,
+// lazy tx-end draining, overflow accounting) and of the backpressure
+// park/retry loop, plus the CongestionMonitor's full-topology sampling
+// pass. BM_QueuedLinkBurst is a CI perf-smoke gate: it regresses when a
+// per-packet allocation or a linear scan sneaks into LinkDirState.
+#include <benchmark/benchmark.h>
+
+#include "micro_common.hpp"
+
+#include "net/congestion.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+using namespace pleroma;
+using namespace pleroma::net;
+
+FlowEntry entry(const dz::DzExpression& d, std::vector<FlowAction> actions) {
+  FlowEntry e;
+  e.match = dz::dzToPrefix(d);
+  e.priority = d.length();
+  e.actions = std::move(actions);
+  return e;
+}
+
+Packet eventPacket(const dz::DzExpression& d, NodeId fromHost) {
+  Packet p;
+  EventPayload& payload = p.mutablePayload();
+  payload.eventDz = d;
+  payload.publisherHost = fromHost;
+  p.dst = dz::dzToAddress(payload.eventDz);
+  p.src = hostAddress(fromHost);
+  return p;
+}
+
+/// h1 - R1 - R2 - h2 at 1 Gbps (64-byte serialization: 512ns): a burst of
+/// `burst` packets from h1 funnels into R1->R2's finite queue. Without
+/// backpressure the overflow is dropped; with it, parked and retried.
+void runBurst(benchmark::State& state, bool backpressure) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  const auto d = *dz::DzExpression::fromString("1");
+  std::uint64_t terminated = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    NetworkConfig cfg;
+    cfg.linkQueueCapacity = 16;
+    cfg.backpressure = backpressure;
+    cfg.backpressureBufferCapacity = burst;  // park everything, drop nothing
+    Network net(Topology::line(2, 10 * kMicrosecond, /*bandwidthBps=*/1.0e9),
+                sim, cfg);
+    const Topology& topo = net.topology();
+    const NodeId r1 = topo.switches()[0], r2 = topo.switches()[1];
+    const NodeId h1 = topo.hosts()[0], h2 = topo.hosts()[1];
+    net.flowTable(r1).insert(
+        entry(d, {{topo.link(topo.linkAt(r1, 1)).endOf(r1).port, std::nullopt}}));
+    net.flowTable(r2).insert(
+        entry(d, {{topo.hostAttachment(h2).switchPort, hostAddress(h2)}}));
+    for (std::size_t i = 0; i < burst; ++i) {
+      net.sendFromHost(h1, eventPacket(d, h1));
+    }
+    sim.run();
+    terminated +=
+        net.counters().packetsDeliveredToHosts + net.counters().totalDropped();
+    ++rounds;
+  }
+  benchmark::DoNotOptimize(terminated);
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds * burst));
+  state.SetLabel(std::to_string(burst) + " pkt burst");
+}
+
+void BM_QueuedLinkBurst(benchmark::State& state) { runBurst(state, false); }
+BENCHMARK(BM_QueuedLinkBurst)->Arg(256)->Arg(2048);
+
+void BM_BackpressureBurst(benchmark::State& state) { runBurst(state, true); }
+BENCHMARK(BM_BackpressureBurst)->Arg(256)->Arg(2048);
+
+/// One CongestionMonitor::sampleOnce() pass over an idle 2x8x2x2 fat-tree
+/// (64 links): the fixed per-sample cost the closed loop pays every
+/// sampling interval regardless of traffic.
+void BM_CongestionSamplePass(benchmark::State& state) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.linkQueueCapacity = 8;
+  Network net(Topology::fatTree(2, 8, 2, 2, 10 * kMicrosecond, 1.0e9), sim, cfg);
+  CongestionMonitor monitor(net);
+  double sink = 0.0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    sink += monitor.sampleOnce();
+    ++rounds;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.SetLabel(std::to_string(net.topology().linkCount()) + " links/sample");
+}
+BENCHMARK(BM_CongestionSamplePass);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pleroma::bench::runMicroBench("micro_congestion", argc, argv);
+}

@@ -513,14 +513,17 @@ auto findTree(std::vector<std::unique_ptr<SpanningTree>>& trees, int treeId) {
 }
 }  // namespace
 
-bool Controller::rerootTree(int treeId, net::NodeId newRoot) {
+bool Controller::rerootTree(int treeId, net::NodeId newRoot,
+                            const std::vector<net::SimTime>* linkCosts) {
   if (findTree(trees_, treeId) == trees_.end()) return false;
   if (std::find(scope_.switches.begin(), scope_.switches.end(), newRoot) ==
       scope_.switches.end()) {
     return false;
   }
   if (obsReroots_ != nullptr) obsReroots_->inc();
+  linkCostOverride_ = linkCosts;
   rebuildTreeAt(treeId, newRoot);
+  linkCostOverride_ = nullptr;
   return true;
 }
 
@@ -743,12 +746,12 @@ void Controller::rebuildTrees(
     plan.affected = registry_.switchesOf(plan.oldPaths);
     if (plan.fresh != nullptr) {
       plan.fresh->rebuild(plan.newId, old.dzSet(), plan.root,
-                          network_.topology(), activeLinks);
+                          network_.topology(), activeLinks,
+                          linkCostOverride_);
     } else {
-      plan.fresh = std::make_unique<SpanningTree>(plan.newId, old.dzSet(),
-                                                  plan.root,
-                                                  network_.topology(),
-                                                  activeLinks);
+      plan.fresh = std::make_unique<SpanningTree>(
+          plan.newId, old.dzSet(), plan.root, network_.topology(),
+          activeLinks, linkCostOverride_);
     }
     for (const auto& [pub, overlap] : old.publishers()) {
       if (!advertisements_.contains(pub)) continue;

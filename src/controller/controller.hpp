@@ -114,8 +114,15 @@ class Controller {
   /// Rebuilds tree `treeId` as a shortest-path tree rooted at `newRoot`
   /// (must be a switch of this partition) and re-embeds all its paths.
   /// Used by the overload-reaction extension to move traffic off hot
-  /// links. Returns false when the tree or root is unknown.
-  bool rerootTree(int treeId, net::NodeId newRoot);
+  /// links. `linkCosts` (indexed by LinkId, covering every topology link)
+  /// replaces link latency as the Dijkstra edge weight for this one
+  /// rebuild — the congestion-aware rebalancer passes inflated costs for
+  /// hot links so the new tree routes around them. The override is
+  /// ephemeral by design (not intent-logged): a promoted standby rebuilds
+  /// plain shortest-path trees and the rebalancer re-derives congestion
+  /// from live counters. Returns false when the tree or root is unknown.
+  bool rerootTree(int treeId, net::NodeId newRoot,
+                  const std::vector<net::SimTime>* linkCosts = nullptr);
 
   // ---- failure handling --------------------------------------------------
 
@@ -369,6 +376,10 @@ class Controller {
   std::vector<std::unique_ptr<SpanningTree>> treePool_;
   std::vector<net::LinkId> downLinks_;
   std::vector<net::NodeId> downSwitches_;
+  /// Dijkstra edge-weight override for the rebuildTrees call currently on
+  /// the stack (set by rerootTree, read-only during the concurrent plan
+  /// phase). nullptr = plain link latency.
+  const std::vector<net::SimTime>* linkCostOverride_ = nullptr;
   int nextTreeId_ = 0;
   std::map<PublisherId, AdvRecord> advertisements_;
   std::map<SubscriptionId, SubRecord> subscriptions_;

@@ -36,7 +36,7 @@ void FailoverManager::killPrimary() {
   if (config_.failSoft) network.setFailSoft(true);
   const net::NetworkCounters& c = network.counters();
   bufferedAtKill_ = c.packetsBufferedOnMiss;
-  droppedAtKill_ = c.packetsDroppedMissBuffer;
+  droppedAtKill_ = c.dropped(net::DropReason::kMissBuffer);
   replayedAtKill_ = c.packetsReplayedFromMissBuffer;
 }
 
@@ -138,7 +138,7 @@ void FailoverManager::promote() {
   }
   const net::NetworkCounters& c = network.counters();
   stats_.eventsBuffered = c.packetsBufferedOnMiss - bufferedAtKill_;
-  stats_.eventsDroppedBufferFull = c.packetsDroppedMissBuffer - droppedAtKill_;
+  stats_.eventsDroppedBufferFull = c.dropped(net::DropReason::kMissBuffer) - droppedAtKill_;
   stats_.eventsReplayed = c.packetsReplayedFromMissBuffer - replayedAtKill_;
   if (obsReplayed_ != nullptr) obsReplayed_->inc(stats_.eventsReplayed);
   if (obsDetectionLatency_ != nullptr) {

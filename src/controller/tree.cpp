@@ -10,15 +10,19 @@ namespace pleroma::ctrl {
 
 SpanningTree::SpanningTree(int id, dz::DzSet dzSet, net::NodeId root,
                            const net::Topology& topology,
-                           const std::vector<net::LinkId>& allowedLinks)
+                           const std::vector<net::LinkId>& allowedLinks,
+                           const std::vector<net::SimTime>* linkCosts)
     : id_(id), root_(root) {
-  rebuild(id, std::move(dzSet), root, topology, allowedLinks);
+  rebuild(id, std::move(dzSet), root, topology, allowedLinks, linkCosts);
 }
 
 void SpanningTree::rebuild(int id, dz::DzSet dzSet, net::NodeId root,
                            const net::Topology& topology,
-                           const std::vector<net::LinkId>& allowedLinks) {
+                           const std::vector<net::LinkId>& allowedLinks,
+                           const std::vector<net::SimTime>* linkCosts) {
   assert(topology.isSwitch(root));
+  assert(!linkCosts || linkCosts->size() ==
+                           static_cast<std::size_t>(topology.linkCount()));
   id_ = id;
   dzSet_ = std::move(dzSet);
   root_ = root;
@@ -52,7 +56,9 @@ void SpanningTree::rebuild(int id, dz::DzSet dzSet, net::NodeId root,
       const net::Link& l = topology.link(lid);
       const net::NodeId v = l.peerOf(u).node;
       if (!topology.isSwitch(v)) continue;
-      const net::SimTime nd = d + l.latency;
+      const net::SimTime cost =
+          linkCosts ? (*linkCosts)[static_cast<std::size_t>(lid)] : l.latency;
+      const net::SimTime nd = d + cost;
       if (nd < dist_[static_cast<std::size_t>(v)]) {
         dist_[static_cast<std::size_t>(v)] = nd;
         parentNode_[static_cast<std::size_t>(v)] = u;

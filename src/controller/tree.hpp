@@ -36,10 +36,14 @@ class SpanningTree {
   /// Builds a shortest-path tree rooted at `root` over the switches of the
   /// partition, using only `allowedLinks` (switch-switch links internal to
   /// the partition). Hosts are not part of the tree; routes reach them via
-  /// their access link in the terminal hop.
+  /// their access link in the terminal hop. `linkCosts` (indexed by LinkId,
+  /// one entry per topology link) substitutes the Dijkstra edge weights —
+  /// the load-aware rebalancer passes congestion-inflated latencies so the
+  /// tree routes around hot links; nullptr keeps plain link latency.
   SpanningTree(int id, dz::DzSet dzSet, net::NodeId root,
                const net::Topology& topology,
-               const std::vector<net::LinkId>& allowedLinks);
+               const std::vector<net::LinkId>& allowedLinks,
+               const std::vector<net::SimTime>* linkCosts = nullptr);
 
   /// Re-runs the construction in place, reusing every internal buffer
   /// (parent arrays, Dijkstra distance/heap scratch, allowed-link bitmap).
@@ -48,7 +52,8 @@ class SpanningTree {
   /// controller's tree pool relies on.
   void rebuild(int id, dz::DzSet dzSet, net::NodeId root,
                const net::Topology& topology,
-               const std::vector<net::LinkId>& allowedLinks);
+               const std::vector<net::LinkId>& allowedLinks,
+               const std::vector<net::SimTime>* linkCosts = nullptr);
 
   int id() const noexcept { return id_; }
   net::NodeId root() const noexcept { return root_; }

@@ -149,24 +149,32 @@ obs::JsonValue Pleroma::snapshotMetrics() {
       .set(static_cast<double>(nc.packetsPuntedToController));
   metrics_.gauge("net.packets_delivered")
       .set(static_cast<double>(nc.packetsDeliveredToHosts));
-  metrics_.gauge("net.drops_no_match")
-      .set(static_cast<double>(nc.packetsDroppedNoMatch));
-  metrics_.gauge("net.drops_host_queue")
-      .set(static_cast<double>(nc.packetsDroppedHostQueue));
-  metrics_.gauge("net.drops_hop_limit")
-      .set(static_cast<double>(nc.packetsDroppedHopLimit));
-  metrics_.gauge("net.drops_link_down")
-      .set(static_cast<double>(nc.packetsDroppedLinkDown));
-  metrics_.gauge("net.drops_node_down")
-      .set(static_cast<double>(nc.packetsDroppedNodeDown));
+  // One gauge per drop reason, named from the shared taxonomy so metrics,
+  // the CLI `stats` command and bench reports agree on the labels.
+  for (std::size_t r = 0; r < net::kDropReasonCount; ++r) {
+    const auto reason = static_cast<net::DropReason>(r);
+    metrics_.gauge(std::string("net.drops_") + net::dropReasonName(reason))
+        .set(static_cast<double>(nc.dropped(reason)));
+  }
+  metrics_.gauge("net.drops_total")
+      .set(static_cast<double>(nc.totalDropped()));
   metrics_.gauge("net.miss_buffered")
       .set(static_cast<double>(nc.packetsBufferedOnMiss));
-  metrics_.gauge("net.drops_miss_buffer")
-      .set(static_cast<double>(nc.packetsDroppedMissBuffer));
   metrics_.gauge("net.miss_replayed")
       .set(static_cast<double>(nc.packetsReplayedFromMissBuffer));
   metrics_.gauge("net.link_bytes_total")
       .set(static_cast<double>(network_->totalLinkBytes()));
+  const net::Network::Stats occupancy = network_->stats();
+  metrics_.gauge("net.queued_hosts")
+      .set(static_cast<double>(occupancy.hostQueued));
+  metrics_.gauge("net.queued_links")
+      .set(static_cast<double>(occupancy.linkQueued));
+  metrics_.gauge("net.bp_parked")
+      .set(static_cast<double>(occupancy.backpressureParked));
+  metrics_.gauge("net.bp_retries")
+      .set(static_cast<double>(nc.backpressureRetries));
+  metrics_.gauge("net.peak_link_queue_depth")
+      .set(static_cast<double>(occupancy.peakLinkQueueDepth));
   return metrics_.toJson();
 }
 

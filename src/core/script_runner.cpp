@@ -242,6 +242,22 @@ bool ScriptRunner::executeLine(const std::string& line) {
         static_cast<unsigned long long>(ds.falsePositives), ds.meanLatencyUs(),
         flows, static_cast<unsigned long long>(cs.flowModsSent),
         middleware_->controller().treeCount());
+    const net::NetworkCounters& nc = middleware_->network().counters();
+    std::string drops = "drops:";
+    for (std::size_t r = 0; r < net::kDropReasonCount; ++r) {
+      const auto reason = static_cast<net::DropReason>(r);
+      drops += std::string(" ") + net::dropReasonName(reason) + "=" +
+               std::to_string(nc.dropped(reason));
+    }
+    drops += " total=" + std::to_string(nc.totalDropped());
+    emit(drops);
+    const net::Network::Stats occ = middleware_->network().stats();
+    emitf(
+        "queued: hosts=%zu links=%zu bpParked=%zu missBuffered=%zu "
+        "peakLinkDepth=%zu bpRetries=%llu",
+        occ.hostQueued, occ.linkQueued, occ.backpressureParked,
+        occ.missBuffered, occ.peakLinkQueueDepth,
+        static_cast<unsigned long long>(nc.backpressureRetries));
   } else if (cmd == "scenario") {
     std::string path;
     in >> path;

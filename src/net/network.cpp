@@ -1,9 +1,25 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace pleroma::net {
+
+const char* dropReasonName(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kNoMatch: return "no_match";
+    case DropReason::kHopLimit: return "hop_limit";
+    case DropReason::kLinkDown: return "link_down";
+    case DropReason::kNodeDown: return "node_down";
+    case DropReason::kHostQueue: return "host_queue";
+    case DropReason::kMissBuffer: return "miss_buffer";
+    case DropReason::kLinkQueue: return "link_queue";
+    case DropReason::kBackpressure: return "backpressure";
+    case DropReason::kNoEgress: return "no_egress";
+  }
+  return "unknown";
+}
 
 Network::Network(Topology topology, Simulator& sim, NetworkConfig config)
     : topo_(std::move(topology)), sim_(sim), config_(config) {
@@ -14,6 +30,9 @@ Network::Network(Topology topology, Simulator& sim, NetworkConfig config)
   hostState_.resize(static_cast<std::size_t>(topo_.nodeCount()));
   missBuffers_.resize(static_cast<std::size_t>(topo_.nodeCount()));
   linkCounters_.resize(static_cast<std::size_t>(topo_.linkCount()));
+  linkDirs_.resize(2 * static_cast<std::size_t>(topo_.linkCount()));
+  linkQueueCap_.assign(static_cast<std::size_t>(topo_.linkCount()),
+                       config_.linkQueueCapacity);
   linkUp_.assign(static_cast<std::size_t>(topo_.linkCount()), true);
   nodeUp_.assign(static_cast<std::size_t>(topo_.nodeCount()), true);
 }
@@ -42,6 +61,7 @@ std::size_t Network::peakFlowEntries() const noexcept {
 
 void Network::sendFromHost(NodeId host, Packet packet) {
   assert(topo_.isHost(host));
+  ++counters_.packetsSentFromHosts;
   // Stamp the departure time while the payload is (normally) still owned by
   // this packet alone; mutablePayload clones first if it is already shared.
   if (packet.payload) packet.mutablePayload().sentAt = sim_.now();
@@ -51,17 +71,19 @@ void Network::sendFromHost(NodeId host, Packet packet) {
 
 void Network::injectAtSwitch(NodeId switchNode, PortId inPort, Packet packet) {
   assert(topo_.isSwitch(switchNode));
+  ++counters_.packetsInjectedByController;
   arriveAtNode(switchNode, inPort, std::move(packet));
 }
 
 void Network::sendOutPort(NodeId switchNode, PortId outPort, Packet packet) {
   assert(topo_.isSwitch(switchNode));
+  ++counters_.packetsInjectedByController;
   transmit(switchNode, outPort, std::move(packet));
 }
 
 void Network::arriveAtNode(NodeId node, PortId inPort, Packet&& packet) {
   if (!nodeUp_[static_cast<std::size_t>(node)]) {
-    ++counters_.packetsDroppedNodeDown;
+    ++counters_.drop(DropReason::kNodeDown);
     return;
   }
   if (topo_.isHost(node)) {
@@ -83,6 +105,9 @@ void Network::onPacketEvent(PacketEventKind kind, NodeId node, PortId port,
     case PacketEventKind::kHostService:
       hostServiceDone(node, std::move(packet));
       break;
+    case PacketEventKind::kLinkRetry:
+      linkRetry(node, port);
+      break;
   }
 }
 
@@ -94,6 +119,8 @@ std::int64_t Network::packetShardKey(PacketEventKind kind, NodeId node,
       packet.dst == dz::kControlAddress) {
     return kNoShard;
   }
+  // kLinkRetry mutates the sending node's direction state only, and `node`
+  // is that sender, so the default per-node key already covers it.
   return static_cast<std::int64_t>(node);
 }
 
@@ -122,7 +149,7 @@ void Network::switchPipeline(NodeId switchNode, PortId inPort,
                              Packet&& packet) {
   // The switch may have failed while the packet sat in its pipeline.
   if (!nodeUp_[static_cast<std::size_t>(switchNode)]) {
-    ++counters_.packetsDroppedNodeDown;
+    ++counters_.drop(DropReason::kNodeDown);
     return;
   }
   // Permanent punt rule for the reserved control address (Sec 2): such
@@ -139,7 +166,7 @@ void Network::switchPipeline(NodeId switchNode, PortId inPort,
   }
   const bool tracing = tracer_ != nullptr && tracer_->enabled();
   if (--packet.hopLimit < 0) {
-    ++counters_.packetsDroppedHopLimit;
+    ++counters_.drop(DropReason::kHopLimit);
     if (tracing) {
       tracer_->instant(packet.eventId(), packet.traceSpan, "drop.hop_limit",
                        sim_.now(), switchNode);
@@ -162,7 +189,7 @@ void Network::switchPipeline(NodeId switchNode, PortId inPort,
         }
         buffer.push_back(ParkedMiss{inPort, std::move(packet)});
       } else {
-        ++counters_.packetsDroppedMissBuffer;
+        ++counters_.drop(DropReason::kMissBuffer);
         if (tracing) {
           tracer_->instant(packet.eventId(), packet.traceSpan,
                            "drop.miss_buffer_full", sim_.now(), switchNode);
@@ -170,7 +197,7 @@ void Network::switchPipeline(NodeId switchNode, PortId inPort,
       }
       return;
     }
-    ++counters_.packetsDroppedNoMatch;
+    ++counters_.drop(DropReason::kNoMatch);
     if (tracing) {
       tracer_->instant(packet.eventId(), packet.traceSpan, "tcam_miss",
                        sim_.now(), switchNode);
@@ -193,6 +220,13 @@ void Network::switchPipeline(NodeId switchNode, PortId inPort,
   for (const FlowAction& action : entry->actions) {
     if (action.port != inPort) lastAction = &action;
   }
+  if (lastAction == nullptr) {
+    // Matched, but every action reflects out the ingress port: the packet
+    // has nowhere to go. Counted so the conservation invariant closes.
+    ++counters_.drop(DropReason::kNoEgress);
+    return;
+  }
+  ++counters_.packetsConsumedAtSwitch;
   for (const FlowAction& action : entry->actions) {
     if (action.port == inPort) continue;  // never reflect out the ingress
     ++counters_.packetsForwarded;
@@ -228,7 +262,7 @@ void Network::receiveAtHost(NodeId host, Packet&& packet) {
     return;
   }
   if (state.queued >= config_.hostQueueCapacity) {
-    ++counters_.packetsDroppedHostQueue;
+    ++counters_.drop(DropReason::kHostQueue);
     return;
   }
   ++state.queued;
@@ -267,13 +301,26 @@ void Network::setLinkUp(LinkId link, bool up) {
 
 void Network::setNodeUp(NodeId node, bool up) {
   nodeUp_[static_cast<std::size_t>(node)] = up;
+  if (up) return;
   // A failed switch loses its TCAM contents; it reboots empty. Packets it
   // had parked in fail-soft mode die with it.
-  if (!up && topo_.isSwitch(node)) {
+  if (topo_.isSwitch(node)) {
     tables_[static_cast<std::size_t>(node)].clear();
     auto& buffer = missBuffers_[static_cast<std::size_t>(node)];
-    counters_.packetsDroppedNodeDown += buffer.size();
+    counters_.drop(DropReason::kNodeDown) += buffer.size();
     buffer.clear();
+  }
+  // Backpressure buffers of the node's outbound link directions die too
+  // (any node kind: hosts park on their access link as well). A pending
+  // retry timer still fires but finds the buffer empty and disarms.
+  for (const LinkId lid : topo_.node(node).portLinks) {
+    if (lid == kInvalidLink) continue;
+    LinkDirState& dir = dirState(lid, node);
+    const std::size_t lost = dir.parkedCount();
+    if (lost == 0) continue;
+    counters_.drop(DropReason::kNodeDown) += lost;
+    dir.parked.clear();
+    dir.parkedHead = 0;
   }
 }
 
@@ -302,30 +349,193 @@ std::size_t Network::missBufferedPackets() const {
   return total;
 }
 
+// ---- link queues / backpressure (DESIGN.md §15) ----------------------------
+
+void Network::setLinkQueueCapacity(LinkId link, std::size_t capacity) {
+  linkQueueCap_[static_cast<std::size_t>(link)] = capacity;
+}
+
+std::size_t Network::drainQueue(LinkDirState& dir, SimTime now) {
+  while (dir.txHead < dir.txEnds.size() && dir.txEnds[dir.txHead] <= now) {
+    ++dir.txHead;
+  }
+  if (dir.txHead == dir.txEnds.size()) {
+    dir.txEnds.clear();
+    dir.txHead = 0;
+  }
+  return dir.txEnds.size() - dir.txHead;
+}
+
+void Network::enqueueOnLink(LinkId link, LinkDirState& dir, NodeId fromNode,
+                            Packet&& packet) {
+  const Link& l = topo_.link(link);
+  LinkCounters& lc = linkCounters_[static_cast<std::size_t>(link)];
+  ++lc.packets;
+  lc.bytes += static_cast<std::uint64_t>(packet.sizeBytes);
+  SimTime serialization = 0;
+  if (l.bandwidthBps > 0.0) {
+    serialization = static_cast<SimTime>(
+        std::llround(static_cast<double>(packet.sizeBytes) * 8.0 /
+                     l.bandwidthBps * static_cast<double>(kSecond)));
+  }
+  const SimTime now = sim_.now();
+  const SimTime txStart = std::max(now, dir.busyUntil);
+  const SimTime txEnd = txStart + serialization;
+  dir.busyUntil = txEnd;
+  dir.txEnds.push_back(txEnd);
+  const std::size_t depth = dir.txEnds.size() - dir.txHead;
+  if (depth > dir.peakDepth) dir.peakDepth = depth;
+  const LinkEnd to = l.peerOf(fromNode);
+  sim_.schedulePacketAt(txEnd + l.latency, *this, PacketEventKind::kArrive,
+                        to.node, to.port, std::move(packet));
+}
+
+void Network::armRetry(LinkDirState& dir, NodeId fromNode, PortId outPort) {
+  if (dir.retryPending) return;
+  dir.retryPending = true;
+  if (dir.backoff == 0) {
+    dir.backoff = config_.backpressureBackoff;
+  } else {
+    dir.backoff = std::min(dir.backoff * 2, config_.backpressureBackoffCap);
+  }
+  // The timer event carries an empty Packet; its (node, port) names the
+  // direction. Worker-side schedules are staged and replayed in canonical
+  // order, and the delay is computed from virtual time only, so retries
+  // are deterministic across thread counts.
+  sim_.schedulePacket(dir.backoff, *this, PacketEventKind::kLinkRetry,
+                      fromNode, outPort, Packet{});
+}
+
+void Network::linkRetry(NodeId fromNode, PortId outPort) {
+  const LinkId lid = topo_.linkAt(fromNode, outPort);
+  assert(lid != kInvalidLink);
+  LinkDirState& dir = dirState(lid, fromNode);
+  dir.retryPending = false;
+  ++counters_.backpressureRetries;
+  if (dir.parkedCount() == 0) {
+    dir.backoff = 0;
+    return;
+  }
+  // The node or link may have failed while packets sat parked: dispose of
+  // the buffer so no packet is stranded forever.
+  if (!nodeUp_[static_cast<std::size_t>(fromNode)]) {
+    counters_.drop(DropReason::kNodeDown) += dir.parkedCount();
+    dir.parked.clear();
+    dir.parkedHead = 0;
+    dir.backoff = 0;
+    return;
+  }
+  if (!linkUp_[static_cast<std::size_t>(lid)]) {
+    counters_.drop(DropReason::kLinkDown) += dir.parkedCount();
+    dir.parked.clear();
+    dir.parkedHead = 0;
+    dir.backoff = 0;
+    return;
+  }
+  const std::size_t capacity = linkQueueCap_[static_cast<std::size_t>(lid)];
+  std::size_t depth = drainQueue(dir, sim_.now());
+  while (dir.parkedCount() > 0 && (capacity == 0 || depth < capacity)) {
+    ++counters_.packetsResumedFromBackpressure;
+    enqueueOnLink(lid, dir, fromNode, std::move(dir.parked[dir.parkedHead]));
+    ++dir.parkedHead;
+    ++depth;
+  }
+  if (dir.parkedCount() == 0) {
+    dir.parked.clear();
+    dir.parkedHead = 0;
+    dir.backoff = 0;
+  } else {
+    armRetry(dir, fromNode, outPort);
+  }
+}
+
 void Network::transmit(NodeId fromNode, PortId outPort, Packet&& packet) {
   if (!nodeUp_[static_cast<std::size_t>(fromNode)]) {
-    ++counters_.packetsDroppedNodeDown;
+    ++counters_.drop(DropReason::kNodeDown);
     return;
   }
   const LinkId lid = topo_.linkAt(fromNode, outPort);
-  if (lid == kInvalidLink) return;  // dangling port: drop silently
-  if (!linkUp_[static_cast<std::size_t>(lid)]) {
-    ++counters_.packetsDroppedLinkDown;
+  if (lid == kInvalidLink) {
+    // Dangling port: nothing is attached, the packet has no egress.
+    ++counters_.drop(DropReason::kNoEgress);
     return;
   }
-  const Link& link = topo_.link(lid);
-  LinkCounters& lc = linkCounters_[static_cast<std::size_t>(lid)];
-  ++lc.packets;
-  lc.bytes += static_cast<std::uint64_t>(packet.sizeBytes);
-  SimTime delay = link.latency;
-  if (link.bandwidthBps > 0.0) {
-    delay += static_cast<SimTime>(
-        std::llround(static_cast<double>(packet.sizeBytes) * 8.0 /
-                     link.bandwidthBps * static_cast<double>(kSecond)));
+  if (!linkUp_[static_cast<std::size_t>(lid)]) {
+    ++counters_.drop(DropReason::kLinkDown);
+    return;
   }
-  const LinkEnd to = link.peerOf(fromNode);
-  sim_.schedulePacket(delay, *this, PacketEventKind::kArrive, to.node, to.port,
-                      std::move(packet));
+  const std::size_t capacity = linkQueueCap_[static_cast<std::size_t>(lid)];
+  if (capacity == 0) {
+    // Legacy contention-free link: transmissions propagate independently
+    // (serialization delay without occupancy), nothing queues or drops.
+    const Link& link = topo_.link(lid);
+    LinkCounters& lc = linkCounters_[static_cast<std::size_t>(lid)];
+    ++lc.packets;
+    lc.bytes += static_cast<std::uint64_t>(packet.sizeBytes);
+    SimTime delay = link.latency;
+    if (link.bandwidthBps > 0.0) {
+      delay += static_cast<SimTime>(
+          std::llround(static_cast<double>(packet.sizeBytes) * 8.0 /
+                       link.bandwidthBps * static_cast<double>(kSecond)));
+    }
+    const LinkEnd to = link.peerOf(fromNode);
+    sim_.schedulePacket(delay, *this, PacketEventKind::kArrive, to.node,
+                        to.port, std::move(packet));
+    return;
+  }
+  LinkDirState& dir = dirState(lid, fromNode);
+  const std::size_t depth = drainQueue(dir, sim_.now());
+  // FIFO: while packets are parked, new arrivals must line up behind them
+  // even if the queue momentarily has room.
+  if (depth >= capacity || dir.parkedCount() > 0) {
+    if (config_.backpressure) {
+      if (dir.parkedCount() < config_.backpressureBufferCapacity) {
+        ++counters_.packetsParkedOnBackpressure;
+        dir.parked.push_back(std::move(packet));
+        armRetry(dir, fromNode, outPort);
+        return;
+      }
+      ++counters_.drop(DropReason::kBackpressure);
+      ++linkCounters_[static_cast<std::size_t>(lid)].queueDrops;
+      return;
+    }
+    ++counters_.drop(DropReason::kLinkQueue);
+    ++linkCounters_[static_cast<std::size_t>(lid)].queueDrops;
+    return;
+  }
+  enqueueOnLink(lid, dir, fromNode, std::move(packet));
+}
+
+std::size_t Network::linkQueueDepth(LinkId link) const {
+  const auto base = 2 * static_cast<std::size_t>(link);
+  const SimTime now = sim_.now();
+  return linkDirs_[base].depth(now) + linkDirs_[base + 1].depth(now);
+}
+
+std::size_t Network::peakLinkQueueDepth(LinkId link) const {
+  const auto base = 2 * static_cast<std::size_t>(link);
+  return std::max(linkDirs_[base].peakDepth, linkDirs_[base + 1].peakDepth);
+}
+
+std::size_t Network::backpressureParkedPackets() const {
+  std::size_t total = 0;
+  for (const LinkDirState& dir : linkDirs_) total += dir.parkedCount();
+  return total;
+}
+
+Network::Stats Network::stats() const {
+  Stats s;
+  for (const HostState& h : hostState_) s.hostQueued += h.queued;
+  const SimTime now = sim_.now();
+  for (const LinkDirState& dir : linkDirs_) {
+    s.linkQueued += dir.depth(now);
+    s.backpressureParked += dir.parkedCount();
+    if (dir.peakDepth > s.peakLinkQueueDepth) {
+      s.peakLinkQueueDepth = dir.peakDepth;
+    }
+  }
+  s.missBuffered = missBufferedPackets();
+  return s;
 }
 
 std::uint64_t Network::totalLinkBytes() const {

@@ -14,8 +14,15 @@
 //  * Host: a single-server queue with configurable service time and finite
 //    buffer. This is the end-host processing limitation responsible for the
 //    throughput saturation of Fig 7c.
+//  * Link (opt-in, DESIGN.md §15): a finite FIFO transmit queue per link
+//    direction. With NetworkConfig::linkQueueCapacity > 0 each direction
+//    serializes packets onto the wire at the link's bandwidth; packets
+//    beyond the queue capacity are dropped (DropReason::kLinkQueue) or —
+//    with backpressure enabled — parked at the upstream node in a bounded
+//    buffer and re-admitted after a capped exponential backoff.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -29,6 +36,26 @@
 
 namespace pleroma::net {
 
+/// Every way the data plane disposes of a packet without delivering it.
+/// One taxonomy for all layers (switch pipeline, links, hosts, buffers), so
+/// benches and the conservation property test count drops consistently.
+enum class DropReason : std::uint8_t {
+  kNoMatch = 0,   ///< TCAM miss outside fail-soft mode
+  kHopLimit,      ///< TTL expired in the switch pipeline
+  kLinkDown,      ///< transmitted onto a failed link
+  kNodeDown,      ///< node down at arrival/transmit, or buffers died with it
+  kHostQueue,     ///< host receive buffer full
+  kMissBuffer,    ///< fail-soft miss buffer over budget
+  kLinkQueue,     ///< finite link queue full (no backpressure)
+  kBackpressure,  ///< backpressure park buffer over budget
+  kNoEgress,      ///< matched entry with no usable output (or dangling port)
+};
+inline constexpr std::size_t kDropReasonCount = 9;
+
+/// Stable snake_case name, used for metrics ("net.drops_<name>"), the CLI
+/// `stats` command and bench report columns.
+const char* dropReasonName(DropReason reason) noexcept;
+
 struct NetworkConfig {
   /// Fixed per-packet forwarding latency inside a switch.
   SimTime switchProcessingDelay = 10 * kMicrosecond;
@@ -41,24 +68,69 @@ struct NetworkConfig {
   /// Per-switch miss-buffer budget (packets) while fail-soft mode is
   /// engaged; misses beyond the budget fall back to counted drops.
   std::size_t missBufferCapacity = 128;
+  // ---- congestion model (DESIGN.md §15) --------------------------------
+  /// Finite FIFO transmit queue per link *direction* (packets, including
+  /// the one on the wire). 0 = legacy contention-free links: every
+  /// transmission propagates independently and nothing ever queues.
+  /// Overridable per link via Network::setLinkQueueCapacity.
+  std::size_t linkQueueCapacity = 0;
+  /// When a link queue is full, park the packet at the upstream node and
+  /// retry after a backoff instead of dropping it.
+  bool backpressure = false;
+  /// Bounded park buffer per link direction while backpressure is on;
+  /// packets beyond it are dropped (DropReason::kBackpressure).
+  std::size_t backpressureBufferCapacity = 64;
+  /// First retry delay after a full-queue park; doubles per idle retry up
+  /// to backpressureBackoffCap.
+  SimTime backpressureBackoff = 10 * kMicrosecond;
+  SimTime backpressureBackoffCap = 160 * kMicrosecond;
 };
 
 /// Network-wide counters. Multi-writer relaxed atomics: during parallel
 /// run execution workers on different node shards bump the same aggregate
 /// counter concurrently (DESIGN.md §10).
+///
+/// Conservation contract (CongestionConservation test): packet instances
+/// are born by host sends, controller injections and switch fan-out
+/// copies, and each instance reaches exactly one terminal — delivery,
+/// punt, consumption at a switch (its continuations are the fan-out
+/// copies), a counted drop, or residence in a park buffer. At simulator
+/// quiescence:
+///   sentFromHosts + injectedByController + packetsForwarded ==
+///   delivered + punted + consumedAtSwitch + totalDropped()
+///   + missBufferedPackets() + backpressureParkedPackets().
 struct NetworkCounters {
   util::RelaxedCounter packetsForwarded = 0;  ///< switch output actions executed
   util::RelaxedCounter packetsPuntedToController = 0;
-  util::RelaxedCounter packetsDroppedNoMatch = 0;
-  util::RelaxedCounter packetsDroppedHostQueue = 0;
-  util::RelaxedCounter packetsDroppedHopLimit = 0;
-  util::RelaxedCounter packetsDroppedLinkDown = 0;
-  util::RelaxedCounter packetsDroppedNodeDown = 0;
   util::RelaxedCounter packetsDeliveredToHosts = 0;
+  /// Admissions: packets entering the data plane at hosts / from the
+  /// controller (injectAtSwitch + sendOutPort).
+  util::RelaxedCounter packetsSentFromHosts = 0;
+  util::RelaxedCounter packetsInjectedByController = 0;
+  /// Packets that matched a flow entry and were consumed by fan-out
+  /// (i.e. re-emitted as >= 1 forwarded copies).
+  util::RelaxedCounter packetsConsumedAtSwitch = 0;
   // ---- fail-soft (controller failover window) --------------------------
   util::RelaxedCounter packetsBufferedOnMiss = 0;
-  util::RelaxedCounter packetsDroppedMissBuffer = 0;  ///< budget exceeded
   util::RelaxedCounter packetsReplayedFromMissBuffer = 0;
+  // ---- backpressure ----------------------------------------------------
+  util::RelaxedCounter packetsParkedOnBackpressure = 0;  ///< parks (cumulative)
+  util::RelaxedCounter packetsResumedFromBackpressure = 0;
+  util::RelaxedCounter backpressureRetries = 0;  ///< retry timer firings
+  // ---- unified drop taxonomy -------------------------------------------
+  std::array<util::RelaxedCounter, kDropReasonCount> drops{};
+
+  util::RelaxedCounter& drop(DropReason reason) noexcept {
+    return drops[static_cast<std::size_t>(reason)];
+  }
+  std::uint64_t dropped(DropReason reason) const noexcept {
+    return drops[static_cast<std::size_t>(reason)];
+  }
+  std::uint64_t totalDropped() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& d : drops) total += d;
+    return total;
+  }
 };
 
 /// Per-link counters. Multi-writer: a link's two endpoints may live on
@@ -66,6 +138,9 @@ struct NetworkCounters {
 struct LinkCounters {
   util::RelaxedCounter packets = 0;
   util::RelaxedCounter bytes = 0;
+  /// Packets lost to this link's full queue (both directions, cumulative;
+  /// includes backpressure park-buffer overflow).
+  util::RelaxedCounter queueDrops = 0;
 };
 
 class Network : public PacketSink {
@@ -122,7 +197,8 @@ class Network : public PacketSink {
   /// or originated by a down node are dropped. Taking a *switch* down
   /// clears its flow table: a rebooted/reconnected switch comes back with
   /// an empty TCAM and must be resynced by the controller
-  /// (Controller::onSwitchUp).
+  /// (Controller::onSwitchUp). Packets the node had parked (fail-soft miss
+  /// buffers, backpressure buffers) die with it as kNodeDown drops.
   void setNodeUp(NodeId node, bool up);
   bool nodeUp(NodeId node) const {
     return nodeUp_[static_cast<std::size_t>(node)];
@@ -146,6 +222,34 @@ class Network : public PacketSink {
   /// Packets currently parked across all miss buffers.
   std::size_t missBufferedPackets() const;
 
+  // ---- link queues / backpressure (DESIGN.md §15) -----------------------
+
+  /// Overrides one link's queue capacity (both directions); 0 restores the
+  /// legacy contention-free model for that link.
+  void setLinkQueueCapacity(LinkId link, std::size_t capacity);
+  std::size_t linkQueueCapacity(LinkId link) const {
+    return linkQueueCap_[static_cast<std::size_t>(link)];
+  }
+
+  /// Packets currently occupying the link's transmit queues (sum of both
+  /// directions, excluding parked packets) at the current virtual time.
+  std::size_t linkQueueDepth(LinkId link) const;
+  /// Deepest the link's queues have ever been (max over directions).
+  std::size_t peakLinkQueueDepth(LinkId link) const;
+  /// Packets parked across all backpressure buffers right now.
+  std::size_t backpressureParkedPackets() const;
+
+  /// Point-in-time occupancy gauges of the whole data plane, the
+  /// bench-report "queued" series (DESIGN.md §15).
+  struct Stats {
+    std::size_t hostQueued = 0;     ///< packets in host receive queues
+    std::size_t linkQueued = 0;     ///< packets in link transmit queues
+    std::size_t backpressureParked = 0;
+    std::size_t missBuffered = 0;
+    std::size_t peakLinkQueueDepth = 0;  ///< max over all links, ever
+  };
+  Stats stats() const;
+
   /// Wires the data plane into the observability layer: every switch table
   /// resolves its metric handles against `reg` (all tables share the
   /// "flow_table.*" names, so the counters aggregate fleet-wide), and — when
@@ -166,12 +270,13 @@ class Network : public PacketSink {
                      Packet&& packet) override;
 
   /// Sharding contract for parallel run execution: every handler mutates
-  /// only its target node's state (flow table, host queue, TCAM stats), so
-  /// the shard key is the node id. Events whose handler escapes that
-  /// contract — a punt to the controller (which may install flows other
-  /// same-timestamp events would observe) or any event while tracing is on
-  /// (the Tracer is single-threaded and record order matters) — demand
-  /// sequential execution via kNoShard.
+  /// only its target node's state (flow table, host queue, TCAM stats, the
+  /// node's outbound link-queue directions), so the shard key is the node
+  /// id. Events whose handler escapes that contract — a punt to the
+  /// controller (which may install flows other same-timestamp events would
+  /// observe) or any event while tracing is on (the Tracer is
+  /// single-threaded and record order matters) — demand sequential
+  /// execution via kNoShard.
   std::int64_t packetShardKey(PacketEventKind kind, NodeId node, PortId port,
                               const Packet& packet) const override;
 
@@ -191,6 +296,7 @@ class Network : public PacketSink {
   void receiveAtHost(NodeId host, Packet&& packet);
   void hostServiceDone(NodeId host, Packet&& packet);
   void transmit(NodeId fromNode, PortId outPort, Packet&& packet);
+  void linkRetry(NodeId fromNode, PortId outPort);
 
   struct HostState {
     SimTime busyUntil = 0;
@@ -201,6 +307,56 @@ class Network : public PacketSink {
     PortId inPort = kInvalidPort;
     Packet packet;
   };
+
+  /// One direction of a link's finite transmit queue plus its backpressure
+  /// buffer. Owned by the *sending* node: transmit() only runs under that
+  /// node's shard (switchPipeline / kLinkRetry are sharded by it; host and
+  /// controller sends are sequential), so mutating this state never
+  /// crosses the per-node sharding contract. Both FIFOs are flat vectors
+  /// with a drained-head index, compacted when empty, so steady state
+  /// recycles their capacity.
+  struct LinkDirState {
+    /// When the direction's serialized line frees up.
+    SimTime busyUntil = 0;
+    /// Serialization-completion times of queued packets; entries <= now
+    /// have left the queue (drained lazily).
+    std::vector<SimTime> txEnds;
+    std::size_t txHead = 0;
+    /// Backpressure park buffer, FIFO.
+    std::vector<Packet> parked;
+    std::size_t parkedHead = 0;
+    /// A kLinkRetry event for this direction is already in flight.
+    bool retryPending = false;
+    /// Next retry delay (doubling, capped); reset when the parked buffer
+    /// fully drains.
+    SimTime backoff = 0;
+    std::size_t peakDepth = 0;
+
+    std::size_t depth(SimTime now) const noexcept {
+      std::size_t d = 0;
+      for (std::size_t i = txHead; i < txEnds.size(); ++i) {
+        if (txEnds[i] > now) ++d;
+      }
+      return d;
+    }
+    std::size_t parkedCount() const noexcept {
+      return parked.size() - parkedHead;
+    }
+  };
+
+  /// The sending-side direction state of (fromNode, link).
+  LinkDirState& dirState(LinkId link, NodeId fromNode) {
+    const auto base = 2 * static_cast<std::size_t>(link);
+    return linkDirs_[base + (topo_.link(link).a.node == fromNode ? 0 : 1)];
+  }
+  /// Drops stale txEnds entries; returns the live queue depth.
+  std::size_t drainQueue(LinkDirState& dir, SimTime now);
+  /// Serializes the packet onto the direction's line and schedules its
+  /// arrival. Precondition: the queue has room.
+  void enqueueOnLink(LinkId link, LinkDirState& dir, NodeId fromNode,
+                     Packet&& packet);
+  /// Schedules the direction's retry timer if none is pending.
+  void armRetry(LinkDirState& dir, NodeId fromNode, PortId outPort);
 
   Topology topo_;
   Simulator& sim_;
@@ -215,6 +371,10 @@ class Network : public PacketSink {
   /// the per-node sharding contract of packetShardKey.
   std::vector<std::vector<ParkedMiss>> missBuffers_;
   std::vector<LinkCounters> linkCounters_;
+  /// 2 entries per link: [2*l] is the a->b direction, [2*l+1] b->a.
+  std::vector<LinkDirState> linkDirs_;
+  /// Effective queue capacity per link (config default or override).
+  std::vector<std::size_t> linkQueueCap_;
   NetworkCounters counters_;
   PacketInHandler packetIn_;
   DeliverHandler deliver_;

@@ -40,6 +40,8 @@ enum class PacketEventKind : std::uint8_t {
   kArrive,          ///< link propagation done; packet reaches (node, port)
   kSwitchPipeline,  ///< switch processing delay elapsed; run the flow table
   kHostService,     ///< host service time elapsed; deliver to the app
+  kLinkRetry,       ///< backpressure backoff elapsed; drain (node, port)'s
+                    ///< park buffer (timer only — carries an empty Packet)
 };
 
 /// Receiver of fast-lane packet events. Stored per event (not per

@@ -132,13 +132,14 @@ std::vector<NodeId> Topology::shortestPath(NodeId src, NodeId dst) const {
   return path;
 }
 
-Topology Topology::testbedFatTree(SimTime linkLatency) {
+Topology Topology::testbedFatTree(SimTime linkLatency, double bandwidthBps) {
   return fatTree(/*core=*/2, /*aggregation=*/4, /*edgePerAgg=*/1,
-                 /*hostsPerEdge=*/2, linkLatency);
+                 /*hostsPerEdge=*/2, linkLatency, bandwidthBps);
 }
 
 Topology Topology::fatTree(int core, int aggregation, int edgePerAgg,
-                           int hostsPerEdge, SimTime linkLatency) {
+                           int hostsPerEdge, SimTime linkLatency,
+                           double bandwidthBps) {
   assert(core >= 1 && aggregation >= 1 && edgePerAgg >= 1 && hostsPerEdge >= 0);
   Topology t;
   std::vector<NodeId> cores, aggs;
@@ -154,25 +155,26 @@ Topology Topology::fatTree(int core, int aggregation, int edgePerAgg,
     edges.push_back(t.addSwitch("R" + std::to_string(label++)));
   }
   for (const NodeId c : cores) {
-    for (const NodeId a : aggs) t.connect(c, a, linkLatency);
+    for (const NodeId a : aggs) t.connect(c, a, linkLatency, bandwidthBps);
   }
   for (int i = 0; i < aggregation; ++i) {
     for (int j = 0; j < edgePerAgg; ++j) {
       t.connect(aggs[static_cast<std::size_t>(i)],
-                edges[static_cast<std::size_t>(i * edgePerAgg + j)], linkLatency);
+                edges[static_cast<std::size_t>(i * edgePerAgg + j)], linkLatency, bandwidthBps);
     }
   }
   int hostLabel = 1;
   for (const NodeId e : edges) {
     for (int j = 0; j < hostsPerEdge; ++j) {
       const NodeId h = t.addHost("h" + std::to_string(hostLabel++));
-      t.connect(e, h, linkLatency);
+      t.connect(e, h, linkLatency, bandwidthBps);
     }
   }
   return t;
 }
 
-Topology Topology::kAryFatTree(int k, SimTime linkLatency) {
+Topology Topology::kAryFatTree(int k, SimTime linkLatency,
+                               double bandwidthBps) {
   assert(k >= 2 && k % 2 == 0);
   const int half = k / 2;
   Topology t;
@@ -200,7 +202,7 @@ Topology Topology::kAryFatTree(int k, SimTime linkLatency) {
     for (int j = 0; j < half; ++j) {
       for (int c = 0; c < half; ++c) {
         t.connect(aggs[static_cast<std::size_t>(pod)][static_cast<std::size_t>(j)],
-                  cores[static_cast<std::size_t>(j * half + c)], linkLatency);
+                  cores[static_cast<std::size_t>(j * half + c)], linkLatency, bandwidthBps);
       }
     }
     // Full bipartite agg <-> edge inside the pod.
@@ -208,7 +210,7 @@ Topology Topology::kAryFatTree(int k, SimTime linkLatency) {
       for (int e = 0; e < half; ++e) {
         t.connect(aggs[static_cast<std::size_t>(pod)][static_cast<std::size_t>(j)],
                   edges[static_cast<std::size_t>(pod)][static_cast<std::size_t>(e)],
-                  linkLatency);
+                  linkLatency, bandwidthBps);
       }
     }
   }
@@ -219,14 +221,15 @@ Topology Topology::kAryFatTree(int k, SimTime linkLatency) {
       for (int h = 0; h < half; ++h) {
         const NodeId host = t.addHost("h" + std::to_string(hostLabel++));
         t.connect(edges[static_cast<std::size_t>(pod)][static_cast<std::size_t>(e)],
-                  host, linkLatency);
+                  host, linkLatency, bandwidthBps);
       }
     }
   }
   return t;
 }
 
-Topology Topology::ring(int numSwitches, SimTime linkLatency) {
+Topology Topology::ring(int numSwitches, SimTime linkLatency,
+                        double bandwidthBps) {
   assert(numSwitches >= 3);
   Topology t;
   std::vector<NodeId> sw;
@@ -235,16 +238,17 @@ Topology Topology::ring(int numSwitches, SimTime linkLatency) {
   }
   for (int i = 0; i < numSwitches; ++i) {
     t.connect(sw[static_cast<std::size_t>(i)],
-              sw[static_cast<std::size_t>((i + 1) % numSwitches)], linkLatency);
+              sw[static_cast<std::size_t>((i + 1) % numSwitches)], linkLatency, bandwidthBps);
   }
   for (int i = 0; i < numSwitches; ++i) {
     const NodeId h = t.addHost("h" + std::to_string(i + 1));
-    t.connect(sw[static_cast<std::size_t>(i)], h, linkLatency);
+    t.connect(sw[static_cast<std::size_t>(i)], h, linkLatency, bandwidthBps);
   }
   return t;
 }
 
-Topology Topology::line(int numSwitches, SimTime linkLatency) {
+Topology Topology::line(int numSwitches, SimTime linkLatency,
+                        double bandwidthBps) {
   assert(numSwitches >= 1);
   Topology t;
   std::vector<NodeId> sw;
@@ -253,17 +257,18 @@ Topology Topology::line(int numSwitches, SimTime linkLatency) {
   }
   for (int i = 0; i + 1 < numSwitches; ++i) {
     t.connect(sw[static_cast<std::size_t>(i)], sw[static_cast<std::size_t>(i + 1)],
-              linkLatency);
+              linkLatency, bandwidthBps);
   }
   for (int i = 0; i < numSwitches; ++i) {
     const NodeId h = t.addHost("h" + std::to_string(i + 1));
-    t.connect(sw[static_cast<std::size_t>(i)], h, linkLatency);
+    t.connect(sw[static_cast<std::size_t>(i)], h, linkLatency, bandwidthBps);
   }
   return t;
 }
 
 Topology Topology::randomConnected(int numSwitches, int extraLinks,
-                                   std::uint64_t seed, SimTime linkLatency) {
+                                   std::uint64_t seed, SimTime linkLatency,
+                                   double bandwidthBps) {
   assert(numSwitches >= 1);
   // Self-contained xorshift so net does not depend on util.
   std::uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
@@ -282,7 +287,7 @@ Topology Topology::randomConnected(int numSwitches, int extraLinks,
   // Random spanning tree: attach each new switch to a random earlier one.
   for (int i = 1; i < numSwitches; ++i) {
     const auto parent = static_cast<std::size_t>(next(static_cast<std::uint64_t>(i)));
-    t.connect(sw[static_cast<std::size_t>(i)], sw[parent], linkLatency);
+    t.connect(sw[static_cast<std::size_t>(i)], sw[parent], linkLatency, bandwidthBps);
   }
   // Extra links between random distinct pairs, skipping duplicates.
   std::vector<std::pair<NodeId, NodeId>> existing;
@@ -305,12 +310,12 @@ Topology Topology::randomConnected(int numSwitches, int extraLinks,
       continue;
     }
     existing.push_back(key);
-    t.connect(a, b, linkLatency);
+    t.connect(a, b, linkLatency, bandwidthBps);
     ++added;
   }
   for (int i = 0; i < numSwitches; ++i) {
     const NodeId h = t.addHost("h" + std::to_string(i + 1));
-    t.connect(sw[static_cast<std::size_t>(i)], h, linkLatency);
+    t.connect(sw[static_cast<std::size_t>(i)], h, linkLatency, bandwidthBps);
   }
   return t;
 }

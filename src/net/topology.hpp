@@ -96,29 +96,37 @@ class Topology {
   std::vector<NodeId> shortestPath(NodeId src, NodeId dst) const;
 
   // ---- builders ------------------------------------------------------
+  // All builders take an optional uniform link bandwidth (bits/second);
+  // 0 keeps the default infinite-bandwidth links. Finite bandwidth is what
+  // makes the finite link queues of DESIGN.md §15 bind.
 
   /// The testbed topology of Fig 6: 2 core switches, 4 aggregation, 4 edge
   /// (R1..R10), and 8 end hosts, two per edge switch.
-  static Topology testbedFatTree(SimTime linkLatency = 50 * kMicrosecond);
+  static Topology testbedFatTree(SimTime linkLatency = 50 * kMicrosecond,
+                                 double bandwidthBps = 0.0);
 
   /// Generic two-level fat-tree: `core` core switches each connected to all
   /// aggregation switches; `edgePerAgg` edge switches per aggregation
   /// switch; `hostsPerEdge` hosts per edge switch.
   static Topology fatTree(int core, int aggregation, int edgePerAgg,
-                          int hostsPerEdge, SimTime linkLatency = 50 * kMicrosecond);
+                          int hostsPerEdge, SimTime linkLatency = 50 * kMicrosecond,
+                          double bandwidthBps = 0.0);
 
   /// Canonical k-ary (3-level) fat-tree: (k/2)^2 core switches, k pods of
   /// k/2 aggregation + k/2 edge switches, k/2 hosts per edge switch.
   /// `k` must be even and >= 2. k=4 gives 20 switches / 16 hosts — the
   /// Mininet-scale configuration of Sec 6.1.
-  static Topology kAryFatTree(int k, SimTime linkLatency = 50 * kMicrosecond);
+  static Topology kAryFatTree(int k, SimTime linkLatency = 50 * kMicrosecond,
+                              double bandwidthBps = 0.0);
 
   /// Ring of `numSwitches` switches, one host per switch (the Mininet ring
   /// configuration of Sec 6.1).
-  static Topology ring(int numSwitches, SimTime linkLatency = 50 * kMicrosecond);
+  static Topology ring(int numSwitches, SimTime linkLatency = 50 * kMicrosecond,
+                       double bandwidthBps = 0.0);
 
   /// Line of `numSwitches` switches, one host per switch; handy in tests.
-  static Topology line(int numSwitches, SimTime linkLatency = 50 * kMicrosecond);
+  static Topology line(int numSwitches, SimTime linkLatency = 50 * kMicrosecond,
+                       double bandwidthBps = 0.0);
 
   /// Random connected switch graph: a random spanning tree plus
   /// `extraLinks` additional random switch-switch links (no duplicates or
@@ -126,7 +134,8 @@ class Topology {
   /// property tests to exercise routing on irregular topologies.
   static Topology randomConnected(int numSwitches, int extraLinks,
                                   std::uint64_t seed,
-                                  SimTime linkLatency = 50 * kMicrosecond);
+                                  SimTime linkLatency = 50 * kMicrosecond,
+                                  double bandwidthBps = 0.0);
 
  private:
   PortId allocatePort(NodeId node, LinkId link);

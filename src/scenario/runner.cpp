@@ -5,8 +5,10 @@
 #include <memory>
 #include <utility>
 
+#include "controller/load_monitor.hpp"
 #include "core/pleroma.hpp"
 #include "interop/multi_domain.hpp"
+#include "net/congestion.hpp"
 
 namespace pleroma::scenario {
 
@@ -47,6 +49,7 @@ class Backend {
   virtual Snapshot snapshot() = 0;
   virtual void applyFault(const FaultSpec& fault) = 0;
   virtual bool promoted() const = 0;
+  virtual CongestionResult congestion() = 0;
 };
 
 class SingleBackend final : public Backend {
@@ -63,6 +66,8 @@ class SingleBackend final : public Backend {
       opts.controller.aggregateSubscriptions = *s.aggregateSubscriptions;
     }
     if (s.tcamBudget.has_value()) opts.controller.tcamBudget = *s.tcamBudget;
+    opts.network.linkQueueCapacity = s.network.linkQueueCapacity;
+    opts.network.backpressure = s.network.backpressure;
     opts.threads = threads;
     if (s.needsFailover()) {
       // The heartbeat is armed at the kill instant, not at start-up: a
@@ -76,6 +81,26 @@ class SingleBackend final : public Backend {
     pleroma_ = std::make_unique<core::Pleroma>(s.buildTopology(), opts);
     hosts_ = pleroma_->topology().hosts();
     switches_ = pleroma_->topology().switches();
+    if (s.rebalance.enabled) {
+      // Closed loop (DESIGN.md §15): the congestion monitor samples the
+      // data plane every interval and the load monitor reacts with
+      // congestion-weighted reroots. Both are slow-lane ticks scheduled at
+      // the same instants; the congestion sample is armed first, so it
+      // runs before the reaction that consumes it.
+      rebalanceInterval_ = s.rebalance.interval;
+      net::CongestionConfig cc;
+      cc.sampleInterval = s.rebalance.interval;
+      congestion_ =
+          std::make_unique<net::CongestionMonitor>(pleroma_->network(), cc);
+      ctrl::LoadMonitorConfig lc;
+      lc.hotLinkThreshold = s.rebalance.hotThreshold;
+      lc.congestionFactor = s.rebalance.congestionFactor;
+      loadMonitor_ =
+          std::make_unique<ctrl::LoadMonitor>(pleroma_->controller(), lc);
+      loadMonitor_->attachCongestion(congestion_.get());
+      congestion_->startPeriodic();
+      loadMonitor_->startPeriodic(rebalanceInterval_);
+    }
   }
 
   std::size_t hostCount() const override { return hosts_.size(); }
@@ -96,7 +121,22 @@ class SingleBackend final : public Backend {
     pleroma_->publish(hosts_[slot], event);
   }
 
-  void settle() override { pleroma_->settle(); }
+  void settle() override {
+    // A live self-rearming monitor tick would keep sim.run() from ever
+    // draining (same constraint as the failover heartbeat above): pause
+    // the loop, drain — the already-armed ticks fire once as no-ops at
+    // their deterministic instants — then re-arm relative to the settled
+    // clock.
+    if (loadMonitor_ != nullptr) {
+      loadMonitor_->stopPeriodic();
+      congestion_->stop();
+    }
+    pleroma_->settle();
+    if (loadMonitor_ != nullptr) {
+      congestion_->startPeriodic();
+      loadMonitor_->startPeriodic(rebalanceInterval_);
+    }
+  }
   void settleUntil(net::SimTime t) override { pleroma_->settleUntil(t); }
   net::SimTime now() const override { return pleroma_->simulator().now(); }
 
@@ -149,10 +189,27 @@ class SingleBackend final : public Backend {
     return fo != nullptr && fo->promoted();
   }
 
+  CongestionResult congestion() override {
+    CongestionResult c;
+    const net::NetworkCounters& nc = pleroma_->network().counters();
+    c.queueDrops = nc.dropped(net::DropReason::kLinkQueue);
+    c.bpDrops = nc.dropped(net::DropReason::kBackpressure);
+    c.bpParks = nc.packetsParkedOnBackpressure;
+    c.bpRetries = nc.backpressureRetries;
+    c.peakLinkQueueDepth = pleroma_->network().stats().peakLinkQueueDepth;
+    if (loadMonitor_ != nullptr) c.rebalances = loadMonitor_->rebalances();
+    return c;
+  }
+
  private:
   std::unique_ptr<core::Pleroma> pleroma_;
   std::vector<net::NodeId> hosts_;
   std::vector<net::NodeId> switches_;
+  // Declared after pleroma_: destroyed first, while the simulator whose
+  // tasks point at them still exists.
+  std::unique_ptr<net::CongestionMonitor> congestion_;
+  std::unique_ptr<ctrl::LoadMonitor> loadMonitor_;
+  net::SimTime rebalanceInterval_ = 0;
 };
 
 class MultiBackend final : public Backend {
@@ -250,6 +307,17 @@ class MultiBackend final : public Backend {
   }
 
   bool promoted() const override { return false; }
+
+  CongestionResult congestion() override {
+    CongestionResult c;
+    const net::NetworkCounters& nc = domain_->network().counters();
+    c.queueDrops = nc.dropped(net::DropReason::kLinkQueue);
+    c.bpDrops = nc.dropped(net::DropReason::kBackpressure);
+    c.bpParks = nc.packetsParkedOnBackpressure;
+    c.bpRetries = nc.backpressureRetries;
+    c.peakLinkQueueDepth = domain_->network().stats().peakLinkQueueDepth;
+    return c;
+  }
 
  private:
   struct HandleEntry {
@@ -429,6 +497,7 @@ RunResult ScenarioRunner::run() {
   result.flowMods += delta(total.flowMods, prev.flowMods);
   result.controlMessages = total.controlMessages;
   result.promoted = backend->promoted();
+  result.congestion = backend->congestion();
   result.end = backend->now();
   return result;
 }
@@ -482,6 +551,20 @@ void ScenarioRunner::report(obs::BenchReporter& out,
       out.row({ms(f.spec.at), ms(f.appliedAt), toString(f.spec.action),
                f.spec.target});
     }
+  }
+
+  // Emitted only for congestion-enabled scenarios so legacy reports stay
+  // byte-identical.
+  if (s.network.linkQueueCapacity > 0 || s.rebalance.enabled) {
+    out.beginSeries("congestion", {{"queue_drops", ""},
+                                   {"bp_drops", ""},
+                                   {"bp_parks", ""},
+                                   {"bp_retries", ""},
+                                   {"peak_link_queue_depth", ""},
+                                   {"rebalances", ""}});
+    const CongestionResult& c = result.congestion;
+    out.row({c.queueDrops, c.bpDrops, c.bpParks, c.bpRetries,
+             c.peakLinkQueueDepth, c.rebalances});
   }
 
   out.beginSeries("totals", {{"published", ""},

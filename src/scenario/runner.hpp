@@ -53,6 +53,17 @@ struct AppliedFault {
   net::SimTime appliedAt = 0;  ///< virtual instant the fault took effect
 };
 
+/// End-of-run congestion accounting (DESIGN.md §15); populated only when
+/// the scenario enables link queues or rebalancing.
+struct CongestionResult {
+  std::uint64_t queueDrops = 0;    ///< DropReason::kLinkQueue
+  std::uint64_t bpDrops = 0;       ///< DropReason::kBackpressure
+  std::uint64_t bpParks = 0;       ///< cumulative backpressure parks
+  std::uint64_t bpRetries = 0;
+  std::uint64_t peakLinkQueueDepth = 0;
+  std::uint64_t rebalances = 0;    ///< load-aware tree reroots
+};
+
 struct RunResult {
   std::vector<PhaseResult> phases;
   std::vector<AppliedFault> faults;
@@ -65,6 +76,7 @@ struct RunResult {
   std::uint64_t controlMessages = 0;
   /// True when a controller kill led to a standby promotion.
   bool promoted = false;
+  CongestionResult congestion;
   net::SimTime end = 0;
 };
 
@@ -78,7 +90,8 @@ class ScenarioRunner {
 
   /// Fills a pleroma-bench-v1 report: metadata (seed, topology, workload,
   /// threads, scenario name/schema, partitions, smoke) plus the "phases",
-  /// "faults" (when any applied) and "totals" series.
+  /// "faults" (when any applied), "congestion" (when link queues or
+  /// rebalancing are enabled) and "totals" series.
   void report(obs::BenchReporter& out, const RunResult& result) const;
 
   const Scenario& scenario() const noexcept { return scenario_; }

@@ -124,7 +124,7 @@ bool parseTopology(const JsonValue& v, const std::string& path, TopologySpec* t,
   if (!checkKeys(v, path,
                  {"kind", "switches", "core", "aggregation", "edge_per_agg",
                   "hosts_per_edge", "k", "extra_links", "topo_seed",
-                  "link_latency_us"},
+                  "link_latency_us", "link_bandwidth_mbps"},
                  error)) {
     return false;
   }
@@ -165,6 +165,13 @@ bool parseTopology(const JsonValue& v, const std::string& path, TopologySpec* t,
   i = t->linkLatency / net::kMicrosecond;
   if (!readIntMin(v, "link_latency_us", path, 1, &i, error)) return false;
   t->linkLatency = i * net::kMicrosecond;
+  double mbps = t->linkBandwidthBps / 1e6;
+  if (!readNum(v, "link_bandwidth_mbps", path, &mbps, error)) return false;
+  if (mbps < 0) {
+    return fail(error, join(path, "link_bandwidth_mbps"),
+                "expected a number >= 0 (0 = infinite)");
+  }
+  t->linkBandwidthBps = mbps * 1e6;
   return true;
 }
 
@@ -319,6 +326,9 @@ JsonValue topologyToJson(const TopologySpec& t) {
       break;
   }
   o.set("link_latency_us", t.linkLatency / net::kMicrosecond);
+  if (t.linkBandwidthBps > 0) {
+    o.set("link_bandwidth_mbps", t.linkBandwidthBps / 1e6);
+  }
   return o;
 }
 
@@ -423,6 +433,20 @@ obs::JsonValue Scenario::toJson() const {
     f.set("miss_threshold", failover.missThreshold);
     o.set("failover", std::move(f));
   }
+  if (network.linkQueueCapacity > 0 || network.backpressure) {
+    JsonValue n = JsonValue::object();
+    n.set("link_queue_capacity",
+          static_cast<std::uint64_t>(network.linkQueueCapacity));
+    n.set("backpressure", network.backpressure);
+    o.set("network", std::move(n));
+  }
+  if (rebalance.enabled) {
+    JsonValue r = JsonValue::object();
+    r.set("interval_us", rebalance.interval / net::kMicrosecond);
+    r.set("hot_threshold", rebalance.hotThreshold);
+    r.set("congestion_factor", rebalance.congestionFactor);
+    o.set("rebalance", std::move(r));
+  }
   JsonValue w = JsonValue::object();
   w.set("selectivity", workload.selectivity);
   w.set("advertisement_width_factor", workload.advertisementWidthFactor);
@@ -463,7 +487,8 @@ std::optional<Scenario> Scenario::fromJson(const obs::JsonValue& doc,
   if (!checkKeys(doc, "",
                  {"schema", "name", "description", "seed", "topology",
                   "attributes", "partitions", "controller", "failover",
-                  "workload", "phases", "faults", "smoke"},
+                  "network", "rebalance", "workload", "phases", "faults",
+                  "smoke"},
                  error)) {
     return std::nullopt;
   }
@@ -580,6 +605,61 @@ std::optional<Scenario> Scenario::fromJson(const obs::JsonValue& doc,
       return std::nullopt;
     }
     s.failover.missThreshold = static_cast<int>(i);
+  }
+
+  if (const JsonValue* n = doc.get("network")) {
+    if (!n->isObject()) {
+      fail(error, "network", "expected an object");
+      return std::nullopt;
+    }
+    if (!checkKeys(*n, "network", {"link_queue_capacity", "backpressure"},
+                   error)) {
+      return std::nullopt;
+    }
+    i = static_cast<std::int64_t>(s.network.linkQueueCapacity);
+    if (!readIntMin(*n, "link_queue_capacity", "network", 1, &i, error)) {
+      return std::nullopt;
+    }
+    s.network.linkQueueCapacity = static_cast<std::size_t>(i);
+    if (const JsonValue* b = n->get("backpressure")) {
+      if (!b->isBool()) {
+        fail(error, "network.backpressure", "expected a bool");
+        return std::nullopt;
+      }
+      s.network.backpressure = b->asBool();
+    }
+  }
+
+  if (const JsonValue* r = doc.get("rebalance")) {
+    if (!r->isObject()) {
+      fail(error, "rebalance", "expected an object");
+      return std::nullopt;
+    }
+    if (!checkKeys(*r, "rebalance",
+                   {"interval_us", "hot_threshold", "congestion_factor"},
+                   error)) {
+      return std::nullopt;
+    }
+    s.rebalance.enabled = true;
+    i = s.rebalance.interval / net::kMicrosecond;
+    if (!readIntMin(*r, "interval_us", "rebalance", 1, &i, error)) {
+      return std::nullopt;
+    }
+    s.rebalance.interval = i * net::kMicrosecond;
+    if (!readNum(*r, "hot_threshold", "rebalance", &s.rebalance.hotThreshold,
+                 error) ||
+        !readNum(*r, "congestion_factor", "rebalance",
+                 &s.rebalance.congestionFactor, error)) {
+      return std::nullopt;
+    }
+    if (s.rebalance.hotThreshold <= 0) {
+      fail(error, "rebalance.hot_threshold", "expected a number > 0");
+      return std::nullopt;
+    }
+    if (s.rebalance.congestionFactor < 0) {
+      fail(error, "rebalance.congestion_factor", "expected a number >= 0");
+      return std::nullopt;
+    }
   }
 
   if (const JsonValue* w = doc.get("workload")) {
@@ -757,6 +837,16 @@ bool Scenario::validate(std::string* error) const {
       break;
   }
 
+  if (network.linkQueueCapacity > 0 && topology.linkBandwidthBps <= 0) {
+    return fail(error, "network.link_queue_capacity",
+                "needs a finite topology.link_bandwidth_mbps (with infinite "
+                "bandwidth nothing ever queues)");
+  }
+  if (network.backpressure && network.linkQueueCapacity == 0) {
+    return fail(error, "network.backpressure",
+                "needs network.link_queue_capacity >= 1");
+  }
+
   const net::Topology topo = buildTopology();
   const std::size_t switchCount = topo.switches().size();
   const std::size_t hostCount = topo.hosts().size();
@@ -775,6 +865,15 @@ bool Scenario::validate(std::string* error) const {
     if (failover.enabled) {
       return fail(error, "failover",
                   "controller failover is single-partition only");
+    }
+    if (network.linkQueueCapacity > 0) {
+      return fail(error, "network",
+                  "link queues are single-partition only (set partitions "
+                  "to 1)");
+    }
+    if (rebalance.enabled) {
+      return fail(error, "rebalance",
+                  "load-aware rebalancing is single-partition only");
     }
   }
 
@@ -877,21 +976,23 @@ net::Topology Scenario::buildTopology() const {
   const TopologySpec& t = topology;
   switch (t.kind) {
     case TopologyKind::kTestbedFatTree:
-      return net::Topology::testbedFatTree(t.linkLatency);
+      return net::Topology::testbedFatTree(t.linkLatency, t.linkBandwidthBps);
     case TopologyKind::kFatTree:
       return net::Topology::fatTree(t.core, t.aggregation, t.edgePerAgg,
-                                    t.hostsPerEdge, t.linkLatency);
+                                    t.hostsPerEdge, t.linkLatency,
+                                    t.linkBandwidthBps);
     case TopologyKind::kKAryFatTree:
-      return net::Topology::kAryFatTree(t.k, t.linkLatency);
+      return net::Topology::kAryFatTree(t.k, t.linkLatency, t.linkBandwidthBps);
     case TopologyKind::kRing:
-      return net::Topology::ring(t.switches, t.linkLatency);
+      return net::Topology::ring(t.switches, t.linkLatency, t.linkBandwidthBps);
     case TopologyKind::kLine:
-      return net::Topology::line(t.switches, t.linkLatency);
+      return net::Topology::line(t.switches, t.linkLatency, t.linkBandwidthBps);
     case TopologyKind::kRandom:
       return net::Topology::randomConnected(t.switches, t.extraLinks,
-                                            t.topoSeed, t.linkLatency);
+                                            t.topoSeed, t.linkLatency,
+                                            t.linkBandwidthBps);
   }
-  return net::Topology::testbedFatTree(t.linkLatency);
+  return net::Topology::testbedFatTree(t.linkLatency, t.linkBandwidthBps);
 }
 
 std::string Scenario::topologyLabel() const {

@@ -14,6 +14,9 @@
 //     "controller": { "max_dz_length": 24, "max_cells_per_request": 8,
 //                     "aggregate_subscriptions": true, "tcam_budget": 512 },
 //     "failover": { "heartbeat_ms": 10, "miss_threshold": 3 },  // optional
+//     "network": { "link_queue_capacity": 8, "backpressure": true },
+//     "rebalance": { "interval_us": 1000, "hot_threshold": 2.0,
+//                    "congestion_factor": 8.0 },     // optional, see §15
 //     "workload": { "selectivity": 0.1, ... },      // phase defaults
 //     "phases": [ { "name": "warmup", "family": "uniform",
 //                   "advertisements": 4, "subscriptions": 100,
@@ -67,6 +70,30 @@ struct TopologySpec {
   int extraLinks = 3;              ///< random
   std::uint64_t topoSeed = 1;      ///< random
   net::SimTime linkLatency = 50 * net::kMicrosecond;
+  /// Uniform link bandwidth ("link_bandwidth_mbps"); 0 keeps the default
+  /// infinite-bandwidth links. Finite bandwidth is what makes the finite
+  /// link queues of the `network` block bind (DESIGN.md §15).
+  double linkBandwidthBps = 0.0;
+};
+
+/// Data-plane congestion knobs (DESIGN.md §15): finite per-direction link
+/// transmit queues, optionally with backpressure (park upstream and retry
+/// instead of dropping). Requires a finite topology.link_bandwidth_mbps —
+/// with infinite bandwidth nothing ever queues, so validate() rejects the
+/// combination as a silent no-op.
+struct NetworkSpec {
+  std::size_t linkQueueCapacity = 0;  ///< 0 = legacy contention-free links
+  bool backpressure = false;
+};
+
+/// Closed-loop congestion reaction: a net::CongestionMonitor samples the
+/// data plane and a periodic ctrl::LoadMonitor reroots overloaded spanning
+/// trees with congestion-weighted link costs (DESIGN.md §15).
+struct RebalanceSpec {
+  bool enabled = false;
+  net::SimTime interval = net::kMillisecond;  ///< "interval_us"
+  double hotThreshold = 2.0;                  ///< "hot_threshold"
+  double congestionFactor = 8.0;              ///< "congestion_factor"
 };
 
 /// Workload families a phase can select. kChurn registers uniform
@@ -150,6 +177,8 @@ struct Scenario {
   /// budget the installer coarsens that switch's flows (0 = unlimited).
   std::optional<std::size_t> tcamBudget;
   FailoverSpec failover;
+  NetworkSpec network;
+  RebalanceSpec rebalance;
   WorkloadDefaults workload;
   std::vector<PhaseSpec> phases;
   std::vector<FaultSpec> faults;

@@ -112,7 +112,7 @@ TEST_F(FailureFixture, DeliveryContinuesAfterRedundantLinkFailure) {
 
   failLink(usedTreeLink());
   EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
-  EXPECT_EQ(network.counters().packetsDroppedLinkDown, 0u)
+  EXPECT_EQ(network.counters().dropped(net::DropReason::kLinkDown), 0u)
       << "repaired flows must not route into the failed link";
 }
 
@@ -122,7 +122,7 @@ TEST_F(FailureFixture, WithoutRepairPacketsDieAtFailedLink) {
   // Fail the link but do NOT notify the controller.
   network.setLinkUp(usedTreeLink(), false);
   EXPECT_TRUE(publish(hosts[0], {100, 100}).empty());
-  EXPECT_GT(network.counters().packetsDroppedLinkDown, 0u);
+  EXPECT_GT(network.counters().dropped(net::DropReason::kLinkDown), 0u);
 }
 
 TEST_F(FailureFixture, SequentialFailuresUntilPartition) {
@@ -263,9 +263,9 @@ TEST_F(FailureFixture, DeliveryContinuesAfterTransitSwitchFailure) {
   ASSERT_NE(transit, net::kInvalidNode);
   failSwitch(transit);
   EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
-  EXPECT_EQ(network.counters().packetsDroppedNodeDown, 0u)
+  EXPECT_EQ(network.counters().dropped(net::DropReason::kNodeDown), 0u)
       << "repaired flows must not route into the failed switch";
-  EXPECT_EQ(network.counters().packetsDroppedLinkDown, 0u);
+  EXPECT_EQ(network.counters().dropped(net::DropReason::kLinkDown), 0u);
 }
 
 TEST_F(FailureFixture, FlowsNeverReferenceFailedSwitch) {
@@ -361,8 +361,8 @@ TEST_F(FatTreeFailureFixture, CoreSwitchFailureReroutesThroughOtherCore) {
   const net::NodeId core0 = topo.switches()[0];
   failSwitch(core0);
   EXPECT_EQ(publish(hosts[0], {1, 1}), (std::set<net::NodeId>{hosts[7]}));
-  EXPECT_EQ(network.counters().packetsDroppedNodeDown, 0u);
-  EXPECT_EQ(network.counters().packetsDroppedLinkDown, 0u);
+  EXPECT_EQ(network.counters().dropped(net::DropReason::kNodeDown), 0u);
+  EXPECT_EQ(network.counters().dropped(net::DropReason::kLinkDown), 0u);
 
   // Reconnect: blank TCAM, full resync from the mirror, traffic may use
   // either core again.
@@ -403,7 +403,7 @@ TEST(FailureFatTree, CoreLinkFailureReroutesThroughOtherCore) {
     controller.onLinkDown(lid);
   }
   EXPECT_EQ(publish({1, 1}), (std::set<net::NodeId>{hosts[7]}));
-  EXPECT_EQ(network.counters().packetsDroppedLinkDown, 0u);
+  EXPECT_EQ(network.counters().dropped(net::DropReason::kLinkDown), 0u);
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "net/congestion.hpp"
 #include "net/packet.hpp"
 
 namespace pleroma::ctrl {
@@ -121,6 +123,138 @@ TEST_F(MonitorFixture, RebalanceRerootsBusiestTree) {
   // Delivery is intact after rebalancing.
   EXPECT_EQ(publish(hosts[0], {100, 100}),
             (std::set<net::NodeId>{hosts[3], hosts[5]}));
+}
+
+// Congestion-attached loop (DESIGN.md §15): finite 1 Mbps links (512us
+// per 64-byte packet) on an 8-ring, with one interior link given a tiny
+// queue so a single burst overloads exactly that link. Every other link
+// keeps the legacy contention-free model, so raw packet rates stay
+// balanced and only the CongestionMonitor's EWMA can flag the hotspot.
+struct CongestedMonitorFixture : ::testing::Test {
+  CongestedMonitorFixture()
+      : topo(net::Topology::ring(8, 100 * net::kMicrosecond, 1.0e6)),
+        network(topo, sim, {}),
+        controller(dz::EventSpace(2, 10), network, Scope::wholeTopology(topo),
+                   {}),
+        congestion(network) {
+    hosts = topo.hosts();
+    network.setDeliverHandler([this](net::NodeId h, const net::Packet&) {
+      delivered.insert(h);
+    });
+    controller.advertise(hosts[0], rect(0, 1023));
+    controller.subscribe(hosts[3], rect(0, 1023));
+    // The embedded path runs the short arc s0-s1-s2-s3; cap its last hop.
+    const auto sw = topo.switches();
+    hot = linkBetween(sw[2], sw[3]);
+    network.setLinkQueueCapacity(hot, 2);
+  }
+
+  net::LinkId linkBetween(net::NodeId a, net::NodeId b) const {
+    for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+      const net::Link& link = topo.link(l);
+      if ((link.a.node == a && link.b.node == b) ||
+          (link.a.node == b && link.b.node == a)) {
+        return l;
+      }
+    }
+    return net::kInvalidLink;
+  }
+
+  /// Ten copies cross the contention-free arc as a block and hit the hot
+  /// link together: 2 queue, 8 drop with DropReason::kLinkQueue.
+  void congestHotLink() {
+    for (int i = 0; i < 10; ++i) {
+      network.sendFromHost(hosts[0],
+                           controller.makeEventPacket(hosts[0], {10, 10}, i + 1));
+    }
+    sim.run();
+    ASSERT_EQ(network.counters().dropped(net::DropReason::kLinkQueue), 8u);
+  }
+
+  std::set<net::NodeId> publish(net::NodeId host, const dz::Event& e) {
+    delivered.clear();
+    network.sendFromHost(host, controller.makeEventPacket(host, e, 1));
+    sim.run();
+    return delivered;
+  }
+
+  LoadMonitorConfig congestionOnlyConfig() const {
+    LoadMonitorConfig cfg;
+    cfg.hotLinkThreshold = 1.0e9;  // the packet-rate detector can never fire
+    cfg.congestionScoreThreshold = 5.0;
+    return cfg;
+  }
+
+  net::Topology topo;
+  net::Simulator sim;
+  net::Network network;
+  Controller controller;
+  net::CongestionMonitor congestion;
+  std::vector<net::NodeId> hosts;
+  net::LinkId hot = net::kInvalidLink;
+  std::set<net::NodeId> delivered;
+};
+
+TEST_F(CongestedMonitorFixture, CongestionFlagsOverloadDespiteBalancedRates) {
+  LoadMonitor withCongestion(controller, congestionOnlyConfig());
+  withCongestion.attachCongestion(&congestion);
+  LoadMonitor ratesOnly(controller, congestionOnlyConfig());
+
+  congestHotLink();
+  congestion.sampleOnce();
+
+  // Raw rates are balanced (one burst everywhere), so the rate-only view
+  // sees nothing; the congestion-attached view pins the scored link.
+  EXPECT_FALSE(ratesOnly.sample().overloaded);
+  const LoadReport report = withCongestion.sample();
+  EXPECT_TRUE(report.overloaded);
+  ASSERT_FALSE(report.links.empty());
+  EXPECT_EQ(report.links.front().link, hot);
+}
+
+TEST_F(CongestedMonitorFixture, CongestionRerootSteersTreeOffHotLink) {
+  LoadMonitor monitor(controller, congestionOnlyConfig());
+  monitor.attachCongestion(&congestion);
+
+  congestHotLink();
+  congestion.sampleOnce();
+  ASSERT_TRUE(monitor.sample().overloaded);
+
+  const int oldTreeId = controller.trees()[0]->id();
+  EXPECT_TRUE(monitor.rebalanceOnce());
+  EXPECT_EQ(monitor.rebalances(), 1u);
+  EXPECT_NE(controller.trees()[0]->id(), oldTreeId);
+
+  // The congestion-weighted rebuild (latency x ~9 on the hot link) must
+  // route around it: on a ring the tree omits exactly one link, and with
+  // the inflation that is the hot one.
+  const auto edges = controller.trees()[0]->edges();
+  EXPECT_EQ(std::find(edges.begin(), edges.end(), hot), edges.end());
+  EXPECT_EQ(publish(hosts[0], {100, 100}), (std::set<net::NodeId>{hosts[3]}));
+}
+
+TEST_F(CongestedMonitorFixture, CooldownPreventsRerootPingPong) {
+  LoadMonitorConfig cfg = congestionOnlyConfig();
+  cfg.rebalanceCooldown = 2;
+  LoadMonitor monitor(controller, cfg);
+  monitor.attachCongestion(&congestion);
+
+  congestHotLink();
+  congestion.sampleOnce();
+  ASSERT_TRUE(monitor.sample().overloaded);
+  ASSERT_TRUE(monitor.rebalanceOnce());
+
+  // The vacated link's EWMA stays above threshold for several windows;
+  // the cooldown declines to react to that stale score.
+  EXPECT_FALSE(monitor.rebalanceOnce());
+  EXPECT_TRUE(monitor.sample().overloaded);
+  EXPECT_FALSE(monitor.rebalanceOnce());
+  monitor.sample();
+
+  // Cooldown expired, the link still scores hot — but no tree crosses it
+  // any more, so the loop has converged instead of ping-ponging.
+  EXPECT_FALSE(monitor.rebalanceOnce());
+  EXPECT_EQ(monitor.rebalances(), 1u);
 }
 
 TEST_F(MonitorFixture, RebalanceNoOpWithoutOverload) {

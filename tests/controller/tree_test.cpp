@@ -157,5 +157,66 @@ TEST(SpanningTree, RingTreeAvoidsCycle) {
   for (const net::NodeId sw : topo.switches()) EXPECT_TRUE(tree.reaches(sw));
 }
 
+net::LinkId linkBetween(const net::Topology& topo, net::NodeId a, net::NodeId b) {
+  for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const net::Link& link = topo.link(l);
+    if ((link.a.node == a && link.b.node == b) ||
+        (link.a.node == b && link.b.node == a)) {
+      return l;
+    }
+  }
+  return net::kInvalidLink;
+}
+
+TEST(SpanningTree, WeightedCostsSteerPathsOffInflatedLinks) {
+  // On a 6-ring, s0 -> s3 has two equal 3-hop arcs. Inflating the
+  // clockwise arc (the congestion-weighted costs the LoadMonitor passes)
+  // must flip the tree path onto the counter-clockwise one.
+  const net::Topology topo = net::Topology::ring(6);
+  const auto sw = topo.switches();
+  std::vector<net::SimTime> costs(static_cast<std::size_t>(topo.linkCount()));
+  for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+    costs[static_cast<std::size_t>(l)] = topo.link(l).latency;
+  }
+  for (const auto& [a, b] :
+       {std::pair{sw[0], sw[1]}, {sw[1], sw[2]}, {sw[2], sw[3]}}) {
+    const net::LinkId hot = linkBetween(topo, a, b);
+    ASSERT_NE(hot, net::kInvalidLink);
+    costs[static_cast<std::size_t>(hot)] *= 10;
+  }
+
+  const SpanningTree tree(1, set("0"), sw[0], topo, allSwitchLinks(topo),
+                          &costs);
+  EXPECT_EQ(tree.pathBetween(sw[0], sw[3]),
+            (std::vector<net::NodeId>{sw[0], sw[5], sw[4], sw[3]}));
+  // Still a spanning tree: every switch reachable, n-1 edges.
+  EXPECT_EQ(tree.edges().size(), 5u);
+  for (const net::NodeId s : sw) EXPECT_TRUE(tree.reaches(s));
+}
+
+TEST(SpanningTree, RebuildAcceptsAndDropsCostOverride) {
+  const net::Topology topo = net::Topology::ring(6);
+  const auto sw = topo.switches();
+  std::vector<net::SimTime> costs(static_cast<std::size_t>(topo.linkCount()));
+  for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+    costs[static_cast<std::size_t>(l)] = topo.link(l).latency;
+  }
+  for (const auto& [a, b] :
+       {std::pair{sw[0], sw[1]}, {sw[1], sw[2]}, {sw[2], sw[3]}}) {
+    costs[static_cast<std::size_t>(linkBetween(topo, a, b))] *= 10;
+  }
+
+  SpanningTree tree(1, set("0"), sw[0], topo, allSwitchLinks(topo));
+  const auto plain = tree.pathBetween(sw[0], sw[3]);
+  tree.rebuild(1, set("0"), sw[0], topo, allSwitchLinks(topo), &costs);
+  EXPECT_EQ(tree.pathBetween(sw[0], sw[3]),
+            (std::vector<net::NodeId>{sw[0], sw[5], sw[4], sw[3]}));
+  // Rebuilding without the override restores the plain shortest path —
+  // the cost vector is ephemeral, exactly how Controller::rerootTree
+  // treats it (a promoted standby replays intent without it).
+  tree.rebuild(1, set("0"), sw[0], topo, allSwitchLinks(topo));
+  EXPECT_EQ(tree.pathBetween(sw[0], sw[3]), plain);
+}
+
 }  // namespace
 }  // namespace pleroma::ctrl

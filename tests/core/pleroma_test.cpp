@@ -219,7 +219,7 @@ TEST_F(PleromaFixture, ThroughputSaturationWithSlowHosts) {
   }
   p.settle();
   EXPECT_LT(p.deliveryStats().delivered, 200u);
-  EXPECT_GT(p.network().counters().packetsDroppedHostQueue, 0u);
+  EXPECT_GT(p.network().counters().dropped(net::DropReason::kHostQueue), 0u);
 }
 
 }  // namespace

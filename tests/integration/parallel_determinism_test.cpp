@@ -70,7 +70,7 @@ Trace runScenario(int threads) {
   t.falsePositives = p.deliveryStats().falsePositives;
   t.latencySum = p.deliveryStats().latencySum;
   t.forwarded = p.network().counters().packetsForwarded;
-  t.droppedQueue = p.network().counters().packetsDroppedHostQueue;
+  t.droppedQueue = p.network().counters().dropped(net::DropReason::kHostQueue);
   t.processedEvents = p.simulator().processedEvents();
   t.endTime = p.simulator().now();
   t.parallelRuns = p.simulator().parallelRunsExecuted();

@@ -242,7 +242,7 @@ TEST_F(ThreeDomainFixture, BorderLinkFailureIsolatesButLocalDeliveryContinues) {
 
   EXPECT_EQ(publishAndCollect(hosts[0], {100, 100}),
             (std::set<net::NodeId>{hosts[1], hosts[3]}));
-  EXPECT_GT(domain->network().counters().packetsDroppedLinkDown, 0u);
+  EXPECT_GT(domain->network().counters().dropped(net::DropReason::kLinkDown), 0u);
 
   // Restoring the physical link restores cross-border delivery (flows were
   // never removed).

@@ -117,9 +117,9 @@ TEST_F(HostQueueFixture, FiniteQueueDropsOverflow) {
 
   // The burst reaches h2 faster than it drains: only the packets that fit
   // the buffer (plus any slots freed while the burst straggles in) arrive.
-  EXPECT_EQ(delivered + static_cast<int>(net.counters().packetsDroppedHostQueue),
+  EXPECT_EQ(delivered + static_cast<int>(net.counters().dropped(net::DropReason::kHostQueue)),
             kBurst);
-  EXPECT_GT(net.counters().packetsDroppedHostQueue, 0u);
+  EXPECT_GT(net.counters().dropped(net::DropReason::kHostQueue), 0u);
   EXPECT_GE(delivered, static_cast<int>(config.hostQueueCapacity));
 }
 
@@ -135,7 +135,7 @@ TEST_F(HostQueueFixture, ZeroServiceTimeBypassesQueue) {
   for (int i = 0; i < 8; ++i) net.sendFromHost(h1, eventPacket("101", h1));
   sim.run();
   EXPECT_EQ(delivered, 8);
-  EXPECT_EQ(net.counters().packetsDroppedHostQueue, 0u);
+  EXPECT_EQ(net.counters().dropped(net::DropReason::kHostQueue), 0u);
 }
 
 /// One full pub/sub run under host-queue pressure; returns the end-to-end
@@ -176,7 +176,7 @@ TEST(HostQueueDeterminism, SameSeedSameDeliveryStats) {
   EXPECT_EQ(a.stats.falsePositives, b.stats.falsePositives);
   EXPECT_EQ(a.stats.latencySum, b.stats.latencySum);
   EXPECT_EQ(a.counters.packetsDeliveredToHosts, b.counters.packetsDeliveredToHosts);
-  EXPECT_EQ(a.counters.packetsDroppedHostQueue, b.counters.packetsDroppedHostQueue);
+  EXPECT_EQ(a.counters.dropped(net::DropReason::kHostQueue), b.counters.dropped(net::DropReason::kHostQueue));
   EXPECT_EQ(a.counters.packetsForwarded, b.counters.packetsForwarded);
 
   // Different seeds do land on a different trajectory (sanity: the

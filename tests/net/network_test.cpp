@@ -76,7 +76,7 @@ TEST_F(LineFixture, DownNodeDropsTrafficAndClearsTable) {
   net.sendFromHost(h1, eventPacket("101", h1));
   sim.run();
   EXPECT_EQ(net.counters().packetsDeliveredToHosts, 0u);
-  EXPECT_GT(net.counters().packetsDroppedNodeDown, 0u);
+  EXPECT_GT(net.counters().dropped(net::DropReason::kNodeDown), 0u);
 
   // Reboot: node is up again but the table stays blank until resynced.
   net.setNodeUp(r2, true);
@@ -88,7 +88,7 @@ TEST_F(LineFixture, DropsOnNoMatch) {
   Network net(topo, sim, {});
   net.sendFromHost(h1, eventPacket("101", h1));
   sim.run();
-  EXPECT_EQ(net.counters().packetsDroppedNoMatch, 1u);
+  EXPECT_EQ(net.counters().dropped(net::DropReason::kNoMatch), 1u);
   EXPECT_EQ(net.counters().packetsDeliveredToHosts, 0u);
 }
 
@@ -178,7 +178,7 @@ TEST_F(LineFixture, HostQueueSaturation) {
     });
   }
   sim.run();
-  EXPECT_GT(net.counters().packetsDroppedHostQueue, 50u);
+  EXPECT_GT(net.counters().dropped(net::DropReason::kHostQueue), 50u);
   EXPECT_LT(static_cast<std::size_t>(delivered), 100u);
   EXPECT_EQ(static_cast<std::uint64_t>(delivered),
             net.counters().packetsDeliveredToHosts);
@@ -210,7 +210,7 @@ TEST_F(LineFixture, HopLimitExpiryDropsPacket) {
   net.sendFromHost(h1, p);
   sim.run();
   EXPECT_EQ(delivered, 0);
-  EXPECT_EQ(net.counters().packetsDroppedHopLimit, 1u);
+  EXPECT_EQ(net.counters().dropped(net::DropReason::kHopLimit), 1u);
 
   Packet ok = eventPacket("1", h1);
   ok.hopLimit = 2;
@@ -244,7 +244,7 @@ TEST(Network, ForwardingLoopTerminatesViaHopLimit) {
   p.hopLimit = 64;
   net.injectAtSwitch(sw[0], kInvalidPort, p);
   sim.run();  // must terminate
-  EXPECT_EQ(net.counters().packetsDroppedHopLimit, 1u);
+  EXPECT_EQ(net.counters().dropped(net::DropReason::kHopLimit), 1u);
   EXPECT_LE(net.counters().packetsForwarded, 65u);
 }
 

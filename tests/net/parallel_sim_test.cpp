@@ -122,7 +122,7 @@ RunLog runLineFanout(util::WorkerPool* pool, std::size_t threshold,
   log.parallelRuns = sim.parallelRunsExecuted();
   log.forwarded = net.counters().packetsForwarded;
   log.delivered = net.counters().packetsDeliveredToHosts;
-  log.droppedQueue = net.counters().packetsDroppedHostQueue;
+  log.droppedQueue = net.counters().dropped(net::DropReason::kHostQueue);
   log.endTime = sim.now();
   return log;
 }
